@@ -1,0 +1,146 @@
+"""Qualitative figures — the paper's running example and §4.5 case studies.
+
+Regenerates the textual equivalents of the paper's screenshot figures:
+
+* Figure 1: the 9-researcher network, factual + counterfactual explanations
+  for the top expert on {"xai", "ai", "data mining"};
+* Figures 3/10: skill force plots for a top-ranked expert (the Leskovec /
+  LeCun studies);
+* Figures 4/11: collaboration SHAP around that expert;
+* Figures 5/12: counterfactual skill additions for a near-miss (the
+  Srivastava / Bengio studies);
+* Figures 6/13: counterfactual link additions and query augmentations;
+* Figures 7/8/14: a formed team, a membership counterfactual for an
+  excluded neighbor, and an eviction counterfactual for a member.
+"""
+
+import pytest
+
+from repro import ExES, figure1_network
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import (
+    BeamConfig,
+    FactualConfig,
+    render_collaboration_graph,
+    render_counterfactuals,
+    render_force_plot,
+    render_team,
+)
+from repro.linkpred import GaeConfig, train_gae
+from repro.search import PageRankExpertRanker
+from repro.team import CoverTeamFormer
+
+
+@pytest.mark.benchmark(group="case_studies")
+def test_figure1_running_example(benchmark, emit):
+    """The Weikum example from the paper's introduction."""
+
+    def run():
+        network = figure1_network()
+        profiles = [sorted(network.skills(p)) for p in network.people()]
+        embedding = train_ppmi_embedding(profiles, dim=8, min_count=1)
+        ranker = PageRankExpertRanker()
+        exes = ExES(
+            network=network,
+            ranker=ranker,
+            embedding=embedding,
+            link_predictor=train_gae(network, GaeConfig(epochs=40, seed=0)),
+            former=CoverTeamFormer(ranker),
+            k=1,
+            factual_config=FactualConfig(exact_limit=12),
+            beam_config=BeamConfig(beam_size=8, n_candidates=5),
+        )
+        query = ["xai", "ai", "data mining"]
+        expert = exes.top_k(query)[0]
+        sections = [
+            f"Figure 1 twin — query {query}, top expert: {network.name(expert)}",
+            render_force_plot(exes.explain_skills(expert, query), network),
+            render_counterfactuals(exes.counterfactual_skills(expert, query), network),
+            render_counterfactuals(exes.counterfactual_query(expert, query), network),
+            render_counterfactuals(
+                exes.counterfactual_collaborations(expert, query), network
+            ),
+        ]
+        return network, expert, "\n\n".join(sections)
+
+    network, expert, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig01_running_example", text)
+    assert network.name(expert) == "Gerhard Weikum"  # the paper's outcome
+
+
+@pytest.mark.benchmark(group="case_studies")
+def test_expert_search_case_studies(benchmark, dblp_stack, emit):
+    """Figures 3/4/5/6 + 10/11/12/13 on the DBLP-like network."""
+
+    def run():
+        exes = dblp_stack.exes
+        net = dblp_stack.network
+        query = dblp_stack.queries[0]
+        results = exes.ranker.evaluate(query, net)
+        star = results.top_k(1)[0]
+        near_miss = int(results.order[exes.k])  # rank k+1
+        sections = [
+            f"Case studies on DBLP-like network — query {sorted(query)}",
+            "--- Figures 3/10 twin: skill SHAP force plot (top expert) ---",
+            render_force_plot(exes.explain_skills(star, query), net, top=10),
+            "--- Figures 4/11 twin: collaboration SHAP (top expert) ---",
+            render_collaboration_graph(exes.explain_collaborations(star, query), net),
+            "--- Figures 5/12 twin: counterfactual skill additions (rank k+1) ---",
+            render_counterfactuals(exes.counterfactual_skills(near_miss, query), net, limit=5),
+            "--- Figures 6/13 twin: counterfactual links + query augmentation ---",
+            render_counterfactuals(
+                exes.counterfactual_collaborations(near_miss, query), net, limit=5
+            ),
+            render_counterfactuals(exes.counterfactual_query(near_miss, query), net, limit=5),
+        ]
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figs_03_06_10_13_case_studies", text)
+    assert "force" in text or "factual[skills]" in text
+
+
+@pytest.mark.benchmark(group="case_studies")
+def test_team_formation_case_study(benchmark, dblp_stack, emit):
+    """Figures 7/8/14: a team, an exclusion CF, and an inclusion CF."""
+
+    def run():
+        exes = dblp_stack.exes
+        net = dblp_stack.network
+        query = dblp_stack.queries[1]
+        seed = exes.top_k(query)[0]
+        team = exes.form_team(query, seed_member=seed)
+        sections = [
+            f"Team case study — query {sorted(query)}",
+            "--- Figure 7 twin: the formed team ---",
+            render_team(team, net),
+        ]
+        outsiders = sorted(net.neighbors(seed) - team.members)
+        if outsiders:
+            sections += [
+                "--- Figure 8 twin: what would include an excluded neighbor ---",
+                render_counterfactuals(
+                    exes.counterfactual_skills(
+                        outsiders[0], query, team=True, seed_member=seed
+                    ),
+                    net,
+                    limit=4,
+                ),
+            ]
+        members = sorted(team.members - {seed})
+        if members:
+            sections += [
+                "--- Figure 14 twin: what would evict a member ---",
+                render_counterfactuals(
+                    exes.counterfactual_collaborations(
+                        members[0], query, team=True, seed_member=seed
+                    ),
+                    net,
+                    limit=4,
+                ),
+            ]
+        return team, "\n\n".join(sections)
+
+    team, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figs_07_08_14_team_case_study", text)
+    assert team.size >= 1

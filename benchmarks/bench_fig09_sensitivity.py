@@ -1,0 +1,115 @@
+"""Figure 9 — parameter sensitivity analysis (all eight subfigures).
+
+* 9a/9b: beam size b → latency / precision (skill removal, experts)
+* 9c/9d: candidate count t → latency / precision (query augmentation,
+  non-experts)
+* 9e/9f/9g: neighborhood radius d → #explanations / latency / precision
+  (skill addition, non-experts)
+* 9h: threshold τ → collaboration-SHAP explanation size
+
+Paper trends to reproduce: latency and precision both rise with b; latency
+first rises then falls with t while precision saturates; #explanations
+peaks at moderate d (too-small d finds nothing, too-large d times out);
+explanation size shrinks as τ grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BEAM, BENCH_EXHAUSTIVE, BENCH_FACTUAL
+from repro.eval.sensitivity import (
+    sweep_beam_size,
+    sweep_candidates,
+    sweep_radius,
+    sweep_tau,
+)
+from repro.eval.tables import format_sweep
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09ab_beam_size(benchmark, dblp_stack, emit):
+    def run():
+        return sweep_beam_size(
+            dblp_stack.expert_cases,
+            dblp_stack.network,
+            dblp_stack.exes.embedding,
+            dblp_stack.exes.link_predictor,
+            values=(2, 5, 10, 15),
+            base_config=BENCH_BEAM,
+            exhaustive_config=BENCH_EXHAUSTIVE,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig09ab_beam_size",
+        format_sweep(points, "Figure 9a/9b (DBLP): beam size b, skill removal", "b"),
+    )
+    # 9a trend: more beam -> more work.
+    assert points[-1].latency >= points[0].latency * 0.8
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09cd_candidates(benchmark, dblp_stack, emit):
+    def run():
+        return sweep_candidates(
+            dblp_stack.nonexpert_cases,
+            dblp_stack.network,
+            dblp_stack.exes.embedding,
+            dblp_stack.exes.link_predictor,
+            values=(2, 4, 8, 16, 24),
+            base_config=BENCH_BEAM,
+            exhaustive_config=BENCH_EXHAUSTIVE,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig09cd_candidates",
+        format_sweep(
+            points, "Figure 9c/9d (DBLP): candidates t, query augmentation", "t"
+        ),
+    )
+    assert len(points) == 5
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09efg_radius(benchmark, dblp_stack, emit):
+    def run():
+        return sweep_radius(
+            dblp_stack.nonexpert_cases,
+            dblp_stack.network,
+            dblp_stack.exes.embedding,
+            dblp_stack.exes.link_predictor,
+            values=(0, 1, 2),
+            base_config=BENCH_BEAM,
+            exhaustive_config=BENCH_EXHAUSTIVE,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig09efg_radius",
+        format_sweep(
+            points, "Figure 9e/9f/9g (DBLP): radius d, skill addition", "d"
+        ),
+    )
+    # 9f trend: latency grows with the neighborhood.
+    assert points[-1].latency >= points[0].latency
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09h_tau(benchmark, dblp_stack, emit):
+    def run():
+        return sweep_tau(
+            dblp_stack.expert_cases,
+            dblp_stack.network,
+            values=(0.05, 0.1, 0.15),
+            base_config=BENCH_FACTUAL,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig09h_tau",
+        format_sweep(
+            points, "Figure 9h (DBLP): threshold tau, collaboration SHAP size", "tau"
+        ),
+    )
+    # 9h trend: larger tau -> fewer impactful edges -> smaller explanations.
+    assert points[-1].size <= points[0].size

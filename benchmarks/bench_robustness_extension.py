@@ -1,0 +1,36 @@
+"""Extension bench — explanation robustness (paper §5 future work).
+
+Not a table in the paper; this implements the conclusion's proposed
+extension: sample pairs of similar individuals and measure whether ExES
+explains them similarly (overlap of attributed skills / counterfactual
+vocabularies).  Reported alongside the main tables as an ablation-style
+artifact.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BEAM, BENCH_FACTUAL
+from repro.eval import measure_robustness, similar_pairs
+from repro.explain import CounterfactualExplainer, FactualExplainer
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_robustness_dblp(benchmark, dblp_stack, emit):
+    def run():
+        net = dblp_stack.network
+        target = dblp_stack.exes.target()
+        factual = FactualExplainer(target, BENCH_FACTUAL)
+        counterfactual = CounterfactualExplainer(
+            target,
+            dblp_stack.exes.embedding,
+            dblp_stack.exes.link_predictor,
+            BENCH_BEAM,
+        )
+        pairs = similar_pairs(net, min_similarity=0.3, max_pairs=4, seed=5)
+        return measure_robustness(
+            factual, counterfactual, net, dblp_stack.queries[0], pairs
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("extension_robustness_dblp", report.as_text())
+    assert report.n_pairs >= 1

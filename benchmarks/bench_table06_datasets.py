@@ -1,0 +1,49 @@
+"""Table 6 — dataset statistics.
+
+Regenerates both synthetic datasets through the full pipeline (graph →
+corpus → TF-IDF skills) and reports the Table 6 columns.  Node and edge
+counts scale exactly (they are generator inputs: 17 630 / 128 809 and
+3 278 / 15 502 at scale 1.0); the measured quantity is the extracted skill
+vocabulary and the ~15 skills/expert average the paper reports.
+"""
+
+import pytest
+
+from repro.datasets import dblp_like, github_like
+from repro.graph.stats import compute_stats
+
+BENCH_SCALE_DBLP = 0.012
+BENCH_SCALE_GITHUB = 0.06
+
+
+def _table6(dblp, github) -> str:
+    lines = [
+        "Table 6: dataset statistics (paper values at scale=1.0 in parens)",
+        f"{'Dataset':<10} {'#Nodes':>8} {'#Edges':>9} {'#Skills':>8} {'skills/person':>14}",
+        "-" * 56,
+    ]
+    for ds, paper in ((dblp, (17630, 128809, 1829)), (github, (3278, 15502, 863))):
+        s = compute_stats(ds.network)
+        lines.append(
+            f"{ds.name:<10} {s.n_nodes:>8} {s.n_edges:>9} {s.n_skills:>8} "
+            f"{s.mean_skills_per_person:>14.1f}"
+        )
+        lines.append(
+            f"{'(paper)':<10} {paper[0]:>8} {paper[1]:>9} {paper[2]:>8} {'~15 (DBLP)':>14}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table06")
+def test_table06_dataset_generation(benchmark, emit):
+    def build():
+        return (
+            dblp_like(scale=BENCH_SCALE_DBLP, seed=13),
+            github_like(scale=BENCH_SCALE_GITHUB, seed=17),
+        )
+
+    dblp, github = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table06_datasets", _table6(dblp, github))
+    # Generator contract: counts are exact at any scale.
+    assert dblp.network.n_people == max(30, round(17630 * BENCH_SCALE_DBLP))
+    assert github.network.n_people == max(25, round(3278 * BENCH_SCALE_GITHUB))

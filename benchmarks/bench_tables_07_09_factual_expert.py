@@ -1,0 +1,55 @@
+"""Tables 7 and 9 — factual explanations for expert search.
+
+Table 7 reports mean latency and explanation size for ExES vs the
+exhaustive baseline over skills / query terms / collaborations; Table 9
+reports Precision@1 / Precision@5 of the pruned explanations against
+exhaustive SHAP.  Both come from the same runs, so this bench produces both
+tables at once per dataset.
+
+Paper shapes to reproduce: ExES an order of magnitude faster on skills and
+collaborations, identical on query terms (no pruning exists); ExES
+explanations substantially smaller; Precision@1 ≈ 0.8–1.0.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_EXHAUSTIVE, BENCH_FACTUAL
+from repro.eval import run_factual_experiment
+from repro.eval.tables import format_factual_table
+
+
+def _run(stack):
+    return run_factual_experiment(
+        stack.expert_cases,
+        stack.network,
+        kinds=("skills", "query", "collaborations"),
+        factual_config=BENCH_FACTUAL,
+        exhaustive_config=BENCH_EXHAUSTIVE,
+        dataset_name=stack.name,
+    )
+
+
+@pytest.mark.benchmark(group="table07")
+def test_tables_07_09_dblp(benchmark, dblp_stack, emit):
+    rows = benchmark.pedantic(_run, args=(dblp_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_07_09_factual_expert_dblp",
+        format_factual_table(
+            rows, "Tables 7+9 (DBLP): factual explanations, expert search"
+        ),
+    )
+    skills = rows[0]
+    assert skills.latency_baseline > skills.latency_exes  # pruning wins
+
+
+@pytest.mark.benchmark(group="table07")
+def test_tables_07_09_github(benchmark, github_stack, emit):
+    rows = benchmark.pedantic(_run, args=(github_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_07_09_factual_expert_github",
+        format_factual_table(
+            rows, "Tables 7+9 (GitHub): factual explanations, expert search"
+        ),
+    )
+    skills = rows[0]
+    assert skills.latency_baseline > skills.latency_exes

@@ -1,0 +1,88 @@
+"""Tables 8 and 10 — counterfactual explanations for expert search.
+
+Six experiment rows per dataset: skill removal / query augmentation / link
+removal for experts; skill addition (with the paper's N and S partial
+exhaustive baselines) / query augmentation / link addition for non-experts.
+Table 8's columns (latency, explanation size) and Table 10's (#explanations,
+Precision, Precision*) come from the same runs.
+
+Paper shapes: ExES ≥~10x faster except query augmentation for experts
+(exhaustive wins there — random keywords evict easily); ExES sizes slightly
+above the exhaustive minimal; Precision* ≫ Precision; skill-addition
+precision vs the S baseline drops below 0.5.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BEAM, BENCH_EXHAUSTIVE
+from repro.eval import run_counterfactual_experiment
+from repro.eval.tables import format_counterfactual_table
+
+EXPERT_KINDS = ("skill_removal", "query_augmentation", "link_removal")
+NONEXPERT_KINDS = ("skill_addition", "query_augmentation", "link_addition")
+
+
+def _run(stack):
+    rows = []
+    for kind in EXPERT_KINDS:
+        rows.append(
+            run_counterfactual_experiment(
+                stack.expert_cases,
+                stack.network,
+                kind,
+                stack.exes.embedding,
+                stack.exes.link_predictor,
+                beam_config=BENCH_BEAM,
+                exhaustive_config=BENCH_EXHAUSTIVE,
+                baselines=("full",),
+                dataset_name=f"{stack.name}",
+            )
+        )
+    for kind in NONEXPERT_KINDS:
+        baselines = ("N", "S") if kind == "skill_addition" else ("full",)
+        rows.append(
+            run_counterfactual_experiment(
+                stack.nonexpert_cases,
+                stack.network,
+                kind,
+                stack.exes.embedding,
+                stack.exes.link_predictor,
+                beam_config=BENCH_BEAM,
+                exhaustive_config=BENCH_EXHAUSTIVE,
+                baselines=baselines,
+                dataset_name=f"{stack.name}*",  # * marks non-expert rows
+                t_for_neighborhood=BENCH_BEAM.n_candidates,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table08")
+def test_tables_08_10_dblp(benchmark, dblp_stack, emit):
+    rows = benchmark.pedantic(_run, args=(dblp_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_08_10_counterfactual_expert_dblp",
+        format_counterfactual_table(
+            rows,
+            "Tables 8+10 (DBLP): counterfactuals, expert search "
+            "(rows marked * explain non-experts)",
+        ),
+    )
+    by_kind = {(r.kind, r.dataset): r for r in rows}
+    removal = by_kind[("skill_removal", "DBLP")]
+    if removal.baselines["full"].n_explanations:
+        assert removal.latency_exes < removal.baselines["full"].latency
+
+
+@pytest.mark.benchmark(group="table08")
+def test_tables_08_10_github(benchmark, github_stack, emit):
+    rows = benchmark.pedantic(_run, args=(github_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_08_10_counterfactual_expert_github",
+        format_counterfactual_table(
+            rows,
+            "Tables 8+10 (GitHub): counterfactuals, expert search "
+            "(rows marked * explain non-experts)",
+        ),
+    )
+    assert any(r.n_explanations_exes > 0 for r in rows)

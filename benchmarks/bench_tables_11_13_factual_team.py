@@ -1,0 +1,50 @@
+"""Tables 11 and 13 — factual explanations for team formation.
+
+Same protocol as Tables 7+9 but the decision bit is team membership
+M_pi(q, G): teams are formed around a top-k seed with the
+build-around-the-main-member former, and the explained subjects are team
+members.  Paper shapes: latencies above the expert-search equivalents
+(every probe re-forms the team), ExES still an order of magnitude faster
+than exhaustive, Precision@1 ≈ 0.6–1.0.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_EXHAUSTIVE, BENCH_FACTUAL
+from repro.eval import run_factual_experiment
+from repro.eval.tables import format_factual_table
+
+
+def _run(stack):
+    return run_factual_experiment(
+        stack.member_cases,
+        stack.network,
+        kinds=("skills", "query", "collaborations"),
+        factual_config=BENCH_FACTUAL,
+        exhaustive_config=BENCH_EXHAUSTIVE,
+        dataset_name=stack.name,
+    )
+
+
+@pytest.mark.benchmark(group="table11")
+def test_tables_11_13_dblp(benchmark, dblp_stack, emit):
+    rows = benchmark.pedantic(_run, args=(dblp_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_11_13_factual_team_dblp",
+        format_factual_table(
+            rows, "Tables 11+13 (DBLP): factual explanations, team formation"
+        ),
+    )
+    assert rows[0].latency_exes > 0
+
+
+@pytest.mark.benchmark(group="table11")
+def test_tables_11_13_github(benchmark, github_stack, emit):
+    rows = benchmark.pedantic(_run, args=(github_stack,), rounds=1, iterations=1)
+    emit(
+        "tables_11_13_factual_team_github",
+        format_factual_table(
+            rows, "Tables 11+13 (GitHub): factual explanations, team formation"
+        ),
+    )
+    assert rows[0].latency_exes > 0

@@ -1,0 +1,131 @@
+"""Shared benchmark fixtures: prepared DBLP-like and GitHub-like stacks.
+
+Scale notes (documented per DESIGN.md / EXPERIMENTS.md): the paper runs 100
+queries against the full datasets on a 12-core/128 GB machine with a 1000 s
+exhaustive-search timeout.  These benches reproduce every table and figure
+at reduced scale so the whole suite runs in minutes on a laptop:
+
+* networks are generated at ~1–6 % scale (a few hundred nodes),
+* a handful of queries/cases per table instead of 100,
+* beam parameters (b=10, t=6, e=3, γ=4) instead of (30, 10, 5, 5),
+* exhaustive timeout 8 s instead of 1000 s.
+
+What must carry over is the *shape*: who wins, by roughly what factor, and
+the direction of every trend — not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro import ExES
+from repro.datasets import DatasetBundle, dblp_like, github_like
+from repro.eval import (
+    Case,
+    random_queries,
+    sample_search_subjects,
+    sample_team_subjects,
+)
+from repro.explain import BeamConfig, ExhaustiveConfig, FactualConfig
+from repro.search import GcnRankerConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+K = 10
+N_QUERIES = 4
+MAX_CASES = 3  # explanation subjects per (dataset, role)
+
+BENCH_BEAM = BeamConfig(
+    beam_size=10, n_candidates=6, max_size=4, n_explanations=3,
+    timeout_seconds=60,
+)
+BENCH_FACTUAL = FactualConfig(n_samples=128, max_samples=256, selection_samples=48)
+# The exhaustive factual baseline must pay for its full feature space the
+# way the reference SHAP implementation does (samples scale with M up to a
+# cap), otherwise the pruning speedup of Tables 7/11 is artificially hidden.
+BENCH_EXHAUSTIVE = ExhaustiveConfig(
+    n_explanations=3, max_size=4, timeout_seconds=8.0,
+    n_samples=512, max_samples=1536,
+)
+
+
+@dataclass
+class BenchStack:
+    """Everything one dataset's benches need, built once per session."""
+
+    name: str
+    dataset: DatasetBundle
+    exes: ExES
+    queries: List[List[str]]
+    expert_cases: List[Case] = field(default_factory=list)
+    nonexpert_cases: List[Case] = field(default_factory=list)
+    member_cases: List[Case] = field(default_factory=list)
+    nonmember_cases: List[Case] = field(default_factory=list)
+
+    @property
+    def network(self):
+        return self.dataset.network
+
+
+def _build_stack(name: str, dataset: DatasetBundle, seed: int) -> BenchStack:
+    exes = ExES.build(
+        dataset,
+        k=K,
+        ranker_config=GcnRankerConfig(epochs=40, n_train_queries=30, seed=seed),
+        factual_config=BENCH_FACTUAL,
+        beam_config=BENCH_BEAM,
+        seed=seed,
+    )
+    net = dataset.network
+    queries = random_queries(net, N_QUERIES, seed=seed + 100)
+    search_target = exes.target()
+    subjects = sample_search_subjects(exes.ranker, net, queries, K, seed=seed + 200)
+    stack = BenchStack(name=name, dataset=dataset, exes=exes, queries=queries)
+    for s in subjects:
+        if s.expert is not None and len(stack.expert_cases) < MAX_CASES:
+            stack.expert_cases.append(
+                Case(s.expert, s.query, search_target, "expert")
+            )
+        if s.non_expert is not None and len(stack.nonexpert_cases) < MAX_CASES:
+            stack.nonexpert_cases.append(
+                Case(s.non_expert, s.query, search_target, "non_expert")
+            )
+    team_subjects = sample_team_subjects(
+        exes.former, exes.ranker, net, queries, K, seed=seed + 300
+    )
+    for s in team_subjects:
+        team_target = exes.target(team=True, seed_member=s.seed_member)
+        if s.member is not None and len(stack.member_cases) < MAX_CASES:
+            stack.member_cases.append(Case(s.member, s.query, team_target, "member"))
+        if s.non_member is not None and len(stack.nonmember_cases) < MAX_CASES:
+            stack.nonmember_cases.append(
+                Case(s.non_member, s.query, team_target, "non_member")
+            )
+    return stack
+
+
+@pytest.fixture(scope="session")
+def dblp_stack() -> BenchStack:
+    return _build_stack("DBLP", dblp_like(scale=0.012, seed=13), seed=1)
+
+
+@pytest.fixture(scope="session")
+def github_stack() -> BenchStack:
+    return _build_stack("GitHub", github_like(scale=0.06, seed=17), seed=2)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a results table through capture AND persist it under
+    benchmarks/results/ so EXPERIMENTS.md can quote it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n", flush=True)
+
+    return _emit

@@ -1,0 +1,75 @@
+"""Academic expert search on the DBLP-like dataset (paper §4.5 case studies).
+
+Mirrors the paper's case-study flow on the synthetic DBLP network:
+
+1. rank experts for a query with the trained GCN ranker,
+2. factually explain a top expert's skills and collaborations
+   (the "Yann LeCun" study: Figures 10–11),
+3. counterfactually explain why the person just outside the top-k missed
+   the cut, and which query changes would admit them
+   (the "Yoshua Bengio" study: Figures 12–13).
+
+Run:  python examples/academic_search.py  [--scale 0.02]
+"""
+
+import argparse
+
+from repro import ExES
+from repro.datasets import dblp_like
+from repro.eval import random_queries
+from repro.explain import (
+    render_collaboration_graph,
+    render_counterfactuals,
+    render_force_plot,
+    render_skill_summary,
+)
+
+
+def main(scale: float = 0.02, seed: int = 1) -> None:
+    print(f"generating DBLP-like dataset at scale {scale} ...")
+    dataset = dblp_like(scale=scale)
+    network = dataset.network
+    print(f"  {network}")
+
+    print("training the GCN ranker, skill embedding, and GAE ...")
+    exes = ExES.build(dataset, k=10, seed=seed)
+
+    query = random_queries(network, 1, seed=seed + 3)[0]
+    print(f"\nquery: {query}")
+    results = exes.ranker.evaluate(query, network)
+    top = results.top_k(10)
+    print("top-10:", ", ".join(network.name(p) for p in top))
+
+    # -- factual study of a top expert (the LeCun study) ----------------
+    expert = top[0]
+    print(f"\n=== factual study: {network.name(expert)} (rank 1) ===")
+    skills_fx = exes.explain_skills(expert, query)
+    print(render_force_plot(skills_fx, network, top=10))
+    print()
+    print(render_skill_summary(skills_fx, network))
+    print()
+    print(render_collaboration_graph(exes.explain_collaborations(expert, query), network))
+
+    # -- counterfactual study of the runner-up (the Bengio study) -------
+    runner_up = int(results.order[10])  # rank 11: just outside the top-10
+    print(
+        f"\n=== counterfactual study: {network.name(runner_up)} "
+        f"(rank {results.rank_of(runner_up)}) ==="
+    )
+    print(render_counterfactuals(exes.counterfactual_skills(runner_up, query), network, limit=5))
+    print()
+    print(render_counterfactuals(exes.counterfactual_query(runner_up, query), network, limit=5))
+    print()
+    print(
+        render_counterfactuals(
+            exes.counterfactual_collaborations(runner_up, query), network, limit=5
+        )
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    main(scale=args.scale, seed=args.seed)

@@ -1,0 +1,68 @@
+"""Quickstart: explain an expert search result on the paper's Figure 1 network.
+
+Recreates the running example of the paper's introduction: an academic
+collaboration network of nine researchers, the query {"xai", "ai",
+"data mining"}, and factual + counterfactual explanations for the top
+expert.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExES, figure1_network
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import (
+    BeamConfig,
+    FactualConfig,
+    render_counterfactuals,
+    render_force_plot,
+)
+from repro.linkpred import GaeConfig, train_gae
+from repro.search import PageRankExpertRanker
+from repro.team import CoverTeamFormer
+
+
+def main() -> None:
+    network = figure1_network()
+
+    # Figure 1 has no publication corpus, so train the skill embedding on
+    # each researcher's skill profile (one "document" per person).
+    profiles = [sorted(network.skills(p)) for p in network.people()]
+    embedding = train_ppmi_embedding(profiles, dim=8, min_count=1)
+
+    ranker = PageRankExpertRanker()  # model-agnostic: any ranker works
+    exes = ExES(
+        network=network,
+        ranker=ranker,
+        embedding=embedding,
+        link_predictor=train_gae(network, GaeConfig(epochs=40, seed=0)),
+        former=CoverTeamFormer(ranker),
+        k=1,  # Figure 1 explains being *the* top expert
+        factual_config=FactualConfig(exact_limit=12),
+        beam_config=BeamConfig(beam_size=8, n_candidates=5),
+    )
+
+    query = ["xai", "ai", "data mining"]
+    print(f"query: {query}")
+    ranking = ranker.rank(query, network)[:3]
+    print("ranking:", [network.name(p) for p in ranking])
+
+    expert = ranking[0]
+    print(f"\nWhy is {network.name(expert)} selected?\n")
+    print(render_force_plot(exes.explain_skills(expert, query), network))
+    print()
+    print(render_force_plot(exes.explain_query(expert, query), network))
+
+    print(f"\nWhat would change the outcome for {network.name(expert)}?\n")
+    print(render_counterfactuals(exes.counterfactual_skills(expert, query), network))
+    print()
+    print(render_counterfactuals(exes.counterfactual_query(expert, query), network))
+    print()
+    print(
+        render_counterfactuals(
+            exes.counterfactual_collaborations(expert, query), network
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

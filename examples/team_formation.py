@@ -1,0 +1,88 @@
+"""Team formation explanations (paper §3.5, Examples 5 and the §4.5
+Chapelle/Collobert case study).
+
+Forms a team around a seed expert with the build-around-the-main-member
+former, then explains:
+
+* why a member is on the team (factual SHAP on membership status),
+* what changes would evict a member (counterfactual skill/link removal),
+* what a nearby non-member would need to join (counterfactual skill
+  addition — the Figure 8 "community + discovery" pattern).
+
+Run:  python examples/team_formation.py  [--scale 0.02]
+"""
+
+import argparse
+
+from repro import ExES
+from repro.datasets import dblp_like
+from repro.eval import random_queries
+from repro.explain import (
+    render_counterfactuals,
+    render_force_plot,
+    render_team,
+)
+
+
+def main(scale: float = 0.02, seed: int = 2) -> None:
+    print(f"generating DBLP-like dataset at scale {scale} ...")
+    dataset = dblp_like(scale=scale)
+    network = dataset.network
+    exes = ExES.build(dataset, k=10, seed=seed)
+
+    query = random_queries(network, 1, seed=seed + 11)[0]
+    print(f"\nquery: {query}")
+    seed_member = exes.top_k(query)[0]
+    team = exes.form_team(query, seed_member=seed_member)
+    print(render_team(team, network))
+
+    members = sorted(team.members - {seed_member})
+    if not members:
+        print("\n(the seed alone covers the query; try a longer query)")
+        return
+    member = members[0]
+
+    print(f"\n=== why is {network.name(member)} on the team? ===")
+    fx = exes.explain_skills(member, query, team=True, seed_member=seed_member)
+    print(render_force_plot(fx, network, top=8))
+
+    print(f"\n=== what would push {network.name(member)} off the team? ===")
+    print(
+        render_counterfactuals(
+            exes.counterfactual_skills(member, query, team=True, seed_member=seed_member),
+            network,
+            limit=4,
+        )
+    )
+    print()
+    print(
+        render_counterfactuals(
+            exes.counterfactual_collaborations(
+                member, query, team=True, seed_member=seed_member
+            ),
+            network,
+            limit=4,
+        )
+    )
+
+    outsiders = sorted(network.neighbors(seed_member) - team.members)
+    if outsiders:
+        outsider = outsiders[0]
+        print(f"\n=== what would get {network.name(outsider)} onto the team? ===")
+        print(
+            render_counterfactuals(
+                exes.counterfactual_skills(
+                    outsider, query, team=True, seed_member=seed_member
+                ),
+                network,
+                limit=4,
+            )
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+    main(scale=args.scale, seed=args.seed)

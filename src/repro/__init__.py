@@ -1,0 +1,45 @@
+"""repro — a reproduction of "Explaining Expert Search and Team Formation
+Systems with ExES" (ICDE 2025).
+
+Public API tour:
+
+* :class:`repro.ExES` — the explainer facade (factual + counterfactual).
+* :mod:`repro.datasets` — DBLP-like / GitHub-like dataset presets.
+* :mod:`repro.search` — expert search systems (GCN, PageRank, TF-IDF, HITS).
+* :mod:`repro.team` — team formation systems.
+* :mod:`repro.explain` — SHAP, beam-search counterfactuals, baselines.
+* :mod:`repro.eval` — the experiment harness behind the paper's tables.
+
+Quickstart::
+
+    from repro import ExES
+    from repro.datasets import dblp_like
+
+    dataset = dblp_like(scale=0.02)
+    exes = ExES.build(dataset, k=10)
+    expert = exes.top_k(["graph", "mining"])[0]
+    print(exes.explain_skills(expert, ["graph", "mining"]).top(5))
+"""
+
+from repro.exes import ExES
+from repro.datasets import (
+    DatasetBundle,
+    dblp_like,
+    figure1_network,
+    github_like,
+    toy_network,
+)
+from repro.graph.network import CollaborationNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollaborationNetwork",
+    "DatasetBundle",
+    "ExES",
+    "dblp_like",
+    "figure1_network",
+    "github_like",
+    "toy_network",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A headless equivalent of the paper's web app (Figure 2): generate a
+dataset, rank experts, form teams, and produce factual/counterfactual
+explanations from a shell.
+
+Commands:
+
+* ``stats``     — generate a dataset and print its Table-6 row
+* ``rank``      — top-k experts for a query
+* ``team``      — form a team for a query
+* ``explain``   — factual + counterfactual explanations for one person
+
+Example::
+
+    python -m repro rank --dataset dblp --scale 0.02 --query graph mining
+    python -m repro explain --dataset dblp --scale 0.02 \
+        --query graph mining --person "Ada Lovelace" --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.datasets import DatasetBundle, dblp_like, github_like
+from repro.exes import ExES
+from repro.explain.render import (
+    render_counterfactuals,
+    render_force_plot,
+    render_team,
+)
+from repro.explain.serialize import counterfactual_to_dict, factual_to_dict
+from repro.graph.stats import compute_stats
+
+
+def _load_dataset(args: argparse.Namespace) -> DatasetBundle:
+    maker = {"dblp": dblp_like, "github": github_like}[args.dataset]
+    return maker(scale=args.scale, seed=args.seed)
+
+
+def _resolve_person(network, spec: str) -> int:
+    """Accept either a numeric id or a display name."""
+    try:
+        person = int(spec)
+    except ValueError:
+        return network.find_person(spec)
+    if not (0 <= person < network.n_people):
+        raise SystemExit(f"person id {person} out of range")
+    return person
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("dblp", "github"), default="dblp")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=13)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the dataset's Table-6 row and connectivity summary."""
+    dataset = _load_dataset(args)
+    stats = compute_stats(dataset.network)
+    print(stats.as_table_row(dataset.name))
+    print(
+        f"mean degree {stats.mean_degree:.1f}, max degree {stats.max_degree}, "
+        f"components {stats.n_components} (largest {stats.largest_component})"
+    )
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    """Print the top-k experts for the query."""
+    dataset = _load_dataset(args)
+    exes = ExES.build(dataset, k=args.k, seed=args.seed)
+    results = exes.ranker.evaluate(args.query, dataset.network)
+    for rank, person in enumerate(results.top_k(args.k), start=1):
+        skills = ", ".join(sorted(dataset.network.skills(person))[:6])
+        print(f"{rank:3d}. {dataset.network.name(person)}  ({skills})")
+    return 0
+
+
+def cmd_team(args: argparse.Namespace) -> int:
+    """Form and print a team for the query."""
+    dataset = _load_dataset(args)
+    exes = ExES.build(dataset, k=args.k, seed=args.seed)
+    seed_member: Optional[int] = None
+    if args.seed_member is not None:
+        seed_member = _resolve_person(dataset.network, args.seed_member)
+    team = exes.form_team(args.query, seed_member=seed_member)
+    print(render_team(team, dataset.network))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print factual + counterfactual explanations for one person."""
+    dataset = _load_dataset(args)
+    exes = ExES.build(dataset, k=args.k, seed=args.seed)
+    network = dataset.network
+    person = _resolve_person(network, args.person)
+
+    rank = exes.rank_of(person, args.query)
+    status = "an expert" if rank <= args.k else "not an expert"
+    print(
+        f"{network.name(person)} is ranked {rank} for {args.query} "
+        f"({status} at k={args.k})\n"
+    )
+    factual = exes.explain_skills(person, args.query)
+    print(render_force_plot(factual, network, top=args.top))
+    print()
+    cf_skills = exes.counterfactual_skills(person, args.query)
+    print(render_counterfactuals(cf_skills, network, limit=args.top))
+    print()
+    cf_query = exes.counterfactual_query(person, args.query)
+    print(render_counterfactuals(cf_query, network, limit=args.top))
+
+    if args.json:
+        payload = {
+            "person": person,
+            "name": network.name(person),
+            "rank": rank,
+            "factual_skills": factual_to_dict(factual),
+            "counterfactual_skills": counterfactual_to_dict(cf_skills),
+            "counterfactual_query": counterfactual_to_dict(cf_query),
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ExES reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table 6)")
+    _add_common(p_stats)
+    p_stats.set_defaults(fn=cmd_stats)
+
+    p_rank = sub.add_parser("rank", help="top-k experts for a query")
+    _add_common(p_rank)
+    p_rank.add_argument("--query", nargs="+", required=True)
+    p_rank.add_argument("--k", type=int, default=10)
+    p_rank.set_defaults(fn=cmd_rank)
+
+    p_team = sub.add_parser("team", help="form a team for a query")
+    _add_common(p_team)
+    p_team.add_argument("--query", nargs="+", required=True)
+    p_team.add_argument("--k", type=int, default=10)
+    p_team.add_argument("--seed-member", default=None)
+    p_team.set_defaults(fn=cmd_team)
+
+    p_explain = sub.add_parser("explain", help="explain one individual")
+    _add_common(p_explain)
+    p_explain.add_argument("--query", nargs="+", required=True)
+    p_explain.add_argument("--person", required=True, help="person id or name")
+    p_explain.add_argument("--k", type=int, default=10)
+    p_explain.add_argument("--top", type=int, default=6)
+    p_explain.add_argument("--json", default=None, help="write explanations to JSON")
+    p_explain.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Sliding-window co-occurrence counting shared by both embedding trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class CooccurrenceCounts:
+    """Symmetric co-occurrence statistics of a tokenized corpus."""
+
+    vocabulary: Dict[str, int]
+    counts: sp.csr_matrix  # |V| x |V|, symmetric
+    word_counts: np.ndarray  # occurrences per word
+    total_pairs: float
+
+    @property
+    def n_words(self) -> int:
+        """Vocabulary size."""
+        return len(self.vocabulary)
+
+    def index_of(self, word: str) -> int:
+        """Row/column index of ``word``; KeyError if unknown."""
+        try:
+            return self.vocabulary[word]
+        except KeyError:
+            raise KeyError(f"word not in embedding vocabulary: {word!r}") from None
+
+
+def build_vocabulary(
+    documents: Sequence[Sequence[str]], min_count: int = 1
+) -> Dict[str, int]:
+    """Frequency-filtered vocabulary with deterministic (sorted) indexing."""
+    freq: Dict[str, int] = {}
+    for tokens in documents:
+        for t in tokens:
+            freq[t] = freq.get(t, 0) + 1
+    kept = sorted(t for t, c in freq.items() if c >= min_count)
+    return {t: i for i, t in enumerate(kept)}
+
+
+def count_cooccurrences(
+    documents: Sequence[Sequence[str]],
+    window: int = 5,
+    min_count: int = 1,
+    distance_weighting: bool = True,
+) -> CooccurrenceCounts:
+    """Count symmetric within-window co-occurrences.
+
+    With ``distance_weighting`` each pair at distance ``d`` contributes
+    ``1/d`` (the word2vec convention), which sharpens topical similarity.
+    """
+    vocabulary = build_vocabulary(documents, min_count=min_count)
+    n = len(vocabulary)
+    pair_counts: Dict[Tuple[int, int], float] = {}
+    word_counts = np.zeros(n, dtype=np.float64)
+
+    for tokens in documents:
+        ids: List[int] = [vocabulary[t] for t in tokens if t in vocabulary]
+        for pos, wi in enumerate(ids):
+            word_counts[wi] += 1
+            upper = min(pos + window + 1, len(ids))
+            for other in range(pos + 1, upper):
+                wj = ids[other]
+                weight = 1.0 / (other - pos) if distance_weighting else 1.0
+                key = (wi, wj) if wi <= wj else (wj, wi)
+                pair_counts[key] = pair_counts.get(key, 0.0) + weight
+
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    total = 0.0
+    for (i, j), c in pair_counts.items():
+        rows.append(i)
+        cols.append(j)
+        data.append(c)
+        total += c
+        if i != j:
+            rows.append(j)
+            cols.append(i)
+            data.append(c)
+            total += c
+    counts = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return CooccurrenceCounts(
+        vocabulary=vocabulary,
+        counts=counts,
+        word_counts=word_counts,
+        total_pairs=max(total, 1.0),
+    )

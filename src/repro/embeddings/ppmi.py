@@ -1,0 +1,67 @@
+"""PPMI + truncated-SVD embeddings (the fast default trainer)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.embeddings.cooccurrence import count_cooccurrences
+from repro.embeddings.similarity import SkillEmbedding
+
+
+def ppmi_matrix(
+    counts: sp.csr_matrix,
+    word_totals: np.ndarray,
+    total_pairs: float,
+    shift: float = 0.0,
+) -> sp.csr_matrix:
+    """Positive pointwise mutual information of a co-occurrence matrix.
+
+    ``pmi(i,j) = log( p(i,j) / (p(i) p(j)) )``; negative entries (and
+    entries below ``shift``, the log of the SGNS negative-sample count) are
+    clamped to zero, preserving sparsity.
+    """
+    coo = counts.tocoo()
+    marginals = np.maximum(word_totals, 1e-12)
+    p_marginal = marginals / marginals.sum()
+    values = coo.data / total_pairs
+    pmi = np.log(values / (p_marginal[coo.row] * p_marginal[coo.col])) - shift
+    keep = pmi > 0
+    return sp.csr_matrix(
+        (pmi[keep], (coo.row[keep], coo.col[keep])), shape=counts.shape
+    )
+
+
+def train_ppmi_embedding(
+    documents: Sequence[Sequence[str]],
+    dim: int = 64,
+    window: int = 5,
+    min_count: int = 2,
+    shift: float = 0.0,
+    seed: int = 0,
+) -> SkillEmbedding:
+    """Factorize the corpus PPMI matrix into ``dim``-dimensional vectors.
+
+    Row vectors are ``U * sqrt(Σ)`` from a truncated SVD, the symmetric
+    convention recommended by Levy & Goldberg (2014).
+    """
+    counts = count_cooccurrences(documents, window=window, min_count=min_count)
+    n = counts.n_words
+    if n == 0:
+        raise ValueError("empty vocabulary; lower min_count or provide documents")
+    matrix = ppmi_matrix(counts.counts, counts.word_counts, counts.total_pairs, shift)
+    k = min(dim, max(1, n - 1))
+    if matrix.nnz == 0:
+        # Degenerate corpus (no informative co-occurrence): random unit vectors.
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(n, k))
+    else:
+        # svds needs k < min(shape); v0 pins the Lanczos start for determinism.
+        v0 = np.random.default_rng(seed).normal(size=min(matrix.shape))
+        u, s, _ = spla.svds(matrix.astype(np.float64), k=k, v0=v0)
+        order = np.argsort(-s)
+        vectors = u[:, order] * np.sqrt(np.maximum(s[order], 0.0))
+    return SkillEmbedding(counts.vocabulary, vectors)

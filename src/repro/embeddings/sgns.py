@@ -1,0 +1,151 @@
+"""Skip-gram with negative sampling (word2vec), trained with explicit SGD.
+
+This mirrors the paper's choice of Word2Vec [41] for Pruning Strategy 4.
+The implementation is pure numpy: for every (center, context) pair within
+the window we draw ``negatives`` noise words from the unigram^0.75
+distribution and take a gradient step on the SGNS objective
+
+    log σ(u_c · v_w) + Σ_neg log σ(-u_n · v_w).
+
+Pairs are processed in vectorized minibatches for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.cooccurrence import build_vocabulary
+from repro.embeddings.similarity import SkillEmbedding
+
+
+@dataclass(frozen=True)
+class SgnsConfig:
+    """Hyperparameters for SGNS training.
+
+    ``subsample`` is word2vec's frequent-word threshold ``t``: an occurrence
+    of word ``w`` with corpus frequency ``f(w)`` is kept with probability
+    ``sqrt(t / f(w))`` (capped at 1), which stops Zipf-head words from
+    dominating the pair stream.  It defaults to 0 (disabled) because the
+    expertise corpora here are small — word2vec's classic t=1e-3 assumes
+    billions of tokens and would discard most of a small corpus.
+    """
+
+    dim: int = 64
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 5
+    learning_rate: float = 0.05
+    min_count: int = 2
+    batch_size: int = 256
+    subsample: float = 0.0
+    seed: int = 0
+
+
+def _training_pairs(
+    documents: Sequence[Sequence[str]],
+    vocabulary: dict,
+    window: int,
+    keep_prob: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    pairs: List[Tuple[int, int]] = []
+    for tokens in documents:
+        ids = [
+            i
+            for t in tokens
+            if (i := vocabulary.get(t)) is not None and rng.random() < keep_prob[i]
+        ]
+        for pos, center in enumerate(ids):
+            upper = min(pos + window + 1, len(ids))
+            for other in range(pos + 1, upper):
+                pairs.append((center, ids[other]))
+                pairs.append((ids[other], center))
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_sgns_embedding(
+    documents: Sequence[Sequence[str]],
+    config: SgnsConfig | None = None,
+) -> SkillEmbedding:
+    """Train word vectors with skip-gram negative sampling."""
+    config = config or SgnsConfig()
+    vocabulary = build_vocabulary(documents, min_count=config.min_count)
+    n = len(vocabulary)
+    if n == 0:
+        raise ValueError("empty vocabulary; lower min_count or provide documents")
+
+    rng = np.random.default_rng(config.seed)
+    in_vecs = (rng.random((n, config.dim)) - 0.5) / config.dim
+    out_vecs = np.zeros((n, config.dim))
+
+    # Unigram^0.75 noise distribution + subsampling keep probabilities.
+    counts = np.zeros(n)
+    for tokens in documents:
+        for t in tokens:
+            idx = vocabulary.get(t)
+            if idx is not None:
+                counts[idx] += 1
+    noise = counts ** 0.75
+    noise /= noise.sum()
+    if config.subsample > 0:
+        freq = counts / max(counts.sum(), 1.0)
+        keep_prob = np.minimum(
+            1.0, np.sqrt(config.subsample / np.maximum(freq, 1e-12))
+        )
+    else:
+        keep_prob = np.ones(n)
+
+    pairs = _training_pairs(documents, vocabulary, config.window, keep_prob, rng)
+    if pairs.shape[0] == 0:
+        return SkillEmbedding(vocabulary, in_vecs)
+
+    k = config.negatives
+    for epoch in range(config.epochs):
+        lr = config.learning_rate * (1.0 - epoch / max(config.epochs, 1)) + 1e-4
+        order = rng.permutation(pairs.shape[0])
+        for start in range(0, len(order), config.batch_size):
+            batch = pairs[order[start : start + config.batch_size]]
+            centers, contexts = batch[:, 0], batch[:, 1]
+            b = len(centers)
+            v = in_vecs[centers]  # (b, d)
+
+            # Positive examples.
+            u_pos = out_vecs[contexts]  # (b, d)
+            score_pos = _sigmoid(np.einsum("bd,bd->b", v, u_pos))
+            coef_pos = score_pos - 1.0  # d(loss)/d(score)
+            grad_v = coef_pos[:, None] * u_pos
+            grad_u_pos = coef_pos[:, None] * v
+
+            # Negative examples, all at once: (b, k).
+            negs = rng.choice(n, size=(b, k), p=noise)
+            u_neg = out_vecs[negs]  # (b, k, d)
+            score_neg = _sigmoid(np.einsum("bd,bkd->bk", v, u_neg))
+            grad_v += np.einsum("bk,bkd->bd", score_neg, u_neg)
+            grad_u_neg = score_neg[..., None] * v[:, None, :]  # (b, k, d)
+
+            # A hot word can appear hundreds of times in one batch; summing
+            # that many stale-gradient updates diverges.  Normalize each
+            # row's update by its multiplicity (averaged minibatch SGD).
+            center_mult = np.bincount(centers, minlength=n)[centers]
+            context_mult = np.bincount(contexts, minlength=n)[contexts]
+            neg_flat = negs.ravel()
+            neg_mult = np.bincount(neg_flat, minlength=n)[neg_flat]
+
+            np.add.at(in_vecs, centers, -lr * grad_v / center_mult[:, None])
+            np.add.at(out_vecs, contexts, -lr * grad_u_pos / context_mult[:, None])
+            np.add.at(
+                out_vecs,
+                neg_flat,
+                -lr * grad_u_neg.reshape(b * k, -1) / neg_mult[:, None],
+            )
+
+    return SkillEmbedding(vocabulary, in_vecs + out_vecs)

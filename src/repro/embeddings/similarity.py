@@ -1,0 +1,126 @@
+"""The similarity oracle that Pruning Strategy 4 consumes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class SkillEmbedding:
+    """Unit-normalized word vectors with similarity queries.
+
+    The counterfactual explainers only ever need two operations:
+    ``similarity(a, b)`` and ``most_similar_to_set(terms, topn)`` — the
+    latter returns the ``t`` candidate skills closest to a set of anchor
+    terms (a query, a person's skill set, or their union), which is exactly
+    the candidate-feature shortlist of Algorithm 1, line 1.
+    """
+
+    def __init__(self, vocabulary: Dict[str, int], vectors: np.ndarray) -> None:
+        if vectors.ndim != 2 or vectors.shape[0] != len(vocabulary):
+            raise ValueError(
+                f"vectors shape {vectors.shape} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self.vocabulary = dict(vocabulary)
+        self.vectors = vectors / norms
+        self._words: List[str] = [""] * len(vocabulary)
+        for word, idx in vocabulary.items():
+            self._words[idx] = word
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self.vectors.shape[1]
+
+    @property
+    def n_words(self) -> int:
+        """Vocabulary size."""
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.vocabulary
+
+    def words(self) -> Sequence[str]:
+        """All vocabulary words, index-aligned with the vector rows."""
+        return tuple(self._words)
+
+    def vector(self, word: str) -> np.ndarray:
+        """The unit vector of ``word``; KeyError if out of vocabulary."""
+        try:
+            return self.vectors[self.vocabulary[word]]
+        except KeyError:
+            raise KeyError(f"word not in embedding vocabulary: {word!r}") from None
+
+    def centroid(self, terms: Iterable[str]) -> Optional[np.ndarray]:
+        """Mean vector of the known terms among ``terms`` (None if all OOV)."""
+        known = [self.vocabulary[t] for t in terms if t in self.vocabulary]
+        if not known:
+            return None
+        center = self.vectors[known].mean(axis=0)
+        norm = np.linalg.norm(center)
+        return center / norm if norm > 0 else center
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity; 0.0 if either word is out of vocabulary."""
+        if a not in self.vocabulary or b not in self.vocabulary:
+            return 0.0
+        return float(self.vector(a) @ self.vector(b))
+
+    def most_similar_to_set(
+        self,
+        terms: Iterable[str],
+        topn: int = 10,
+        exclude: Iterable[str] = (),
+        restrict_to: Optional[Iterable[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Top-``topn`` vocabulary words closest to the centroid of ``terms``.
+
+        ``exclude`` removes words from the result (typically the anchor terms
+        themselves); ``restrict_to`` limits candidates to a subset (e.g. the
+        skill universe S of the network, so document filler never becomes a
+        counterfactual skill).
+        """
+        center = self.centroid(terms)
+        if center is None:
+            return []
+        banned = set(exclude)
+        if restrict_to is not None:
+            candidate_ids = [
+                self.vocabulary[w]
+                for w in restrict_to
+                if w in self.vocabulary and w not in banned
+            ]
+            if not candidate_ids:
+                return []
+            candidate_ids = np.asarray(sorted(set(candidate_ids)), dtype=np.int64)
+            sims = self.vectors[candidate_ids] @ center
+            order = np.argsort(-sims)[:topn]
+            return [
+                (self._words[candidate_ids[i]], float(sims[i])) for i in order
+            ]
+        sims = self.vectors @ center
+        order = np.argsort(-sims)
+        out: List[Tuple[str, float]] = []
+        for idx in order:
+            word = self._words[idx]
+            if word in banned:
+                continue
+            out.append((word, float(sims[idx])))
+            if len(out) >= topn:
+                break
+        return out
+
+    def analogy_rank(self, anchors: Iterable[str], target: str) -> Optional[int]:
+        """Rank of ``target`` in the similarity order around ``anchors``
+        (diagnostic used by embedding-quality tests)."""
+        if target not in self.vocabulary:
+            return None
+        ranked = self.most_similar_to_set(anchors, topn=self.n_words)
+        for rank, (word, _) in enumerate(ranked):
+            if word == target:
+                return rank
+        return None

@@ -1,0 +1,75 @@
+"""Experiment harness reproducing the paper's evaluation (Section 4).
+
+* :mod:`repro.eval.workload` — random 3–5 keyword queries and the
+  expert / non-expert / team-member / non-member sampling of §4.2–4.3;
+* :mod:`repro.eval.metrics` — Precision@k for factuals, Precision and
+  Precision* for counterfactuals;
+* :mod:`repro.eval.harness` — end-to-end experiment loops producing the
+  rows of Tables 7–14;
+* :mod:`repro.eval.sensitivity` — the parameter sweeps of Figure 9;
+* :mod:`repro.eval.tables` — paper-style table formatting.
+"""
+
+from repro.eval.metrics import (
+    cf_precision,
+    cf_precision_star,
+    factual_precision_at_k,
+)
+from repro.eval.workload import (
+    ExplanationSubjects,
+    TeamSubjects,
+    random_queries,
+    sample_search_subjects,
+    sample_team_subjects,
+)
+from repro.eval.harness import (
+    Case,
+    CounterfactualRow,
+    FactualRow,
+    run_counterfactual_experiment,
+    run_factual_experiment,
+)
+from repro.eval.robustness import (
+    RobustnessReport,
+    counterfactual_explanation_overlap,
+    factual_explanation_overlap,
+    measure_robustness,
+    person_similarity,
+    similar_pairs,
+)
+from repro.eval.sensitivity import SweepPoint, sweep_beam_size, sweep_candidates, sweep_radius, sweep_tau
+from repro.eval.tables import (
+    format_counterfactual_table,
+    format_factual_table,
+    format_sweep,
+)
+
+__all__ = [
+    "Case",
+    "CounterfactualRow",
+    "ExplanationSubjects",
+    "FactualRow",
+    "RobustnessReport",
+    "SweepPoint",
+    "counterfactual_explanation_overlap",
+    "factual_explanation_overlap",
+    "measure_robustness",
+    "person_similarity",
+    "similar_pairs",
+    "TeamSubjects",
+    "cf_precision",
+    "cf_precision_star",
+    "factual_precision_at_k",
+    "format_counterfactual_table",
+    "format_factual_table",
+    "format_sweep",
+    "random_queries",
+    "run_counterfactual_experiment",
+    "run_factual_experiment",
+    "sample_search_subjects",
+    "sample_team_subjects",
+    "sweep_beam_size",
+    "sweep_candidates",
+    "sweep_radius",
+    "sweep_tau",
+]

@@ -1,0 +1,78 @@
+"""Effectiveness metrics from §4.1 of the paper.
+
+* **Precision@k** (factual): of ExES's top-k features by |SHAP|, the
+  fraction that also receive a non-zero score from exhaustive search.
+* **Precision** (counterfactual): the fraction of ExES's explanations whose
+  size equals the minimal size found by exhaustive search.
+* **Precision*** (counterfactual): within one perturbation of minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.explain.explanation import CounterfactualExplanation, FactualExplanation
+from repro.explain.features import Feature
+
+_ZERO = 1e-9
+
+
+def factual_precision_at_k(
+    pruned: FactualExplanation,
+    exhaustive: FactualExplanation,
+    k: int,
+) -> Optional[float]:
+    """Precision@k of a pruned factual explanation against exhaustive SHAP.
+
+    Returns None when the pruned explanation has no non-zero features to
+    rank (undefined precision, skipped by the aggregators).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    exhaustive_nonzero: Dict[Feature, float] = {
+        a.feature: a.value
+        for a in exhaustive.attributions
+        if abs(a.value) > _ZERO
+    }
+    top = [a for a in pruned.top(k) if abs(a.value) > _ZERO]
+    if not top:
+        return None
+    hits = sum(1 for a in top if a.feature in exhaustive_nonzero)
+    return hits / len(top)
+
+
+def cf_precision(
+    pruned: CounterfactualExplanation,
+    baseline: CounterfactualExplanation,
+) -> Optional[float]:
+    """Fraction of ExES counterfactuals matching the baseline's minimal size.
+
+    None when either side found nothing (no ground truth to compare with).
+    """
+    baseline_min = baseline.minimal_size
+    if baseline_min is None or not pruned.counterfactuals:
+        return None
+    same = sum(1 for c in pruned.counterfactuals if c.size == baseline_min)
+    return same / len(pruned.counterfactuals)
+
+
+def cf_precision_star(
+    pruned: CounterfactualExplanation,
+    baseline: CounterfactualExplanation,
+) -> Optional[float]:
+    """Like :func:`cf_precision`, but sizes within +1 of minimal count."""
+    baseline_min = baseline.minimal_size
+    if baseline_min is None or not pruned.counterfactuals:
+        return None
+    near = sum(
+        1 for c in pruned.counterfactuals if c.size <= baseline_min + 1
+    )
+    return near / len(pruned.counterfactuals)
+
+
+def mean_ignoring_none(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Average of the defined entries; None if all are undefined."""
+    defined = [v for v in values if v is not None]
+    if not defined:
+        return None
+    return sum(defined) / len(defined)

@@ -1,0 +1,186 @@
+"""Explanation robustness — the paper's §5 future-work question, implemented.
+
+    "Another extension could be to investigate explanation robustness:
+     are similar individuals explained similarly in terms of their
+     inclusion or exclusion in the list of top experts?"
+
+Protocol: sample pairs of similar individuals (high skill-Jaccard plus
+overlapping neighborhoods), explain both against the same query, and
+measure how similar the explanations are:
+
+* factual robustness — Jaccard overlap of the top-k attributed *skill
+  names* (skills, not (person, skill) pairs, so the comparison is across
+  individuals);
+* counterfactual robustness — Jaccard overlap of the *perturbation
+  vocabularies* (which skills/terms the counterfactuals manipulate).
+
+A robust explainer gives overlapping explanations to interchangeable
+people; a brittle one explains near-twins with disjoint stories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.explain.counterfactual import CounterfactualExplainer
+from repro.explain.explanation import CounterfactualExplanation, FactualExplanation
+from repro.explain.factual import FactualExplainer
+from repro.explain.features import SkillAssignmentFeature
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import (
+    AddQueryTerm,
+    AddSkill,
+    RemoveQueryTerm,
+    RemoveSkill,
+)
+
+
+def person_similarity(
+    network: CollaborationNetwork, a: int, b: int
+) -> float:
+    """Similarity of two individuals: mean of skill-set Jaccard and
+    neighborhood Jaccard."""
+    sa, sb = network.skills(a), network.skills(b)
+    na, nb = network.neighbors(a) - {b}, network.neighbors(b) - {a}
+    skill_j = len(sa & sb) / len(sa | sb) if (sa or sb) else 0.0
+    nbr_j = len(na & nb) / len(na | nb) if (na or nb) else 0.0
+    return 0.5 * skill_j + 0.5 * nbr_j
+
+
+def similar_pairs(
+    network: CollaborationNetwork,
+    min_similarity: float = 0.25,
+    max_pairs: int = 20,
+    seed: int = 0,
+) -> List[Tuple[int, int, float]]:
+    """Sample up to ``max_pairs`` individual pairs above the similarity
+    threshold (candidates share at least one neighbor or one skill)."""
+    rng = np.random.default_rng(seed)
+    candidates: Set[Tuple[int, int]] = set()
+    for p in network.people():
+        for q in network.neighbors(p):
+            for r in network.neighbors(q):
+                if p < r:
+                    candidates.add((p, r))
+    scored = [
+        (a, b, s)
+        for a, b in candidates
+        if (s := person_similarity(network, a, b)) >= min_similarity
+    ]
+    scored.sort(key=lambda t: (-t[2], t[0], t[1]))
+    if len(scored) > max_pairs:
+        idx = rng.choice(len(scored), size=max_pairs, replace=False)
+        scored = [scored[i] for i in sorted(idx)]
+    return scored
+
+
+def _factual_skill_set(explanation: FactualExplanation, top: int) -> Set[str]:
+    out: Set[str] = set()
+    for a in explanation.top():
+        if len(out) >= top:
+            break
+        if isinstance(a.feature, SkillAssignmentFeature) and abs(a.value) > 1e-9:
+            out.add(a.feature.skill)
+    return out
+
+
+def factual_explanation_overlap(
+    fx_a: FactualExplanation, fx_b: FactualExplanation, top: int = 5
+) -> Optional[float]:
+    """Jaccard overlap of the top attributed skill names."""
+    sa, sb = _factual_skill_set(fx_a, top), _factual_skill_set(fx_b, top)
+    if not sa and not sb:
+        return None
+    return len(sa & sb) / len(sa | sb)
+
+
+def _cf_vocabulary(explanation: CounterfactualExplanation) -> Set[str]:
+    vocab: Set[str] = set()
+    for cf in explanation.counterfactuals:
+        for p in cf.perturbations:
+            if isinstance(p, (AddSkill, RemoveSkill)):
+                vocab.add(p.skill)
+            elif isinstance(p, (AddQueryTerm, RemoveQueryTerm)):
+                vocab.add(p.term)
+    return vocab
+
+
+def counterfactual_explanation_overlap(
+    cf_a: CounterfactualExplanation, cf_b: CounterfactualExplanation
+) -> Optional[float]:
+    """Jaccard overlap of the skill/term vocabularies the counterfactuals
+    manipulate; None when neither side found anything."""
+    va, vb = _cf_vocabulary(cf_a), _cf_vocabulary(cf_b)
+    if not va and not vb:
+        return None
+    return len(va & vb) / len(va | vb)
+
+
+@dataclass
+class RobustnessReport:
+    """Aggregated robustness over sampled similar pairs."""
+
+    n_pairs: int
+    mean_person_similarity: float
+    factual_overlap: Optional[float]
+    counterfactual_overlap: Optional[float]
+
+    def as_text(self) -> str:
+        def fmt(v):
+            return "—" if v is None else f"{v:.2f}"
+
+        return (
+            f"explanation robustness over {self.n_pairs} similar pairs "
+            f"(mean person similarity {self.mean_person_similarity:.2f}): "
+            f"factual overlap {fmt(self.factual_overlap)}, "
+            f"counterfactual overlap {fmt(self.counterfactual_overlap)}"
+        )
+
+
+def measure_robustness(
+    factual: FactualExplainer,
+    counterfactual: CounterfactualExplainer,
+    network: CollaborationNetwork,
+    query: Sequence[str],
+    pairs: Sequence[Tuple[int, int, float]],
+    top: int = 5,
+) -> RobustnessReport:
+    """Explain both members of every pair and aggregate overlaps.
+
+    Skill factuals and skill counterfactuals are used (the explanation
+    types whose feature spaces are comparable across individuals).
+    """
+    if not pairs:
+        return RobustnessReport(0, 0.0, None, None)
+    factual_overlaps: List[float] = []
+    cf_overlaps: List[float] = []
+    for a, b, _sim in pairs:
+        fx_a = factual.explain_skills(a, query, network)
+        fx_b = factual.explain_skills(b, query, network)
+        overlap = factual_explanation_overlap(fx_a, fx_b, top=top)
+        if overlap is not None:
+            factual_overlaps.append(overlap)
+
+        decide = counterfactual.target.decide
+        cf_a = (
+            counterfactual.explain_skill_removal(a, query, network)
+            if decide(a, frozenset(query), network)
+            else counterfactual.explain_skill_addition(a, query, network)
+        )
+        cf_b = (
+            counterfactual.explain_skill_removal(b, query, network)
+            if decide(b, frozenset(query), network)
+            else counterfactual.explain_skill_addition(b, query, network)
+        )
+        overlap = counterfactual_explanation_overlap(cf_a, cf_b)
+        if overlap is not None:
+            cf_overlaps.append(overlap)
+    return RobustnessReport(
+        n_pairs=len(pairs),
+        mean_person_similarity=float(np.mean([s for _, _, s in pairs])),
+        factual_overlap=float(np.mean(factual_overlaps)) if factual_overlaps else None,
+        counterfactual_overlap=float(np.mean(cf_overlaps)) if cf_overlaps else None,
+    )

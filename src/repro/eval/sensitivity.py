@@ -1,0 +1,203 @@
+"""Parameter-sensitivity sweeps — Figure 9 of the paper.
+
+Each sweep varies one knob with the others at their §4.1 defaults and
+measures the quantities plotted in the corresponding subfigure:
+
+* 9a/9b — beam size b → latency / precision (skill removal, experts);
+* 9c/9d — candidate count t → latency / precision (query augmentation,
+  non-experts);
+* 9e/9f/9g — neighborhood radius d → #explanations / latency / precision
+  (skill addition, non-experts);
+* 9h — SHAP threshold τ → collaboration factual explanation size.
+
+Baselines (for precision) are computed once per case and shared across all
+sweep points, since they do not depend on the swept parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.embeddings.similarity import SkillEmbedding
+from repro.eval.harness import Case
+from repro.eval.metrics import cf_precision, mean_ignoring_none
+from repro.explain.candidates import LinkPredictor
+from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
+from repro.explain.exhaustive import (
+    ExhaustiveConfig,
+    ExhaustiveCounterfactualExplainer,
+)
+from repro.explain.explanation import CounterfactualExplanation
+from repro.explain.factual import FactualConfig, FactualExplainer
+from repro.graph.network import CollaborationNetwork
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point on a Figure 9 curve."""
+
+    parameter: float
+    latency: Optional[float]
+    precision: Optional[float] = None
+    n_explanations: Optional[int] = None
+    size: Optional[float] = None
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else None
+
+
+def _baseline_results(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    kind: str,
+    embedding: SkillEmbedding,
+    exhaustive_config: Optional[ExhaustiveConfig],
+    t_for_neighborhood: int = 10,
+) -> List[CounterfactualExplanation]:
+    out = []
+    for case in cases:
+        explainer = ExhaustiveCounterfactualExplainer(case.target, exhaustive_config)
+        if kind == "skill_removal":
+            out.append(
+                explainer.explain_skill_removal(case.person, case.query, network)
+            )
+        elif kind == "query_augmentation":
+            out.append(
+                explainer.explain_query_augmentation(case.person, case.query, network)
+            )
+        elif kind == "skill_addition":
+            out.append(
+                explainer.explain_skill_addition_neighborhood(
+                    case.person, case.query, network, embedding, t=t_for_neighborhood
+                )
+            )
+        else:
+            raise ValueError(f"unsupported sweep kind: {kind!r}")
+    return out
+
+
+def _sweep_cf(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    kind: str,
+    method_name: str,
+    embedding: SkillEmbedding,
+    link_predictor: LinkPredictor,
+    base_config: BeamConfig,
+    parameter_name: str,
+    values: Sequence[float],
+    exhaustive_config: Optional[ExhaustiveConfig],
+) -> List[SweepPoint]:
+    baselines = _baseline_results(
+        cases, network, kind, embedding, exhaustive_config,
+        t_for_neighborhood=base_config.n_candidates,
+    )
+    points: List[SweepPoint] = []
+    for value in values:
+        config = replace(base_config, **{parameter_name: int(value) if parameter_name != "timeout_seconds" else value})
+        latencies: List[float] = []
+        precisions: List[Optional[float]] = []
+        count = 0
+        for case, baseline in zip(cases, baselines):
+            explainer = CounterfactualExplainer(
+                case.target, embedding, link_predictor, config
+            )
+            result = getattr(explainer, method_name)(case.person, case.query, network)
+            latencies.append(result.elapsed_seconds)
+            count += len(result.counterfactuals)
+            precisions.append(cf_precision(result, baseline))
+        points.append(
+            SweepPoint(
+                parameter=float(value),
+                latency=_mean(latencies),
+                precision=mean_ignoring_none(precisions),
+                n_explanations=count,
+            )
+        )
+    return points
+
+
+def sweep_beam_size(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    link_predictor: LinkPredictor,
+    values: Sequence[int] = (10, 15, 20, 25, 30),
+    base_config: Optional[BeamConfig] = None,
+    exhaustive_config: Optional[ExhaustiveConfig] = None,
+) -> List[SweepPoint]:
+    """Figures 9a/9b: beam size b on skill-removal explanations (experts)."""
+    return _sweep_cf(
+        cases, network, "skill_removal", "explain_skill_removal",
+        embedding, link_predictor, base_config or BeamConfig(),
+        "beam_size", values, exhaustive_config,
+    )
+
+
+def sweep_candidates(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    link_predictor: LinkPredictor,
+    values: Sequence[int] = (10, 20, 30, 40, 50, 60),
+    base_config: Optional[BeamConfig] = None,
+    exhaustive_config: Optional[ExhaustiveConfig] = None,
+) -> List[SweepPoint]:
+    """Figures 9c/9d: candidate count t on query augmentation (non-experts)."""
+    return _sweep_cf(
+        cases, network, "query_augmentation", "explain_query_augmentation",
+        embedding, link_predictor, base_config or BeamConfig(),
+        "n_candidates", values, exhaustive_config,
+    )
+
+
+def sweep_radius(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    link_predictor: LinkPredictor,
+    values: Sequence[int] = (0, 1, 2, 3),
+    base_config: Optional[BeamConfig] = None,
+    exhaustive_config: Optional[ExhaustiveConfig] = None,
+) -> List[SweepPoint]:
+    """Figures 9e/9f/9g: neighborhood radius d on skill addition
+    (non-experts): #explanations, latency, and precision vs the
+    Exhaustive-neighborhood baseline."""
+    return _sweep_cf(
+        cases, network, "skill_addition", "explain_skill_addition",
+        embedding, link_predictor, base_config or BeamConfig(),
+        "radius", values, exhaustive_config,
+    )
+
+
+def sweep_tau(
+    cases: Sequence[Case],
+    network: CollaborationNetwork,
+    values: Sequence[float] = (0.05, 0.1, 0.15),
+    base_config: Optional[FactualConfig] = None,
+) -> List[SweepPoint]:
+    """Figure 9h: threshold τ → collaboration factual explanation size."""
+    base = base_config or FactualConfig()
+    points: List[SweepPoint] = []
+    for tau in values:
+        config = replace(base, tau=float(tau))
+        latencies: List[float] = []
+        sizes: List[float] = []
+        for case in cases:
+            explainer = FactualExplainer(case.target, config)
+            result = explainer.explain_collaborations(
+                case.person, case.query, network
+            )
+            latencies.append(result.elapsed_seconds)
+            sizes.append(result.size)
+        points.append(
+            SweepPoint(
+                parameter=float(tau),
+                latency=_mean(latencies),
+                size=_mean(sizes),
+            )
+        )
+    return points

@@ -1,0 +1,88 @@
+"""Paper-style table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.eval.harness import CounterfactualRow, FactualRow
+from repro.eval.sensitivity import SweepPoint
+
+
+def _fmt(value: Optional[float], digits: int = 2, width: int = 8) -> str:
+    if value is None:
+        return f"{'—':>{width}}"
+    return f"{value:>{width}.{digits}f}"
+
+
+def format_factual_table(rows: Sequence[FactualRow], title: str) -> str:
+    """Latency + size table in the shape of the paper's Tables 7/11,
+    with the precision columns of Tables 9/13 appended when present."""
+    lines = [
+        title,
+        f"{'Features':<16} {'Dataset':<8} {'Lat ExES':>8} {'Lat Base':>8} "
+        f"{'Sz ExES':>8} {'Sz Base':>8} {'P@1':>6} {'P@5':>6}",
+        "-" * 74,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.kind:<16} {row.dataset:<8} "
+            f"{_fmt(row.latency_exes)} {_fmt(row.latency_baseline)} "
+            f"{_fmt(row.size_exes)} {_fmt(row.size_baseline)} "
+            f"{_fmt(row.precision_at_1, 2, 6)} {_fmt(row.precision_at_5, 2, 6)}"
+        )
+    return "\n".join(lines)
+
+
+def format_counterfactual_table(
+    rows: Sequence[CounterfactualRow], title: str
+) -> str:
+    """Latency/size/#expl/precision table in the shape of Tables 8+10 (and
+    12+14 for teams); skill-addition rows expand into their N and S
+    baselines like the paper's nested cells."""
+    lines = [
+        title,
+        f"{'Method':<22} {'Dataset':<8} {'Lat ExES':>8} {'Lat Base':>9} "
+        f"{'Sz ExES':>8} {'Sz Base':>8} {'#ExES':>6} {'#Base':>6} "
+        f"{'Prec':>6} {'Prec*':>6}",
+        "-" * 96,
+    ]
+    for row in rows:
+        if not row.baselines:
+            lines.append(
+                f"{row.kind:<22} {row.dataset:<8} {_fmt(row.latency_exes)} "
+                f"{'—':>9} {_fmt(row.size_exes)} {'—':>8} "
+                f"{row.n_explanations_exes:>6} {'—':>6} {'—':>6} {'—':>6}"
+            )
+            continue
+        first = True
+        for name, agg in row.baselines.items():
+            label = row.kind if first else ""
+            suffix = f"[{name}]" if name != "full" else ""
+            lines.append(
+                f"{(label + suffix):<22} {row.dataset if first else '':<8} "
+                f"{_fmt(row.latency_exes) if first else ' ' * 8} "
+                f"{_fmt(agg.latency, 2, 9)} "
+                f"{_fmt(row.size_exes) if first else ' ' * 8} "
+                f"{_fmt(agg.size)} "
+                f"{row.n_explanations_exes if first else '':>6} "
+                f"{agg.n_explanations:>6} "
+                f"{_fmt(agg.precision, 2, 6)} {_fmt(agg.precision_star, 2, 6)}"
+            )
+            first = False
+    return "\n".join(lines)
+
+
+def format_sweep(points: Sequence[SweepPoint], title: str, parameter: str) -> str:
+    """One Figure 9 curve as a table of points."""
+    lines = [
+        title,
+        f"{parameter:>8} {'latency':>9} {'precision':>10} {'#expl':>6} {'size':>8}",
+        "-" * 46,
+    ]
+    for p in points:
+        n_expl = f"{p.n_explanations:>6}" if p.n_explanations is not None else f"{'—':>6}"
+        lines.append(
+            f"{p.parameter:>8.3g} {_fmt(p.latency, 3, 9)} "
+            f"{_fmt(p.precision, 2, 10)} {n_expl} {_fmt(p.size, 2, 8)}"
+        )
+    return "\n".join(lines)

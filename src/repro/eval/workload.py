@@ -1,0 +1,120 @@
+"""Query workloads and explanation-subject sampling (paper §4.1–4.3).
+
+The paper generates 100 random queries of 3–5 keywords sampled uniformly
+from the dataset's skill universe.  For expert search it then samples
+experts from the top-k and non-experts ranked k+1..2k; for team formation
+it forms a team around a random top-k expert and samples one member (to
+explain inclusion) and one non-member from the seed's neighborhood (to
+explain exclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.network import CollaborationNetwork
+from repro.search.base import ExpertSearchSystem
+from repro.team.base import TeamFormationSystem
+
+
+def random_queries(
+    network: CollaborationNetwork,
+    n_queries: int,
+    seed: int = 0,
+    terms: Tuple[int, int] = (3, 5),
+) -> List[List[str]]:
+    """``n_queries`` random keyword queries, 3–5 terms each by default."""
+    lo, hi = terms
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid term range ({lo}, {hi})")
+    skills = sorted(network.skill_universe())
+    if not skills:
+        raise ValueError("network has no skills to query")
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(n_queries):
+        n_terms = min(int(rng.integers(lo, hi + 1)), len(skills))
+        picks = rng.choice(len(skills), size=n_terms, replace=False)
+        queries.append([skills[i] for i in picks])
+    return queries
+
+
+@dataclass(frozen=True)
+class ExplanationSubjects:
+    """One expert-search explanation case: a query plus sampled subjects."""
+
+    query: Tuple[str, ...]
+    expert: Optional[int]  # ranked within top-k
+    non_expert: Optional[int]  # ranked k+1 .. 2k
+
+
+def sample_search_subjects(
+    ranker: ExpertSearchSystem,
+    network: CollaborationNetwork,
+    queries: List[List[str]],
+    k: int,
+    seed: int = 0,
+) -> List[ExplanationSubjects]:
+    """Per query: one random top-k expert and one random k+1..2k non-expert."""
+    rng = np.random.default_rng(seed)
+    subjects = []
+    for query in queries:
+        results = ranker.evaluate(query, network)
+        order = results.order
+        top = [int(p) for p in order[:k] if results.scores[p] > 0]
+        band = [int(p) for p in order[k : 2 * k] if results.scores[p] > 0]
+        expert = int(rng.choice(top)) if top else None
+        non_expert = int(rng.choice(band)) if band else None
+        subjects.append(
+            ExplanationSubjects(
+                query=tuple(query), expert=expert, non_expert=non_expert
+            )
+        )
+    return subjects
+
+
+@dataclass(frozen=True)
+class TeamSubjects:
+    """One team-formation explanation case (paper §4.3)."""
+
+    query: Tuple[str, ...]
+    seed_member: int
+    member: Optional[int]  # team member other than the seed (inclusion)
+    non_member: Optional[int]  # seed-neighborhood node off the team (exclusion)
+
+
+def sample_team_subjects(
+    former: TeamFormationSystem,
+    ranker: ExpertSearchSystem,
+    network: CollaborationNetwork,
+    queries: List[List[str]],
+    k: int,
+    seed: int = 0,
+) -> List[TeamSubjects]:
+    """Per query: build a team around a random top-k expert, then sample one
+    member to explain inclusion and one seed-neighbor to explain exclusion."""
+    rng = np.random.default_rng(seed)
+    subjects = []
+    for query in queries:
+        results = ranker.evaluate(query, network)
+        top = [int(p) for p in results.order[:k] if results.scores[p] > 0]
+        if not top:
+            continue
+        seed_member = int(rng.choice(top))
+        team = former.form(query, network, seed_member=seed_member)
+        others = sorted(team.members - {seed_member})
+        member = int(rng.choice(others)) if others else None
+        outside = sorted(network.neighbors(seed_member) - team.members)
+        non_member = int(rng.choice(outside)) if outside else None
+        subjects.append(
+            TeamSubjects(
+                query=tuple(query),
+                seed_member=seed_member,
+                member=member,
+                non_member=non_member,
+            )
+        )
+    return subjects

@@ -1,0 +1,231 @@
+"""The ExES facade: one object that explains an expert search or team
+formation system (paper Figure 2).
+
+Wiring an :class:`ExES` by hand gives full control::
+
+    exes = ExES(network, ranker, embedding, link_predictor, former, k=10)
+
+or let :meth:`ExES.build` assemble the full paper stack from a dataset
+bundle: PPMI skill embeddings from the corpus (Pruning Strategy 4), a
+trained GCN ranker (the system under explanation), a trained GAE link
+predictor (Pruning Strategy 5), and the build-around-a-member team former.
+
+Every explanation method takes ``team=`` / ``seed_member=`` so the same
+calls explain either relevance status C (expert search) or membership
+status M (team formation, §3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datasets import DatasetBundle
+from repro.embeddings.ppmi import train_ppmi_embedding
+from repro.embeddings.similarity import SkillEmbedding
+from repro.explain.candidates import LinkPredictor
+from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
+from repro.explain.explanation import CounterfactualExplanation, FactualExplanation
+from repro.explain.factual import FactualConfig, FactualExplainer
+from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
+from repro.graph.network import CollaborationNetwork
+from repro.linkpred.gae import GaeConfig, train_gae
+from repro.search.base import ExpertSearchSystem
+from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
+from repro.team.base import Team, TeamFormationSystem
+from repro.team.greedy import CoverTeamFormer
+
+
+@dataclass
+class ExES:
+    """Post-hoc explainer for expert search and team formation systems."""
+
+    network: CollaborationNetwork
+    ranker: ExpertSearchSystem
+    embedding: SkillEmbedding
+    link_predictor: LinkPredictor
+    former: Optional[TeamFormationSystem] = None
+    k: int = 10
+    factual_config: FactualConfig = field(default_factory=FactualConfig)
+    beam_config: BeamConfig = field(default_factory=BeamConfig)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: DatasetBundle,
+        k: int = 10,
+        embedding_dim: int = 32,
+        ranker_config: Optional[GcnRankerConfig] = None,
+        gae_config: Optional[GaeConfig] = None,
+        factual_config: Optional[FactualConfig] = None,
+        beam_config: Optional[BeamConfig] = None,
+        seed: int = 0,
+    ) -> "ExES":
+        """Assemble and train the full paper stack on a dataset bundle."""
+        embedding = train_ppmi_embedding(
+            dataset.corpus.token_lists(), dim=embedding_dim, seed=seed
+        )
+        ranker = GcnExpertRanker(
+            embedding, ranker_config or GcnRankerConfig(seed=seed)
+        ).fit(dataset.network)
+        link_predictor = train_gae(
+            dataset.network, gae_config or GaeConfig(seed=seed)
+        )
+        former = CoverTeamFormer(ranker)
+        return cls(
+            network=dataset.network,
+            ranker=ranker,
+            embedding=embedding,
+            link_predictor=link_predictor,
+            former=former,
+            k=k,
+            factual_config=factual_config or FactualConfig(),
+            beam_config=beam_config or BeamConfig(),
+        )
+
+    # ------------------------------------------------------------------
+    # targets & explainers
+    # ------------------------------------------------------------------
+    def target(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> DecisionTarget:
+        """The decision being explained: relevance (default) or membership."""
+        if not team:
+            return RelevanceTarget(self.ranker, self.k)
+        if self.former is None:
+            raise ValueError("no team formation system was configured")
+        return MembershipTarget(self.former, seed_member=seed_member)
+
+    def factual_explainer(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> FactualExplainer:
+        """A factual explainer bound to the chosen decision target."""
+        return FactualExplainer(self.target(team, seed_member), self.factual_config)
+
+    def counterfactual_explainer(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> CounterfactualExplainer:
+        """A counterfactual explainer bound to the chosen decision target."""
+        return CounterfactualExplainer(
+            self.target(team, seed_member),
+            self.embedding,
+            self.link_predictor,
+            self.beam_config,
+        )
+
+    # ------------------------------------------------------------------
+    # the underlying systems (convenience passthroughs)
+    # ------------------------------------------------------------------
+    def top_k(self, query: Iterable[str]) -> List[int]:
+        """The experts the ranker returns for this query."""
+        return self.ranker.top_k(query, self.network, self.k)
+
+    def rank_of(self, person: int, query: Iterable[str]) -> int:
+        """R_pi(q, G): this person's 1-based rank for the query."""
+        return self.ranker.rank_of(person, query, self.network)
+
+    def is_expert(self, person: int, query: Iterable[str]) -> bool:
+        """C_pi(q, G) on the unperturbed inputs."""
+        return self.rank_of(person, query) <= self.k
+
+    def form_team(
+        self, query: Iterable[str], seed_member: Optional[int] = None
+    ) -> Team:
+        """F(q, G): form a team, optionally pinned to a seed member."""
+        if self.former is None:
+            raise ValueError("no team formation system was configured")
+        return self.former.form(query, self.network, seed_member=seed_member)
+
+    # ------------------------------------------------------------------
+    # factual explanations (§3.2)
+    # ------------------------------------------------------------------
+    def explain_skills(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> FactualExplanation:
+        """SHAP over the neighborhood's skill assignments."""
+        return self.factual_explainer(team, seed_member).explain_skills(
+            person, query, self.network
+        )
+
+    def explain_query(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> FactualExplanation:
+        """SHAP over the query keywords."""
+        return self.factual_explainer(team, seed_member).explain_query(
+            person, query, self.network
+        )
+
+    def explain_collaborations(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> FactualExplanation:
+        """SHAP over the influential collaborations (Pruning Strategy 2)."""
+        return self.factual_explainer(team, seed_member).explain_collaborations(
+            person, query, self.network
+        )
+
+    # ------------------------------------------------------------------
+    # counterfactual explanations (§3.3)
+    # ------------------------------------------------------------------
+    def counterfactual_skills(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> CounterfactualExplanation:
+        """Skill perturbations that flip the decision: removal for current
+        experts/members, addition for the rest (career advancement)."""
+        target = self.target(team, seed_member)
+        explainer = CounterfactualExplainer(
+            target, self.embedding, self.link_predictor, self.beam_config
+        )
+        if target.decide(person, frozenset(query), self.network):
+            return explainer.explain_skill_removal(person, query, self.network)
+        return explainer.explain_skill_addition(person, query, self.network)
+
+    def counterfactual_query(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> CounterfactualExplanation:
+        """Query augmentations that flip the decision (§3.3.2)."""
+        return CounterfactualExplainer(
+            self.target(team, seed_member),
+            self.embedding,
+            self.link_predictor,
+            self.beam_config,
+        ).explain_query_augmentation(person, query, self.network)
+
+    def counterfactual_collaborations(
+        self,
+        person: int,
+        query: Iterable[str],
+        team: bool = False,
+        seed_member: Optional[int] = None,
+    ) -> CounterfactualExplanation:
+        """Edge perturbations that flip the decision: removal for current
+        experts/members, addition for the rest (§3.3.3)."""
+        target = self.target(team, seed_member)
+        explainer = CounterfactualExplainer(
+            target, self.embedding, self.link_predictor, self.beam_config
+        )
+        if target.decide(person, frozenset(query), self.network):
+            return explainer.explain_link_removal(person, query, self.network)
+        return explainer.explain_link_addition(person, query, self.network)

@@ -1,0 +1,68 @@
+"""The ExES explanation engine: SHAP, factual and counterfactual explainers,
+exhaustive baselines, and textual renderers."""
+
+from repro.explain.shap import ShapExplainer, ShapResult, exact_shap, kernel_shap
+from repro.explain.features import (
+    EdgeFeature,
+    Feature,
+    QueryTermFeature,
+    SkillAssignmentFeature,
+)
+from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
+from repro.explain.explanation import (
+    Counterfactual,
+    CounterfactualExplanation,
+    FactualExplanation,
+    FeatureAttribution,
+    filter_minimal,
+)
+from repro.explain.factual import FactualConfig, FactualExplainer
+from repro.explain.counterfactual import (
+    BeamConfig,
+    CounterfactualExplainer,
+    beam_search_counterfactuals,
+)
+from repro.explain.exhaustive import (
+    ExhaustiveConfig,
+    ExhaustiveCounterfactualExplainer,
+    ExhaustiveFactualExplainer,
+)
+from repro.explain.render import (
+    render_collaboration_graph,
+    render_counterfactuals,
+    render_force_plot,
+    render_skill_summary,
+    render_team,
+)
+
+__all__ = [
+    "BeamConfig",
+    "Counterfactual",
+    "CounterfactualExplainer",
+    "CounterfactualExplanation",
+    "DecisionTarget",
+    "EdgeFeature",
+    "ExhaustiveConfig",
+    "ExhaustiveCounterfactualExplainer",
+    "ExhaustiveFactualExplainer",
+    "FactualConfig",
+    "FactualExplainer",
+    "FactualExplanation",
+    "Feature",
+    "FeatureAttribution",
+    "MembershipTarget",
+    "QueryTermFeature",
+    "RelevanceTarget",
+    "ShapExplainer",
+    "ShapResult",
+    "SkillAssignmentFeature",
+    "beam_search_counterfactuals",
+    "exact_shap",
+    "filter_minimal",
+    "kernel_shap",
+    "render_collaboration_graph",
+    "render_counterfactuals",
+    "render_force_plot",
+    "render_skill_summary",
+    "render_team",
+]

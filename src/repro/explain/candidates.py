@@ -1,0 +1,211 @@
+"""Candidate-feature generation for counterfactual search (Algorithm 1, line 1).
+
+Each generator implements ``getCandidateFeatures`` for one explanation
+type, encoding Pruning Strategies 1 (locality), 4 (word embeddings), and 5
+(link prediction):
+
+* skill removal — the t skills in S_N(p_i) most similar to the query,
+  removed wherever they occur inside the neighborhood;
+* skill addition — the t skills of S most similar to the query, added to
+  any neighborhood node missing them;
+* query augmentation — t keywords similar to (S_i ∪ q) to promote, or
+  similar to q but outside S_i to evict;
+* link addition — the t most GAE-likely new edges between the neighborhood
+  and the query's top-ranked experts;
+* link removal — the t neighborhood edges whose single removal worsens
+  p_i's rank the most (probed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.embeddings.similarity import SkillEmbedding
+from repro.explain.targets import DecisionTarget
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    Perturbation,
+    Query,
+    RemoveEdge,
+    RemoveSkill,
+)
+
+
+class LinkPredictor(Protocol):
+    """What Pruning Strategy 5 needs from a link-prediction model."""
+
+    def score(self, u: int, v: int) -> float: ...
+
+
+def _similar_skills(
+    embedding: SkillEmbedding,
+    anchors: Sequence[str],
+    pool: Sequence[str],
+    exclude: Sequence[str],
+    t: int,
+) -> List[str]:
+    """Top-t pool skills most similar to the anchors, with a deterministic
+    lexical fallback when the embedding cannot rank (OOV anchors)."""
+    ranked = embedding.most_similar_to_set(
+        anchors, topn=t, exclude=exclude, restrict_to=pool
+    )
+    out = [word for word, _ in ranked]
+    if len(out) < t:
+        banned = set(out) | set(exclude)
+        # Anchor terms that literally appear in the pool come first.
+        for term in sorted(set(anchors)):
+            if len(out) >= t:
+                break
+            if term in pool and term not in banned:
+                out.append(term)
+                banned.add(term)
+        for term in sorted(pool):
+            if len(out) >= t:
+                break
+            if term not in banned:
+                out.append(term)
+                banned.add(term)
+    return out[:t]
+
+
+def skill_removal_candidates(
+    person: int,
+    query: Query,
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    t: int,
+    radius: int,
+) -> List[Perturbation]:
+    """Remove query-similar skills from N(p_i, d) (paper §3.3.1)."""
+    nodes = sorted(network.neighborhood(person, radius))
+    pool = sorted(network.neighborhood_skills(person, radius))
+    skills = _similar_skills(embedding, sorted(query), pool, exclude=(), t=t)
+    return [
+        RemoveSkill(p, s) for s in skills for p in nodes if network.has_skill(p, s)
+    ]
+
+
+def skill_addition_candidates(
+    person: int,
+    query: Query,
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    t: int,
+    radius: int,
+) -> List[Perturbation]:
+    """Add query-similar skills from S to N(p_i, d) nodes missing them."""
+    nodes = sorted(network.neighborhood(person, radius))
+    universe = sorted(network.skill_universe())
+    skills = _similar_skills(embedding, sorted(query), universe, exclude=(), t=t)
+    return [
+        AddSkill(p, s) for s in skills for p in nodes if not network.has_skill(p, s)
+    ]
+
+
+def query_augmentation_candidates(
+    person: int,
+    query: Query,
+    network: CollaborationNetwork,
+    embedding: SkillEmbedding,
+    t: int,
+    promote: bool,
+) -> List[Perturbation]:
+    """Add keywords to q (paper §3.3.2; removal is not meaningful on short
+    queries).  ``promote=True`` targets non-experts (anchors = S_i ∪ q),
+    ``promote=False`` targets evictions (similar to q but outside S_i)."""
+    universe = set(network.skill_universe())
+    own = network.skills(person)
+    if promote:
+        anchors = sorted(own | query)
+        pool = sorted(universe - query)
+    else:
+        anchors = sorted(query)
+        pool = sorted(universe - query - own)
+    terms = _similar_skills(embedding, anchors, pool, exclude=sorted(query), t=t)
+    return [AddQueryTerm(term) for term in terms]
+
+
+def link_addition_candidates(
+    person: int,
+    query: Query,
+    network: CollaborationNetwork,
+    link_predictor: LinkPredictor,
+    target: DecisionTarget,
+    t: int,
+    radius: int,
+    expert_pool_size: int = 20,
+) -> List[Perturbation]:
+    """The t most-likely new edges (by the link predictor) between the
+    neighborhood of p_i and the query's current top experts (§3.3.3)."""
+    anchors = sorted(network.neighborhood(person, radius))
+    results = target.ranker.evaluate(query, network)
+    pool = results.top_k(expert_pool_size)
+    seen = set()
+    scored: List[Tuple[int, float, Tuple[int, int]]] = []
+    for anchor in anchors:
+        # Edges incident to p_i themselves are the actionable career advice
+        # ("collaborate with X"); neighborhood-anchored edges only matter
+        # through propagation, so they rank behind.
+        tier = 0 if anchor == person else 1
+        for other in pool:
+            if other == anchor:
+                continue
+            edge = (min(anchor, other), max(anchor, other))
+            if edge in seen or network.has_edge(*edge):
+                continue
+            seen.add(edge)
+            scored.append((tier, link_predictor.score(*edge), edge))
+    scored.sort(key=lambda kv: (kv[0], -kv[1], kv[2]))
+    return [AddEdge(u, v) for _, _, (u, v) in scored[:t]]
+
+
+def link_removal_candidates(
+    person: int,
+    query: Query,
+    network: CollaborationNetwork,
+    target: DecisionTarget,
+    t: int,
+    radius: int,
+    max_probe_edges: int = 60,
+) -> Tuple[List[Perturbation], int]:
+    """The t edges of N(p_i, d) whose removal hurts p_i's rank most.
+
+    Each candidate edge is probed once (single-removal rank delta); the
+    probe count is returned so callers can account for it in latency
+    bookkeeping.  Lower rank = better, so "hurts most" = largest rank
+    increase.  Around hub nodes the 2-hop neighborhood can contain hundreds
+    of edges, so probing is capped at ``max_probe_edges``, prioritizing
+    edges incident to p_i, then edges incident to p_i's collaborators.
+    """
+    nodes = network.neighborhood(person, radius)
+    edges = network.edges_within(nodes)
+    if not edges:
+        return [], 0
+    direct = network.neighbors(person)
+
+    def priority(edge: Tuple[int, int]) -> Tuple[int, int, int]:
+        u, v = edge
+        if person in (u, v):
+            tier = 0
+        elif u in direct or v in direct:
+            tier = 1
+        else:
+            tier = 2
+        return (tier, u, v)
+
+    edges = sorted(edges, key=priority)[:max_probe_edges]
+    _, base_order = target.decide_with_order(person, query, network)
+    scored: List[Tuple[float, Tuple[int, int]]] = []
+    probes = 1
+    for u, v in edges:
+        trial = network.copy()
+        trial.remove_edge(u, v)
+        _, order = target.decide_with_order(person, query, trial)
+        probes += 1
+        scored.append((order - base_order, (u, v)))
+    scored.sort(key=lambda kv: (-kv[0], kv[1]))
+    return [RemoveEdge(u, v) for _, (u, v) in scored[:t]], probes

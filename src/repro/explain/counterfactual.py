@@ -1,0 +1,248 @@
+"""Counterfactual explanation search — Algorithm 1 of the paper.
+
+Beam search over perturbation sets (Pruning Strategy 3): states are sets of
+perturbations; each round extends every beam state with every candidate
+feature, probes the system on the perturbed (q', G'), collects states that
+flip the decision as counterfactuals, and keeps the ``b`` most promising
+non-flipping states (by the individual's new rank — descending when
+evicting an expert, ascending when promoting a non-expert).
+
+The candidate features come from :mod:`repro.explain.candidates`
+(Pruning Strategies 1, 4, 5).  :class:`CounterfactualExplainer` wires the
+generators to the beam for each of the six explanation types evaluated in
+Tables 8/10/12/14.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.embeddings.similarity import SkillEmbedding
+from repro.explain.candidates import (
+    LinkPredictor,
+    link_addition_candidates,
+    link_removal_candidates,
+    query_augmentation_candidates,
+    skill_addition_candidates,
+    skill_removal_candidates,
+)
+from repro.explain.explanation import (
+    Counterfactual,
+    CounterfactualExplanation,
+    filter_minimal,
+)
+from repro.explain.targets import DecisionTarget
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import Perturbation, Query, apply_perturbations, as_query
+
+
+@dataclass(frozen=True)
+class BeamConfig:
+    """Algorithm 1 parameters (paper defaults from §4.1)."""
+
+    beam_size: int = 30  # b
+    n_candidates: int = 10  # t
+    max_size: int = 5  # γ
+    n_explanations: int = 5  # e
+    radius: int = 1  # d for skill CFs and link additions
+    link_removal_radius: int = 2  # d for link removals
+    expert_pool_size: int = 20  # ranked-expert pool for link additions
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.beam_size < 1:
+            raise ValueError(f"beam_size must be >= 1, got {self.beam_size}")
+        if self.n_candidates < 1:
+            raise ValueError(f"n_candidates must be >= 1, got {self.n_candidates}")
+        if self.max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {self.max_size}")
+        if self.n_explanations < 1:
+            raise ValueError(f"n_explanations must be >= 1, got {self.n_explanations}")
+
+
+def beam_search_counterfactuals(
+    target: DecisionTarget,
+    person: int,
+    query: Iterable[str],
+    network: CollaborationNetwork,
+    candidates: Sequence[Perturbation],
+    config: BeamConfig,
+    kind: str,
+    extra_probes: int = 0,
+) -> CounterfactualExplanation:
+    """Algorithm 1: beam search for up to ``e`` minimal counterfactuals."""
+    query = as_query(query)
+    start = time.perf_counter()
+    deadline = (
+        start + config.timeout_seconds if config.timeout_seconds is not None else None
+    )
+    initial_decision, _ = target.decide_with_order(person, query, network)
+    probes = 1 + extra_probes
+
+    found: List[Counterfactual] = []
+    found_sets: Set[FrozenSet[Perturbation]] = set()
+    queue: List[Tuple[Perturbation, ...]] = [()]
+    timed_out = False
+
+    while len(found) < config.n_explanations and queue and not timed_out:
+        expanded: List[Tuple[float, Tuple[Perturbation, ...]]] = []
+        seen_states: Set[FrozenSet[Perturbation]] = set()
+        for state in queue:
+            for feature in candidates:
+                if feature in state:
+                    continue
+                new_state = state + (feature,)
+                key = frozenset(new_state)
+                if key in seen_states:
+                    continue
+                seen_states.add(key)
+                # A superset of a found counterfactual cannot be minimal.
+                if any(fs <= key for fs in found_sets):
+                    continue
+                try:
+                    net2, q2 = apply_perturbations(network, query, new_state)
+                except ValueError:
+                    continue  # contains a no-op (e.g. removing then re-adding)
+                decision, order = target.decide_with_order(person, q2, net2)
+                probes += 1
+                if decision != initial_decision:
+                    found.append(
+                        Counterfactual(perturbations=new_state, new_order_key=order)
+                    )
+                    found_sets.add(key)
+                    if len(found) >= config.n_explanations:
+                        break
+                elif len(new_state) < config.max_size:
+                    expanded.append((order, new_state))
+                if deadline is not None and time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+            if timed_out or len(found) >= config.n_explanations:
+                break
+        # selectTopK: keep the b states closest to flipping.  Evicting an
+        # expert (initial=True) wants the *worst* new rank first; promoting
+        # a non-expert wants the best.  Ties break deterministically on the
+        # perturbation repr.
+        expanded.sort(
+            key=lambda item: (
+                -item[0] if initial_decision else item[0],
+                repr(item[1]),
+            )
+        )
+        queue = [state for _, state in expanded[: config.beam_size]]
+
+    minimal = filter_minimal(found)
+    return CounterfactualExplanation(
+        person=person,
+        query=query,
+        counterfactuals=minimal,
+        initial_decision=initial_decision,
+        n_probes=probes,
+        elapsed_seconds=time.perf_counter() - start,
+        kind=kind,
+        pruned=True,
+        timed_out=timed_out,
+        candidate_count=len(candidates),
+    )
+
+
+class CounterfactualExplainer:
+    """The six counterfactual explanation types behind one object."""
+
+    def __init__(
+        self,
+        target: DecisionTarget,
+        embedding: SkillEmbedding,
+        link_predictor: LinkPredictor,
+        config: Optional[BeamConfig] = None,
+    ) -> None:
+        self.target = target
+        self.embedding = embedding
+        self.link_predictor = link_predictor
+        self.config = config or BeamConfig()
+
+    # -- skills ---------------------------------------------------------
+    def explain_skill_removal(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> CounterfactualExplanation:
+        """Which skills, if lost, would evict p_i? (experts/members)"""
+        query = as_query(query)
+        candidates = skill_removal_candidates(
+            person, query, network, self.embedding,
+            self.config.n_candidates, self.config.radius,
+        )
+        return beam_search_counterfactuals(
+            self.target, person, query, network, candidates, self.config,
+            kind="skill_removal",
+        )
+
+    def explain_skill_addition(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> CounterfactualExplanation:
+        """Which new skills would make p_i an expert/member? (Example 3)"""
+        query = as_query(query)
+        candidates = skill_addition_candidates(
+            person, query, network, self.embedding,
+            self.config.n_candidates, self.config.radius,
+        )
+        return beam_search_counterfactuals(
+            self.target, person, query, network, candidates, self.config,
+            kind="skill_addition",
+        )
+
+    # -- query ----------------------------------------------------------
+    def explain_query_augmentation(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> CounterfactualExplanation:
+        """Which added keywords flip p_i's status? (direction inferred)"""
+        query = as_query(query)
+        initial = self.target.decide(person, query, network)
+        candidates = query_augmentation_candidates(
+            person, query, network, self.embedding,
+            self.config.n_candidates, promote=not initial,
+        )
+        return beam_search_counterfactuals(
+            self.target, person, query, network, candidates, self.config,
+            kind="query_augmentation", extra_probes=1,
+        )
+
+    # -- collaborations ---------------------------------------------------
+    def explain_link_addition(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> CounterfactualExplanation:
+        """Which new collaborations would promote p_i? (Example 4)"""
+        query = as_query(query)
+        candidates = link_addition_candidates(
+            person, query, network, self.link_predictor, self.target,
+            self.config.n_candidates, self.config.radius,
+            self.config.expert_pool_size,
+        )
+        return beam_search_counterfactuals(
+            self.target, person, query, network, candidates, self.config,
+            kind="link_addition", extra_probes=1,
+        )
+
+    def explain_link_removal(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> CounterfactualExplanation:
+        """Which lost collaborations would evict p_i?"""
+        query = as_query(query)
+        candidates, probes = link_removal_candidates(
+            person, query, network, self.target,
+            self.config.n_candidates, self.config.link_removal_radius,
+        )
+        return beam_search_counterfactuals(
+            self.target, person, query, network, candidates, self.config,
+            kind="link_removal", extra_probes=probes,
+        )
+
+    def with_config(self, **overrides) -> "CounterfactualExplainer":
+        """A copy with updated beam parameters (for sensitivity sweeps)."""
+        return CounterfactualExplainer(
+            self.target,
+            self.embedding,
+            self.link_predictor,
+            replace(self.config, **overrides),
+        )

@@ -1,0 +1,139 @@
+"""Explanation result objects shared by every ExES explainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import Perturbation, Query
+from repro.explain.features import Feature
+
+
+@dataclass(frozen=True)
+class FeatureAttribution:
+    """One feature with its SHAP value."""
+
+    feature: Feature
+    value: float
+
+
+@dataclass
+class FactualExplanation:
+    """SHAP attributions for one individual's relevance/membership status."""
+
+    person: int
+    query: Query
+    attributions: List[FeatureAttribution]
+    base_value: float  # E[f] proxy: f with every feature masked off
+    full_value: float  # f on the unperturbed inputs
+    n_evaluations: int
+    elapsed_seconds: float
+    method: str  # "exact" | "kernel"
+    pruned: bool
+    kind: str  # "skills" | "query" | "collaborations"
+
+    @property
+    def size(self) -> int:
+        """Explanation size = number of features with non-zero SHAP values
+        (the metric reported in Tables 7 and 11)."""
+        return sum(1 for a in self.attributions if abs(a.value) > 1e-9)
+
+    def top(self, k: Optional[int] = None) -> List[FeatureAttribution]:
+        """Attributions by |value| descending (deterministic ties)."""
+        order = sorted(
+            self.attributions, key=lambda a: (-abs(a.value), repr(a.feature))
+        )
+        return order if k is None else order[:k]
+
+    def positive(self) -> List[FeatureAttribution]:
+        return [a for a in self.top() if a.value > 1e-9]
+
+    def negative(self) -> List[FeatureAttribution]:
+        return [a for a in self.top() if a.value < -1e-9]
+
+    def value_of(self, feature: Feature) -> float:
+        for a in self.attributions:
+            if a.feature == feature:
+                return a.value
+        raise KeyError(f"feature not in explanation: {feature}")
+
+
+@dataclass(frozen=True)
+class Counterfactual:
+    """One minimal perturbation set that flips the decision."""
+
+    perturbations: Tuple[Perturbation, ...]
+    new_order_key: float  # the rank the individual lands on after applying
+
+    @property
+    def size(self) -> int:
+        return len(self.perturbations)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return " AND ".join(p.describe(network) for p in self.perturbations)
+
+
+@dataclass
+class CounterfactualExplanation:
+    """The output of one counterfactual search (Algorithm 1)."""
+
+    person: int
+    query: Query
+    counterfactuals: List[Counterfactual]
+    initial_decision: bool
+    n_probes: int
+    elapsed_seconds: float
+    kind: str  # "skill_removal" | "skill_addition" | "query_augmentation" | ...
+    pruned: bool
+    timed_out: bool = False
+    candidate_count: int = 0
+
+    @property
+    def found(self) -> bool:
+        return bool(self.counterfactuals)
+
+    @property
+    def minimal_size(self) -> Optional[int]:
+        if not self.counterfactuals:
+            return None
+        return min(c.size for c in self.counterfactuals)
+
+    @property
+    def mean_size(self) -> Optional[float]:
+        if not self.counterfactuals:
+            return None
+        return sum(c.size for c in self.counterfactuals) / len(self.counterfactuals)
+
+    def sorted_counterfactuals(self) -> List[Counterfactual]:
+        """Paper ordering (Example 3): by size, then by effect on the rank
+        (most improving first for promotions, most demoting for evictions)."""
+        reverse_effect = self.initial_decision  # evictions: larger rank first
+        return sorted(
+            self.counterfactuals,
+            key=lambda c: (
+                c.size,
+                -c.new_order_key if reverse_effect else c.new_order_key,
+            ),
+        )
+
+
+def filter_minimal(
+    counterfactuals: Sequence[Counterfactual],
+) -> List[Counterfactual]:
+    """Drop any counterfactual whose perturbation set is a superset of
+    another's — XAI minimality (paper §3.3: "we seek minimal explanations")."""
+    kept: List[Counterfactual] = []
+    sets = [frozenset(c.perturbations) for c in counterfactuals]
+    for i, ci in enumerate(counterfactuals):
+        dominated = False
+        for j, sj in enumerate(sets):
+            if j != i and sj < sets[i]:
+                dominated = True
+                break
+            if j < i and sj == sets[i]:
+                dominated = True  # exact duplicate: keep first occurrence
+                break
+        if not dominated:
+            kept.append(ci)
+    return kept

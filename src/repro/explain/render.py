@@ -1,0 +1,156 @@
+"""Textual renderers for explanations.
+
+The paper's web app shows force plots (Figures 3, 10), node-link diagrams
+(Figures 4, 11), counterfactual lists (Figures 5, 6, 12, 13), and team
+views (Figures 7, 14).  This library is headless, so these renderers
+produce the equivalent ASCII artifacts used by the examples, the case-study
+bench, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.explain.explanation import (
+    CounterfactualExplanation,
+    FactualExplanation,
+)
+from repro.explain.features import EdgeFeature, SkillAssignmentFeature
+from repro.graph.network import CollaborationNetwork
+from repro.team.base import Team
+
+_BAR_WIDTH = 28
+
+
+def _bar(value: float, max_abs: float) -> str:
+    if max_abs <= 0:
+        return ""
+    filled = int(round(abs(value) / max_abs * _BAR_WIDTH))
+    char = "+" if value >= 0 else "-"
+    return char * max(filled, 1)
+
+
+def render_force_plot(
+    explanation: FactualExplanation,
+    network: CollaborationNetwork,
+    top: Optional[int] = 12,
+) -> str:
+    """ASCII force plot: one bar per feature, SHAP-proportional length.
+
+    Positive bars (+) push toward the decision, negative (-) away —
+    the textual twin of the paper's Figure 3.
+    """
+    rows = explanation.top(top)
+    lines = [
+        f"factual[{explanation.kind}] for {network.name(explanation.person)} "
+        f"on query {{{', '.join(sorted(explanation.query))}}}",
+        f"f(inputs) = {explanation.full_value:.2f}   "
+        f"base value = {explanation.base_value:.2f}   "
+        f"({explanation.method}, {explanation.n_evaluations} evals)",
+    ]
+    if not rows:
+        lines.append("  (no features)")
+        return "\n".join(lines)
+    max_abs = max(abs(r.value) for r in rows) or 1.0
+    label_width = min(44, max(len(r.feature.label(network)) for r in rows))
+    for row in rows:
+        label = row.feature.label(network)[:label_width]
+        lines.append(
+            f"  {label:<{label_width}}  {row.value:+.3f}  {_bar(row.value, max_abs)}"
+        )
+    return "\n".join(lines)
+
+
+def render_collaboration_graph(
+    explanation: FactualExplanation,
+    network: CollaborationNetwork,
+) -> str:
+    """Node-link rendering of collaboration SHAP values (Figure 4/11 twin):
+    each influential edge with its sign, sorted by |SHAP|."""
+    lines = [
+        f"influential collaborations around {network.name(explanation.person)}:"
+    ]
+    rows = [
+        a for a in explanation.top() if isinstance(a.feature, EdgeFeature)
+    ]
+    if not rows:
+        lines.append("  (none cleared the threshold)")
+        return "\n".join(lines)
+    for a in rows:
+        sign = "supports" if a.value > 0 else "opposes "
+        lines.append(
+            f"  [{sign} {abs(a.value):.3f}] {a.feature.label(network)}"
+        )
+    return "\n".join(lines)
+
+
+def render_counterfactuals(
+    explanation: CounterfactualExplanation,
+    network: CollaborationNetwork,
+    limit: Optional[int] = None,
+) -> str:
+    """Numbered list of counterfactuals (Figures 5/6/12/13 twin), sorted by
+    size then by rank effect (the paper's Example 3 ordering)."""
+    direction = (
+        "would no longer be selected"
+        if explanation.initial_decision
+        else "would become selected"
+    )
+    lines = [
+        f"counterfactual[{explanation.kind}] — "
+        f"{network.name(explanation.person)} {direction} if:",
+    ]
+    rows = explanation.sorted_counterfactuals()
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        lines.append("  (no counterfactual found within the search budget)")
+    for i, cf in enumerate(rows, 1):
+        lines.append(
+            f"  {i}. {cf.describe(network)}  "
+            f"[size {cf.size}, new rank {cf.new_order_key:.0f}]"
+        )
+    lines.append(
+        f"  ({explanation.n_probes} probes, "
+        f"{explanation.elapsed_seconds:.2f}s"
+        f"{', timed out' if explanation.timed_out else ''})"
+    )
+    return "\n".join(lines)
+
+
+def render_team(team: Team, network: CollaborationNetwork) -> str:
+    """Team view (Figure 7/14 twin)."""
+    lines = ["team:"]
+    for m in sorted(team.members):
+        role = "seed" if m == team.seed else "member"
+        skills = ", ".join(sorted(network.skills(m))[:6])
+        lines.append(f"  [{role}] {network.name(m)} ({skills})")
+    if team.uncovered_terms:
+        lines.append(f"  uncovered: {', '.join(sorted(team.uncovered_terms))}")
+    else:
+        lines.append("  covers the full query")
+    return "\n".join(lines)
+
+
+def render_skill_summary(
+    explanation: FactualExplanation,
+    network: CollaborationNetwork,
+    top: int = 8,
+) -> str:
+    """Compact 'green/red skills' summary used in case studies."""
+    pos = [
+        a.feature for a in explanation.positive()[:top]
+        if isinstance(a.feature, SkillAssignmentFeature)
+    ]
+    neg = [
+        a.feature for a in explanation.negative()[:top]
+        if isinstance(a.feature, SkillAssignmentFeature)
+    ]
+    return "\n".join(
+        [
+            "supporting skills: "
+            + (", ".join(f.skill for f in pos) if pos else "(none)"),
+            "opposing skills:   "
+            + (", ".join(f.skill for f in neg) if neg else "(none)"),
+        ]
+    )

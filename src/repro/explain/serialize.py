@@ -1,0 +1,179 @@
+"""JSON serialization for explanations.
+
+A deployed explanation tool needs to ship explanations across process
+boundaries (the paper's Flask backend returns them to a VueJS frontend).
+This module round-trips every explanation object through plain JSON-safe
+dicts: features, perturbations, factual and counterfactual explanations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.explain.explanation import (
+    Counterfactual,
+    CounterfactualExplanation,
+    FactualExplanation,
+    FeatureAttribution,
+)
+from repro.explain.features import (
+    EdgeFeature,
+    Feature,
+    QueryTermFeature,
+    SkillAssignmentFeature,
+)
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    Perturbation,
+    RemoveEdge,
+    RemoveQueryTerm,
+    RemoveSkill,
+)
+
+_PERTURBATION_TYPES = {
+    "add_skill": AddSkill,
+    "remove_skill": RemoveSkill,
+    "add_edge": AddEdge,
+    "remove_edge": RemoveEdge,
+    "add_query_term": AddQueryTerm,
+    "remove_query_term": RemoveQueryTerm,
+}
+_PERTURBATION_NAMES = {cls: name for name, cls in _PERTURBATION_TYPES.items()}
+
+
+def feature_to_dict(feature: Feature) -> Dict[str, Any]:
+    if isinstance(feature, QueryTermFeature):
+        return {"type": "query_term", "term": feature.term}
+    if isinstance(feature, SkillAssignmentFeature):
+        return {"type": "skill", "person": feature.person, "skill": feature.skill}
+    if isinstance(feature, EdgeFeature):
+        return {"type": "edge", "u": feature.u, "v": feature.v}
+    raise TypeError(f"unknown feature type: {type(feature).__name__}")
+
+
+def feature_from_dict(payload: Dict[str, Any]) -> Feature:
+    kind = payload.get("type")
+    if kind == "query_term":
+        return QueryTermFeature(payload["term"])
+    if kind == "skill":
+        return SkillAssignmentFeature(int(payload["person"]), payload["skill"])
+    if kind == "edge":
+        return EdgeFeature(int(payload["u"]), int(payload["v"]))
+    raise ValueError(f"unknown feature payload type: {kind!r}")
+
+
+def perturbation_to_dict(perturbation: Perturbation) -> Dict[str, Any]:
+    name = _PERTURBATION_NAMES.get(type(perturbation))
+    if name is None:
+        raise TypeError(f"unknown perturbation: {type(perturbation).__name__}")
+    out: Dict[str, Any] = {"type": name}
+    if isinstance(perturbation, (AddSkill, RemoveSkill)):
+        out.update(person=perturbation.person, skill=perturbation.skill)
+    elif isinstance(perturbation, (AddEdge, RemoveEdge)):
+        out.update(u=perturbation.u, v=perturbation.v)
+    else:
+        out.update(term=perturbation.term)
+    return out
+
+
+def perturbation_from_dict(payload: Dict[str, Any]) -> Perturbation:
+    cls = _PERTURBATION_TYPES.get(payload.get("type", ""))
+    if cls is None:
+        raise ValueError(f"unknown perturbation payload type: {payload.get('type')!r}")
+    if cls in (AddSkill, RemoveSkill):
+        return cls(int(payload["person"]), payload["skill"])
+    if cls in (AddEdge, RemoveEdge):
+        return cls(int(payload["u"]), int(payload["v"]))
+    return cls(payload["term"])
+
+
+def factual_to_dict(explanation: FactualExplanation) -> Dict[str, Any]:
+    return {
+        "type": "factual",
+        "person": explanation.person,
+        "query": sorted(explanation.query),
+        "kind": explanation.kind,
+        "method": explanation.method,
+        "pruned": explanation.pruned,
+        "base_value": explanation.base_value,
+        "full_value": explanation.full_value,
+        "n_evaluations": explanation.n_evaluations,
+        "elapsed_seconds": explanation.elapsed_seconds,
+        "attributions": [
+            {"feature": feature_to_dict(a.feature), "value": a.value}
+            for a in explanation.attributions
+        ],
+    }
+
+
+def factual_from_dict(payload: Dict[str, Any]) -> FactualExplanation:
+    if payload.get("type") != "factual":
+        raise ValueError("payload is not a factual explanation")
+    return FactualExplanation(
+        person=int(payload["person"]),
+        query=frozenset(payload["query"]),
+        attributions=[
+            FeatureAttribution(
+                feature=feature_from_dict(a["feature"]), value=float(a["value"])
+            )
+            for a in payload["attributions"]
+        ],
+        base_value=float(payload["base_value"]),
+        full_value=float(payload["full_value"]),
+        n_evaluations=int(payload["n_evaluations"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        method=payload["method"],
+        pruned=bool(payload["pruned"]),
+        kind=payload["kind"],
+    )
+
+
+def counterfactual_to_dict(explanation: CounterfactualExplanation) -> Dict[str, Any]:
+    return {
+        "type": "counterfactual",
+        "person": explanation.person,
+        "query": sorted(explanation.query),
+        "kind": explanation.kind,
+        "pruned": explanation.pruned,
+        "initial_decision": explanation.initial_decision,
+        "n_probes": explanation.n_probes,
+        "elapsed_seconds": explanation.elapsed_seconds,
+        "timed_out": explanation.timed_out,
+        "candidate_count": explanation.candidate_count,
+        "counterfactuals": [
+            {
+                "perturbations": [
+                    perturbation_to_dict(p) for p in cf.perturbations
+                ],
+                "new_order_key": cf.new_order_key,
+            }
+            for cf in explanation.counterfactuals
+        ],
+    }
+
+
+def counterfactual_from_dict(payload: Dict[str, Any]) -> CounterfactualExplanation:
+    if payload.get("type") != "counterfactual":
+        raise ValueError("payload is not a counterfactual explanation")
+    return CounterfactualExplanation(
+        person=int(payload["person"]),
+        query=frozenset(payload["query"]),
+        counterfactuals=[
+            Counterfactual(
+                perturbations=tuple(
+                    perturbation_from_dict(p) for p in cf["perturbations"]
+                ),
+                new_order_key=float(cf["new_order_key"]),
+            )
+            for cf in payload["counterfactuals"]
+        ],
+        initial_decision=bool(payload["initial_decision"]),
+        n_probes=int(payload["n_probes"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        kind=payload["kind"],
+        pruned=bool(payload["pruned"]),
+        timed_out=bool(payload.get("timed_out", False)),
+        candidate_count=int(payload.get("candidate_count", 0)),
+    )

@@ -1,0 +1,97 @@
+"""Decision targets: the binary classifications ExES explains.
+
+Expert search contributes C_pi(q, G) = [rank <= k]; team formation
+contributes M_pi(q, G) = [p_i in F(q, G)] (paper §3.1 and §3.5).  Both are
+wrapped behind one protocol so every explainer works unchanged for either
+problem.  ``decide_with_order`` additionally returns the beam-search
+ordering hint of Algorithm 1 (line 11's newRank) from the same system pass.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.graph.network import CollaborationNetwork
+from repro.search.base import ExpertSearchSystem
+from repro.team.base import TeamFormationSystem
+
+
+class DecisionTarget(abc.ABC):
+    """A binary decision about one individual, probeable under perturbation."""
+
+    @abc.abstractmethod
+    def decide(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> bool:
+        """The binary label (relevance or membership)."""
+
+    @abc.abstractmethod
+    def decide_with_order(
+        self, person: int, query: Iterable[str], network: CollaborationNetwork
+    ) -> Tuple[bool, float]:
+        """(label, ordering key) — lower ordering key means closer to the
+        top of the ranking; beam search sorts candidate states with it."""
+
+    @property
+    @abc.abstractmethod
+    def ranker(self) -> ExpertSearchSystem:
+        """The underlying score-producing system (used by pruning rules)."""
+
+
+@dataclass(frozen=True)
+class RelevanceTarget(DecisionTarget):
+    """C_pi(q, G): is the individual ranked inside the top-k?"""
+
+    system: ExpertSearchSystem
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    def decide(self, person, query, network) -> bool:
+        return self.system.evaluate(query, network).is_relevant(person, self.k)
+
+    def decide_with_order(self, person, query, network) -> Tuple[bool, float]:
+        results = self.system.evaluate(query, network)
+        rank = results.rank_of(person)
+        return (rank <= self.k, float(rank))
+
+    @property
+    def ranker(self) -> ExpertSearchSystem:
+        return self.system
+
+
+@dataclass(frozen=True)
+class MembershipTarget(DecisionTarget):
+    """M_pi(q, G): is the individual on the formed team?
+
+    ``seed_member`` pins the team's main member (the Hao et al. former
+    requires one); when the seed itself is the person being explained,
+    membership is trivially true, so explain other members/non-members.
+    The ordering hint comes from the former's underlying ranker, mirroring
+    §3.5's substitution of T_ranking by T_teamFormation.
+    """
+
+    former: TeamFormationSystem
+    seed_member: Optional[int] = None
+
+    def decide(self, person, query, network) -> bool:
+        return person in self.former.form(query, network, seed_member=self.seed_member)
+
+    def decide_with_order(self, person, query, network) -> Tuple[bool, float]:
+        member = self.decide(person, query, network)
+        rank = float(self.ranker.rank_of(person, query, network))
+        return (member, rank)
+
+    @property
+    def ranker(self) -> ExpertSearchSystem:
+        ranker = getattr(self.former, "ranker", None)
+        if ranker is None:
+            raise AttributeError(
+                f"{self.former.name} exposes no .ranker; MembershipTarget needs "
+                "one for beam ordering and candidate pruning"
+            )
+        return ranker

@@ -1,0 +1,47 @@
+"""Collaboration-network substrate.
+
+This package provides the node-labeled collaboration network that every
+other subsystem (expert search, team formation, link prediction, and the
+ExES explainers) operates on, plus synthetic generators that reproduce the
+shape of the DBLP and GitHub datasets used in the paper.
+"""
+
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    Perturbation,
+    RemoveEdge,
+    RemoveQueryTerm,
+    RemoveSkill,
+    apply_perturbations,
+)
+from repro.graph.generators import NetworkRecipe, synthesize_network
+from repro.graph.io import (
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_network_json,
+)
+from repro.graph.stats import NetworkStats, compute_stats
+
+__all__ = [
+    "AddEdge",
+    "AddQueryTerm",
+    "AddSkill",
+    "CollaborationNetwork",
+    "NetworkRecipe",
+    "NetworkStats",
+    "Perturbation",
+    "RemoveEdge",
+    "RemoveQueryTerm",
+    "RemoveSkill",
+    "apply_perturbations",
+    "compute_stats",
+    "load_network_json",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network_json",
+    "synthesize_network",
+]

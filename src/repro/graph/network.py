@@ -1,0 +1,448 @@
+"""The skill-labeled collaboration network at the heart of ExES.
+
+The paper (Section 3.1) models a collaboration network ``G = (P, E)`` with
+individuals ``P`` as nodes, undirected collaboration edges ``E``, and a skill
+set ``S_i ⊂ S`` attached to every individual ``p_i``.  This module implements
+that structure with:
+
+* O(1) skill and adjacency membership tests (sets),
+* cheap whole-network copies so counterfactual search can probe thousands of
+  perturbed variants,
+* version-stamped caches for the derived numpy/scipy artifacts the neural
+  rankers need (adjacency CSR, normalized adjacency, skill incidence matrix).
+
+Node identity is a dense integer id assigned at insertion time; a display
+name is kept alongside for rendering and case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class CollaborationNetwork:
+    """A mutable, undirected, node-labeled collaboration network.
+
+    Example::
+
+        net = CollaborationNetwork()
+        a = net.add_person("Ada", {"databases", "xai"})
+        b = net.add_person("Grace", {"compilers"})
+        net.add_edge(a, b)
+        assert net.has_edge(b, a)
+        assert "xai" in net.skills(a)
+    """
+
+    __slots__ = ("_names", "_skills", "_adj", "_n_edges", "_version", "_cache", "_name_index")
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._skills: List[Set[str]] = []
+        self._adj: List[Set[int]] = []
+        self._n_edges: int = 0
+        self._version: int = 0
+        self._cache: Dict[str, Tuple[int, object]] = {}
+        self._name_index: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        names: Sequence[str],
+        skills: Sequence[Iterable[str]],
+        edges: Iterable[Tuple[int, int]],
+    ) -> "CollaborationNetwork":
+        """Build a network from parallel name/skill sequences and an edge list."""
+        if len(names) != len(skills):
+            raise ValueError(
+                f"names and skills must align: {len(names)} names vs {len(skills)} skill sets"
+            )
+        net = cls()
+        for name, skill_set in zip(names, skills):
+            net.add_person(name, skill_set)
+        for u, v in edges:
+            net.add_edge(u, v)
+        return net
+
+    def add_person(self, name: str, skills: Iterable[str] = ()) -> int:
+        """Add an individual and return their integer id."""
+        pid = len(self._names)
+        self._names.append(name)
+        self._skills.append(set(skills))
+        self._adj.append(set())
+        self._touch()
+        self._name_index = None
+        return pid
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add an undirected collaboration edge; returns False if it existed."""
+        self._check_pair(u, v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._n_edges += 1
+        self._touch()
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove an undirected edge; returns False if it was absent."""
+        self._check_pair(u, v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._n_edges -= 1
+        self._touch()
+        return True
+
+    def add_skill(self, person: int, skill: str) -> bool:
+        """Attach ``skill`` to ``person``; returns False if already present."""
+        self._check_person(person)
+        if skill in self._skills[person]:
+            return False
+        self._skills[person].add(skill)
+        self._touch()
+        return True
+
+    def remove_skill(self, person: int, skill: str) -> bool:
+        """Detach ``skill`` from ``person``; returns False if absent."""
+        self._check_person(person)
+        if skill not in self._skills[person]:
+            return False
+        self._skills[person].discard(skill)
+        self._touch()
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_people(self) -> int:
+        """Number of individuals |P|."""
+        return len(self._names)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges |E|."""
+        return self._n_edges
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation (for cache keying)."""
+        return self._version
+
+    def people(self) -> range:
+        """Iterate over all person ids."""
+        return range(len(self._names))
+
+    def name(self, person: int) -> str:
+        self._check_person(person)
+        return self._names[person]
+
+    def find_person(self, name: str) -> int:
+        """Return the id of the first person with this display name."""
+        if self._name_index is None:
+            index: Dict[str, int] = {}
+            for pid, nm in enumerate(self._names):
+                index.setdefault(nm, pid)
+            self._name_index = index
+        try:
+            return self._name_index[name]
+        except KeyError:
+            raise KeyError(f"no person named {name!r}") from None
+
+    def skills(self, person: int) -> FrozenSet[str]:
+        """The skill set S_i of ``person`` (immutable view)."""
+        self._check_person(person)
+        return frozenset(self._skills[person])
+
+    def has_skill(self, person: int, skill: str) -> bool:
+        self._check_person(person)
+        return skill in self._skills[person]
+
+    def neighbors(self, person: int) -> FrozenSet[int]:
+        """Direct collaborators of ``person``."""
+        self._check_person(person)
+        return frozenset(self._adj[person])
+
+    def degree(self, person: int) -> int:
+        self._check_person(person)
+        return len(self._adj[person])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_pair(u, v)
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once each, as (u, v) with u < v."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def skill_universe(self) -> FrozenSet[str]:
+        """The universe of skills S actually attached to some node."""
+        cached = self._cache_get("skill_universe")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        universe = frozenset(s for skills in self._skills for s in skills)
+        self._cache_put("skill_universe", universe)
+        return universe
+
+    def total_skill_assignments(self) -> int:
+        """Sum of |S_i| over all individuals (size of the skill relation)."""
+        return sum(len(s) for s in self._skills)
+
+    def people_with_skill(self, skill: str) -> FrozenSet[int]:
+        """All individuals holding ``skill``."""
+        index = self._cache_get("skill_index")
+        if index is None:
+            built: Dict[str, Set[int]] = {}
+            for pid, skills in enumerate(self._skills):
+                for s in skills:
+                    built.setdefault(s, set()).add(pid)
+            index = {s: frozenset(ids) for s, ids in built.items()}
+            self._cache_put("skill_index", index)
+        return index.get(skill, frozenset())  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    # neighborhoods (Pruning Strategy 1: network locality)
+    # ------------------------------------------------------------------
+    def neighborhood(self, person: int, radius: int) -> FrozenSet[int]:
+        """N(p_i): nodes within BFS distance ``radius`` of ``person``, inclusive.
+
+        The paper defines the neighborhood as the induced subgraph of nodes
+        within a distance threshold ``d`` (Pruning Strategy 1); ``radius=0``
+        is the singleton {p_i}, ``radius=1`` adds immediate collaborators.
+        """
+        self._check_person(person)
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        seen = {person}
+        frontier = [person]
+        for _ in range(radius):
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            if not nxt:
+                break
+            frontier = nxt
+        return frozenset(seen)
+
+    def neighborhood_skills(self, person: int, radius: int) -> FrozenSet[str]:
+        """S_N(p_i): the union of skills held inside the ``radius``-neighborhood."""
+        nodes = self.neighborhood(person, radius)
+        out: Set[str] = set()
+        for p in nodes:
+            out.update(self._skills[p])
+        return frozenset(out)
+
+    def edges_within(self, nodes: Iterable[int]) -> List[Tuple[int, int]]:
+        """Edges of the subgraph induced by ``nodes``, as (u, v) with u < v."""
+        node_set = set(nodes)
+        out: List[Tuple[int, int]] = []
+        for u in sorted(node_set):
+            for v in self._adj[u]:
+                if u < v and v in node_set:
+                    out.append((u, v))
+        return out
+
+    def incident_edges(self, person: int) -> List[Tuple[int, int]]:
+        """Edges touching ``person``, each as (u, v) with u < v."""
+        self._check_person(person)
+        return [(min(person, v), max(person, v)) for v in sorted(self._adj[person])]
+
+    def shortest_path_length(self, source: int, target: int) -> Optional[int]:
+        """BFS hop distance, or None if disconnected."""
+        self._check_pair_allow_equal(source, target)
+        if source == target:
+            return 0
+        seen = {source}
+        frontier = [source]
+        dist = 0
+        while frontier:
+            dist += 1
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v == target:
+                        return dist
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        return None
+
+    # ------------------------------------------------------------------
+    # derived numpy / scipy artifacts (cached by version)
+    # ------------------------------------------------------------------
+    def skill_vocabulary(self) -> Tuple[str, ...]:
+        """Sorted tuple of the skill universe; index positions are stable
+        for a given network version."""
+        cached = self._cache_get("skill_vocab")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        vocab = tuple(sorted(self.skill_universe()))
+        self._cache_put("skill_vocab", vocab)
+        return vocab
+
+    def skill_vocabulary_index(self) -> Dict[str, int]:
+        """Mapping skill -> column index in :meth:`skill_matrix`."""
+        cached = self._cache_get("skill_vocab_index")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        index = {s: i for i, s in enumerate(self.skill_vocabulary())}
+        self._cache_put("skill_vocab_index", index)
+        return index
+
+    def adjacency_csr(self) -> sp.csr_matrix:
+        """Symmetric 0/1 adjacency matrix in CSR form."""
+        cached = self._cache_get("adj_csr")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        n = self.n_people
+        rows: List[int] = []
+        cols: List[int] = []
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                rows.append(u)
+                cols.append(v)
+        data = np.ones(len(rows), dtype=np.float64)
+        mat = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+        self._cache_put("adj_csr", mat)
+        return mat
+
+    def normalized_adjacency(self) -> sp.csr_matrix:
+        """Symmetrically normalized adjacency with self loops:
+        ``D^-1/2 (A + I) D^-1/2`` — the GCN propagation operator."""
+        cached = self._cache_get("adj_norm")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        n = self.n_people
+        a_hat = self.adjacency_csr() + sp.identity(n, format="csr")
+        deg = np.asarray(a_hat.sum(axis=1)).ravel()
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+        d_inv = sp.diags(inv_sqrt)
+        mat = (d_inv @ a_hat @ d_inv).tocsr()
+        self._cache_put("adj_norm", mat)
+        return mat
+
+    def skill_matrix(self, vocab_index: Optional[Dict[str, int]] = None) -> sp.csr_matrix:
+        """Node-by-skill 0/1 incidence matrix.
+
+        ``vocab_index`` maps skill string -> column; defaults to this
+        network's own vocabulary.  Skills absent from the index are dropped,
+        which lets perturbed networks (with added skills) be projected onto a
+        base vocabulary.
+        """
+        if vocab_index is None:
+            vocab_index = self.skill_vocabulary_index()
+            cached = self._cache_get("skill_matrix_default")
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            mat = self._build_skill_matrix(vocab_index)
+            self._cache_put("skill_matrix_default", mat)
+            return mat
+        return self._build_skill_matrix(vocab_index)
+
+    def _build_skill_matrix(self, vocab_index: Dict[str, int]) -> sp.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        for pid, skills in enumerate(self._skills):
+            for s in skills:
+                col = vocab_index.get(s)
+                if col is not None:
+                    rows.append(pid)
+                    cols.append(col)
+        data = np.ones(len(rows), dtype=np.float64)
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(self.n_people, len(vocab_index))
+        )
+
+    # ------------------------------------------------------------------
+    # copies & export
+    # ------------------------------------------------------------------
+    def copy(self) -> "CollaborationNetwork":
+        """Deep copy of names, skills and adjacency (caches are not copied)."""
+        out = CollaborationNetwork()
+        out._names = list(self._names)
+        out._skills = [set(s) for s in self._skills]
+        out._adj = [set(a) for a in self._adj]
+        out._n_edges = self._n_edges
+        return out
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` with ``name``/``skills`` attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for pid in self.people():
+            g.add_node(pid, name=self._names[pid], skills=frozenset(self._skills[pid]))
+        g.add_edges_from(self.edges())
+        return g
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on corruption."""
+        n = self.n_people
+        if not (len(self._skills) == len(self._adj) == n):
+            raise ValueError("parallel arrays out of sync")
+        count = 0
+        for u, nbrs in enumerate(self._adj):
+            if u in nbrs:
+                raise ValueError(f"self loop at node {u}")
+            for v in nbrs:
+                if not (0 <= v < n):
+                    raise ValueError(f"edge endpoint {v} out of range")
+                if u not in self._adj[v]:
+                    raise ValueError(f"asymmetric edge ({u}, {v})")
+                count += 1
+        if count != 2 * self._n_edges:
+            raise ValueError(
+                f"edge count mismatch: counted {count // 2}, recorded {self._n_edges}"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        self._version += 1
+        if self._cache:
+            self._cache.clear()
+
+    def _cache_get(self, key: str):
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        return None
+
+    def _cache_put(self, key: str, value: object) -> None:
+        self._cache[key] = (self._version, value)
+
+    def _check_person(self, person: int) -> None:
+        if not (0 <= person < len(self._names)):
+            raise IndexError(f"person id {person} out of range [0, {len(self._names)})")
+
+    def _check_pair(self, u: int, v: int) -> None:
+        self._check_person(u)
+        self._check_person(v)
+        if u == v:
+            raise ValueError(f"self loops are not allowed (node {u})")
+
+    def _check_pair_allow_equal(self, u: int, v: int) -> None:
+        self._check_person(u)
+        self._check_person(v)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollaborationNetwork(n_people={self.n_people}, n_edges={self.n_edges}, "
+            f"n_skills={len(self.skill_universe())})"
+        )

@@ -1,0 +1,201 @@
+"""Perturbations of the (query, network) feature space.
+
+ExES explains a decision by probing the underlying system with perturbed
+inputs (Section 3.1 of the paper).  The feature space consists of the query
+keywords, each (person, skill) assignment, and each collaboration edge.  A
+*perturbation* is a small, declarative edit to that space; counterfactual
+explanations are sets of perturbations that flip the system's decision.
+
+Each perturbation knows how to apply itself, how to invert itself, and
+whether it is a no-op against a given state — the latter matters because
+beam search must not claim credit for "removing" a skill the person never
+had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from repro.graph.network import CollaborationNetwork
+
+Query = FrozenSet[str]
+
+
+def as_query(terms: Iterable[str]) -> Query:
+    """Normalize an iterable of keywords into the canonical query form."""
+    return frozenset(terms)
+
+
+@dataclass(frozen=True)
+class AddSkill:
+    """Attach ``skill`` to ``person``'s skill set."""
+
+    person: int
+    skill: str
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return not network.has_skill(self.person, self.skill)
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        network.add_skill(self.person, self.skill)
+        return query
+
+    def inverse(self) -> "RemoveSkill":
+        return RemoveSkill(self.person, self.skill)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"add skill {self.skill!r} to {network.name(self.person)}"
+
+
+@dataclass(frozen=True)
+class RemoveSkill:
+    """Detach ``skill`` from ``person``'s skill set."""
+
+    person: int
+    skill: str
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return network.has_skill(self.person, self.skill)
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        network.remove_skill(self.person, self.skill)
+        return query
+
+    def inverse(self) -> AddSkill:
+        return AddSkill(self.person, self.skill)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"remove skill {self.skill!r} from {network.name(self.person)}"
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Create a collaboration between ``u`` and ``v``."""
+
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self loop perturbation on node {self.u}")
+        if self.u > self.v:  # canonical order so equal edits hash equal
+            u, v = self.v, self.u
+            object.__setattr__(self, "u", u)
+            object.__setattr__(self, "v", v)
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return not network.has_edge(self.u, self.v)
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        network.add_edge(self.u, self.v)
+        return query
+
+    def inverse(self) -> "RemoveEdge":
+        return RemoveEdge(self.u, self.v)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"add collaboration {network.name(self.u)} -- {network.name(self.v)}"
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Delete the collaboration between ``u`` and ``v``."""
+
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self loop perturbation on node {self.u}")
+        if self.u > self.v:
+            u, v = self.v, self.u
+            object.__setattr__(self, "u", u)
+            object.__setattr__(self, "v", v)
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return network.has_edge(self.u, self.v)
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        network.remove_edge(self.u, self.v)
+        return query
+
+    def inverse(self) -> AddEdge:
+        return AddEdge(self.u, self.v)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"remove collaboration {network.name(self.u)} -- {network.name(self.v)}"
+
+
+@dataclass(frozen=True)
+class AddQueryTerm:
+    """Append ``term`` to the search query (query augmentation, §3.3.2)."""
+
+    term: str
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return self.term not in query
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        return query | {self.term}
+
+    def inverse(self) -> "RemoveQueryTerm":
+        return RemoveQueryTerm(self.term)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"add {self.term!r} to the query"
+
+
+@dataclass(frozen=True)
+class RemoveQueryTerm:
+    """Drop ``term`` from the search query."""
+
+    term: str
+
+    def is_applicable(self, network: CollaborationNetwork, query: Query) -> bool:
+        return self.term in query
+
+    def apply(self, network: CollaborationNetwork, query: Query) -> Query:
+        return query - {self.term}
+
+    def inverse(self) -> AddQueryTerm:
+        return AddQueryTerm(self.term)
+
+    def describe(self, network: CollaborationNetwork) -> str:
+        return f"remove {self.term!r} from the query"
+
+
+Perturbation = Union[AddSkill, RemoveSkill, AddEdge, RemoveEdge, AddQueryTerm, RemoveQueryTerm]
+
+_NETWORK_PERTURBATIONS = (AddSkill, RemoveSkill, AddEdge, RemoveEdge)
+
+
+def touches_network(perturbation: Perturbation) -> bool:
+    """True if the perturbation edits the graph (vs the query)."""
+    return isinstance(perturbation, _NETWORK_PERTURBATIONS)
+
+
+def apply_perturbations(
+    network: CollaborationNetwork,
+    query: Iterable[str],
+    perturbations: Iterable[Perturbation],
+) -> Tuple[CollaborationNetwork, Query]:
+    """Apply a perturbation set to fresh copies of the inputs.
+
+    This is the ``Apply(perturbation, G, q)`` step of Algorithm 1 (line 10).
+    The original network is never mutated; the graph is copied only when at
+    least one perturbation actually touches it.
+
+    Inapplicable perturbations (e.g. adding a skill the person already has)
+    raise ``ValueError`` — silently skipping them would let beam search count
+    no-ops toward explanation size.
+    """
+    q = as_query(query)
+    perts = list(perturbations)
+    needs_copy = any(touches_network(p) for p in perts)
+    net = network.copy() if needs_copy else network
+    for p in perts:
+        if not p.is_applicable(net, q):
+            raise ValueError(f"perturbation is a no-op in this state: {p}")
+        q = p.apply(net, q)
+    return net, q

@@ -1,0 +1,96 @@
+"""Descriptive statistics for collaboration networks (Table 6 support).
+
+These are used to validate that the synthetic DBLP-like / GitHub-like
+datasets actually land on the published node/edge/skill counts, and to
+report the workload characteristics in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.network import CollaborationNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary statistics of one collaboration network."""
+
+    n_nodes: int
+    n_edges: int
+    n_skills: int
+    mean_skills_per_person: float
+    median_skills_per_person: float
+    mean_degree: float
+    max_degree: int
+    n_isolated: int
+    n_components: int
+    largest_component: int
+
+    def as_table_row(self, label: str) -> str:
+        """One row in the style of the paper's Table 6."""
+        return (
+            f"{label:<10} {self.n_nodes:>8} {self.n_edges:>9} {self.n_skills:>8} "
+            f"{self.mean_skills_per_person:>12.1f}"
+        )
+
+
+def _component_sizes(network: CollaborationNetwork) -> List[int]:
+    seen = [False] * network.n_people
+    sizes: List[int] = []
+    for start in network.people():
+        if seen[start]:
+            continue
+        seen[start] = True
+        size = 1
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in network.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    size += 1
+                    stack.append(v)
+        sizes.append(size)
+    return sizes
+
+
+def compute_stats(network: CollaborationNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    n = network.n_people
+    skill_counts = np.array([len(network.skills(p)) for p in network.people()])
+    degrees = np.array([network.degree(p) for p in network.people()])
+    components = _component_sizes(network)
+    return NetworkStats(
+        n_nodes=n,
+        n_edges=network.n_edges,
+        n_skills=len(network.skill_universe()),
+        mean_skills_per_person=float(skill_counts.mean()) if n else 0.0,
+        median_skills_per_person=float(np.median(skill_counts)) if n else 0.0,
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        n_isolated=int((degrees == 0).sum()),
+        n_components=len(components),
+        largest_component=max(components) if components else 0,
+    )
+
+
+def degree_histogram(network: CollaborationNetwork) -> Dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    hist: Dict[int, int] = {}
+    for p in network.people():
+        d = network.degree(p)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def skill_frequency(network: CollaborationNetwork) -> Dict[str, int]:
+    """Map skill -> number of people holding it."""
+    freq: Dict[str, int] = {}
+    for p in network.people():
+        for s in network.skills(p):
+            freq[s] = freq.get(s, 0) + 1
+    return freq

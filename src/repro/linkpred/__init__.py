@@ -1,0 +1,41 @@
+"""Link prediction over the collaboration network (Pruning Strategy 5).
+
+ExES uses a Graph Auto-encoder (GAE, Kipf & Welling 2016) as a recommender
+for plausible new collaborations, so that edge-addition counterfactuals only
+explore promising edges.  This package implements the GAE on the numpy
+autograd engine, plus classical heuristics (common neighbours, Jaccard,
+Adamic–Adar) and a ranking-quality evaluation harness (AUC / average
+precision over held-out edges) used to validate the models.
+"""
+
+from repro.linkpred.heuristics import (
+    HeuristicLinkPredictor,
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+)
+from repro.linkpred.gae import GaeConfig, GraphAutoencoder, train_gae
+from repro.linkpred.evaluation import (
+    LinkPredictionSplit,
+    auc_score,
+    average_precision,
+    evaluate_predictor,
+    split_edges,
+)
+
+__all__ = [
+    "GaeConfig",
+    "GraphAutoencoder",
+    "HeuristicLinkPredictor",
+    "LinkPredictionSplit",
+    "adamic_adar",
+    "auc_score",
+    "average_precision",
+    "common_neighbors",
+    "evaluate_predictor",
+    "jaccard_coefficient",
+    "preferential_attachment",
+    "split_edges",
+    "train_gae",
+]

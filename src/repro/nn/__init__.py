@@ -1,0 +1,32 @@
+"""A small from-scratch neural-network substrate on numpy.
+
+The paper's expert search model is a PyTorch GCN and its link-prediction
+pruning oracle is a Graph Auto-encoder.  PyTorch is not available in this
+environment, so this package provides the minimum viable deep-learning
+stack: a reverse-mode autograd engine over numpy arrays
+(:mod:`repro.nn.autograd`), layers (:mod:`repro.nn.layers`), losses, weight
+initializers, and optimizers.  It is deliberately small but real — gradients
+are checked against finite differences in the test suite.
+"""
+
+from repro.nn.autograd import Tensor, sparse_matmul, stack_rows
+from repro.nn.layers import GCNConv, Linear, Module, Parameter
+from repro.nn.losses import bce_with_logits, margin_ranking_loss, mse_loss
+from repro.nn.optim import SGD, Adam
+from repro.nn.init import xavier_uniform
+
+__all__ = [
+    "Adam",
+    "GCNConv",
+    "Linear",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "bce_with_logits",
+    "margin_ranking_loss",
+    "mse_loss",
+    "sparse_matmul",
+    "stack_rows",
+    "xavier_uniform",
+]

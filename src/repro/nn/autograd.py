@@ -1,0 +1,392 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
+it; calling :meth:`Tensor.backward` on a scalar result walks the recorded
+graph in reverse topological order and accumulates gradients into every
+tensor created with ``requires_grad=True``.
+
+Supported operations cover what the GCN ranker and graph auto-encoder need:
+elementwise arithmetic with numpy broadcasting, matmul, sparse-dense matmul
+(the graph propagation step — the sparse operator is a constant), row
+gathering (embedding lookups / minibatching), common activations, and
+reductions.  Gradients are verified against central finite differences in
+``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable numpy array node.
+
+    >>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+    >>> y = (x * x).sum()
+    >>> y.backward()
+    >>> x.grad.tolist()
+    [[2.0, 4.0]]
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy); do not mutate during training."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (must be scalar unless ``grad`` given)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    f"backward() without an explicit gradient requires a scalar "
+                    f"output, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: Tensor) -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in visited:
+                    continue
+                visited.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+
+        visit(self)
+        grads = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(g)
+            if node._backward is None:
+                continue
+            for parent, pgrad in node._backward(g):
+                if pgrad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        return self.requires_grad or bool(self._parents) or any(
+            o.requires_grad or bool(o._parents) for o in others
+        )
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g, self.data.shape)),
+                (other, _unbroadcast(g, other.data.shape)),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, -g),)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(self._lift(other).__neg__())
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g * other.data, self.data.shape)),
+                (other, _unbroadcast(g * self.data, other.data.shape)),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g / other.data, self.data.shape)),
+                (
+                    other,
+                    _unbroadcast(-g * self.data / (other.data ** 2), other.data.shape),
+                ),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        out_data = self.data ** exponent
+
+        def backward(g: np.ndarray):
+            return ((self, g * exponent * self.data ** (exponent - 1)),)
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D operands, got {self.data.shape} @ {other.data.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, g @ other.data.T),
+                (other, self.data.T @ g),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # shaping / gathering
+    # ------------------------------------------------------------------
+    @property
+    def T(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, g.T),)
+
+        return self._make(self.data.T, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+
+        def backward(g: np.ndarray):
+            return ((self, g.reshape(original)),)
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (embedding lookup); gradient scatter-adds back."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, g)
+            return ((self, full),)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # activations & elementwise functions
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g: np.ndarray):
+            return ((self, g * mask),)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+
+        def backward(g: np.ndarray):
+            return ((self, g * out_data * (1.0 - out_data)),)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * (1.0 - out_data ** 2)),)
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -60, 60))
+
+        def backward(g: np.ndarray):
+            return ((self, g * out_data),)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, g / self.data),)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def clip_min(self, floor: float) -> "Tensor":
+        """max(x, floor) — used for numerically safe norms."""
+        mask = self.data > floor
+
+        def backward(g: np.ndarray):
+            return ((self, g * mask),)
+
+        return self._make(np.maximum(self.data, floor), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            g_arr = np.asarray(g)
+            if axis is None:
+                grad = np.broadcast_to(g_arr, self.data.shape).copy()
+            else:
+                if not keepdims:
+                    g_arr = np.expand_dims(g_arr, axis)
+                grad = np.broadcast_to(g_arr, self.data.shape).copy()
+            return ((self, grad),)
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable,
+    ) -> "Tensor":
+        if any(p.requires_grad or p._parents for p in parents):
+            return Tensor(data, _parents=parents, _backward=backward)
+        return Tensor(data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """``matrix @ x`` where ``matrix`` is a constant scipy sparse operator.
+
+    This is the GCN propagation step ``Â H``; gradients flow only through
+    ``x`` (``∂/∂x = Âᵀ g``).
+    """
+    matrix = matrix.tocsr()
+    out_data = matrix @ x.data
+
+    def backward(g: np.ndarray):
+        return ((x, matrix.T @ g),)
+
+    if x.requires_grad or x._parents:
+        return Tensor(out_data, _parents=(x,), _backward=backward)
+    return Tensor(out_data)
+
+
+def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack 1-D tensors into a 2-D tensor, differentiable per row."""
+    if not tensors:
+        raise ValueError("cannot stack an empty sequence")
+    out_data = np.stack([t.data for t in tensors])
+
+    def backward(g: np.ndarray):
+        return tuple((t, g[i]) for i, t in enumerate(tensors))
+
+    if any(t.requires_grad or t._parents for t in tensors):
+        return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(out_data)

@@ -1,0 +1,18 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def normal(shape, scale: float, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian init with the given standard deviation."""
+    return rng.normal(0.0, scale, size=shape)

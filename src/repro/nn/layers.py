@@ -1,0 +1,98 @@
+"""Neural-network layers on top of the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.autograd import Tensor, sparse_matmul
+from repro.nn.init import xavier_uniform
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Minimal module base: recursive parameter collection + zero_grad."""
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        seen = set()
+        for value in self.__dict__.values():
+            for p in _collect(value):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+
+def _collect(value) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect(item)
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(xavier_uniform(in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GCNConv(Module):
+    """One graph-convolution layer: ``Â (X W) (+ b)``.
+
+    The normalized adjacency ``Â = D^-1/2 (A + I) D^-1/2`` is passed per
+    call because the explainers probe the model with perturbed graphs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(xavier_uniform(in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def __call__(self, x: Tensor, adj_norm: sp.spmatrix) -> Tensor:
+        out = sparse_matmul(adj_norm, x @ self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out

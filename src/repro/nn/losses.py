@@ -1,0 +1,33 @@
+"""Loss functions used to train the GCN ranker and the graph auto-encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, target: np.ndarray) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    x = logits
+    y = Tensor(np.asarray(target, dtype=np.float64))
+    abs_x = x.relu() + (-x).relu()  # |x| built from supported primitives
+    softplus = ((-abs_x).exp() + 1.0).log()
+    per_example = x.relu() - x * y + softplus
+    return per_example.mean()
+
+
+def margin_ranking_loss(
+    positive: Tensor, negative: Tensor, margin: float = 0.5
+) -> Tensor:
+    """Mean hinge loss ``max(0, margin - (pos - neg))`` over aligned pairs."""
+    return (Tensor(margin) - (positive - negative)).relu().mean()

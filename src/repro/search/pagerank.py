@@ -1,0 +1,66 @@
+"""Personalized-PageRank expert search baseline [8].
+
+The restart distribution concentrates on individuals whose own skills match
+the query; the random walk then spreads relevance along collaboration
+edges, so well-connected collaborators of matching experts also rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import as_query
+from repro.search.base import ExpertSearchSystem, query_match_vector
+
+
+@dataclass
+class PageRankExpertRanker(ExpertSearchSystem):
+    """Power-iteration personalized PageRank (no training required).
+
+    The damping factor defaults to 0.5 rather than the web-graph 0.85:
+    expert search wants relevance anchored near the restart (query-matching)
+    nodes — with 0.85 a well-connected broker can outrank the person who
+    actually holds the skills.
+    """
+
+    damping: float = 0.5
+    max_iterations: int = 50
+    tolerance: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.damping < 1.0):
+            raise ValueError(f"damping must be in (0, 1), got {self.damping}")
+
+    def scores(self, query: Iterable[str], network: CollaborationNetwork) -> np.ndarray:
+        query = as_query(query)
+        n = network.n_people
+        if n == 0:
+            return np.zeros(0)
+        restart = query_match_vector(query, network)
+        total = restart.sum()
+        if total == 0:
+            return np.zeros(n)  # no one matches any query term
+        restart = restart / total
+
+        adj = network.adjacency_csr()
+        out_degree = np.asarray(adj.sum(axis=1)).ravel()
+        # Column-stochastic transition; dangling nodes teleport.
+        inv_deg = np.divide(
+            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        )
+        scores = restart.copy()
+        for _ in range(self.max_iterations):
+            spread = adj.T @ (scores * inv_deg)
+            dangling = scores[out_degree == 0].sum()
+            new = (1 - self.damping) * restart + self.damping * (
+                spread + dangling * restart
+            )
+            if np.abs(new - scores).sum() < self.tolerance:
+                scores = new
+                break
+            scores = new
+        return scores

@@ -1,0 +1,72 @@
+"""The team-formation interface ExES probes.
+
+``F(q, G)`` returns a team; the binary label ExES explains is membership
+``M_pi(q, G) = [p_i ∈ F(q, G)]`` (paper §3.5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import Query, as_query
+
+
+@dataclass(frozen=True)
+class Team:
+    """A formed team: members, the seed it grew from, and coverage info."""
+
+    members: FrozenSet[int]
+    seed: Optional[int]
+    covered_terms: FrozenSet[str]
+    uncovered_terms: FrozenSet[str]
+    build_order: Tuple[int, ...] = field(default=())
+
+    def __contains__(self, person: int) -> bool:
+        return person in self.members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def covers_query(self) -> bool:
+        return not self.uncovered_terms
+
+
+class TeamFormationSystem(abc.ABC):
+    """Base class for team formers."""
+
+    @abc.abstractmethod
+    def form(
+        self,
+        query: Iterable[str],
+        network: CollaborationNetwork,
+        seed_member: Optional[int] = None,
+    ) -> Team:
+        """Form a team for ``query``; ``seed_member`` pins the main member."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def membership(
+        self,
+        person: int,
+        query: Iterable[str],
+        network: CollaborationNetwork,
+        seed_member: Optional[int] = None,
+    ) -> bool:
+        """M_pi(q, G): is ``person`` on the formed team?"""
+        return person in self.form(query, network, seed_member=seed_member)
+
+
+def coverage_split(query: Query, members: Set[int], network: CollaborationNetwork):
+    """(covered, uncovered) query terms for a member set."""
+    query = as_query(query)
+    covered: Set[str] = set()
+    for m in members:
+        covered |= network.skills(m) & query
+    return frozenset(covered), frozenset(query - covered)

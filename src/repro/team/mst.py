@@ -1,0 +1,131 @@
+"""Graph-optimization team formation baseline (Lappas et al. [32] style).
+
+Rarest-first greedy cover: for each query term (processed from the rarest
+skill to the most common) pick the holder closest to the team built so far;
+then connect the chosen experts through shortest paths so the team is a
+connected subgraph (the path nodes are the "communication cost" the
+original paper minimizes with its Steiner/MST approximations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graph.network import CollaborationNetwork
+from repro.graph.perturbations import as_query
+from repro.team.base import Team, TeamFormationSystem, coverage_split
+
+
+class MstTeamFormer(TeamFormationSystem):
+    """Rarest-first cover + shortest-path connection."""
+
+    def __init__(self, max_size: int = 12) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+
+    def form(
+        self,
+        query: Iterable[str],
+        network: CollaborationNetwork,
+        seed_member: Optional[int] = None,
+    ) -> Team:
+        query = as_query(query)
+        members: Set[int] = set()
+        build_order: List[int] = []
+        if seed_member is not None:
+            members.add(seed_member)
+            build_order.append(seed_member)
+
+        holders: Dict[str, List[int]] = {
+            term: sorted(network.people_with_skill(term)) for term in query
+        }
+        # Rarest skill first — the hardest constraint anchors the team.
+        terms = sorted(
+            (t for t in query if holders[t]), key=lambda t: (len(holders[t]), t)
+        )
+        for term in terms:
+            if len(members) >= self.max_size:
+                break
+            if any(term in network.skills(m) for m in members):
+                continue
+            chosen = self._closest_holder(holders[term], members, network)
+            members.add(chosen)
+            build_order.append(chosen)
+
+        connected = self._connect(members, network)
+        covered, uncovered = coverage_split(query, connected, network)
+        seed = seed_member if seed_member is not None else (min(connected) if connected else None)
+        return Team(
+            members=frozenset(connected),
+            seed=seed,
+            covered_terms=covered,
+            uncovered_terms=uncovered,
+            build_order=tuple(sorted(connected)),
+        )
+
+    @staticmethod
+    def _closest_holder(
+        candidates: List[int], members: Set[int], network: CollaborationNetwork
+    ) -> int:
+        """The skill holder nearest (BFS) to the current team; id tie-break."""
+        if not members:
+            return candidates[0]
+        best = candidates[0]
+        best_dist = float("inf")
+        for c in candidates:
+            dist = min(
+                (
+                    d
+                    for m in members
+                    if (d := network.shortest_path_length(c, m)) is not None
+                ),
+                default=float("inf"),
+            )
+            if dist < best_dist:
+                best = c
+                best_dist = dist
+        return best
+
+    def _connect(
+        self, members: Set[int], network: CollaborationNetwork
+    ) -> Set[int]:
+        """Add shortest-path nodes so the member set forms one component."""
+        if len(members) <= 1:
+            return set(members)
+        ordered = sorted(members)
+        connected: Set[int] = {ordered[0]}
+        for target in ordered[1:]:
+            if target in connected:
+                continue
+            path = self._bfs_path(connected, target, network)
+            if path is None:
+                connected.add(target)  # unreachable — keep as an island
+            else:
+                connected.update(path)
+            if len(connected) >= self.max_size * 2:
+                break
+        return connected
+
+    @staticmethod
+    def _bfs_path(
+        sources: Set[int], target: int, network: CollaborationNetwork
+    ) -> Optional[List[int]]:
+        """Shortest path from any source to ``target`` (inclusive), or None."""
+        parents: Dict[int, Optional[int]] = {s: None for s in sources}
+        frontier = sorted(sources)
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(network.neighbors(u)):
+                    if v in parents:
+                        continue
+                    parents[v] = u
+                    if v == target:
+                        path = [v]
+                        while parents[path[-1]] is not None:
+                            path.append(parents[path[-1]])
+                        return path
+                    nxt.append(v)
+            frontier = nxt
+        return None

@@ -1,0 +1,24 @@
+"""Text substrate: tokenization, synthetic expertise corpora, and TF-IDF.
+
+The paper (Section 4.1) extracts each individual's skills as the top-scoring
+TF-IDF keywords of their publication titles/abstracts (DBLP) or repository
+descriptions/tags (GitHub).  This package reproduces that pipeline end to
+end: a deterministic corpus generator driven by the same latent communities
+as the graph generator, a tokenizer, and a from-scratch TF-IDF model used
+both for skill extraction and for the document-based ranker baseline.
+"""
+
+from repro.text.tokenize import STOPWORDS, tokenize
+from repro.text.corpus import CorpusRecipe, Document, ExpertiseCorpus, generate_corpus
+from repro.text.tfidf import TfidfModel, extract_skills
+
+__all__ = [
+    "CorpusRecipe",
+    "Document",
+    "ExpertiseCorpus",
+    "STOPWORDS",
+    "TfidfModel",
+    "extract_skills",
+    "generate_corpus",
+    "tokenize",
+]

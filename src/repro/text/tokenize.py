@@ -1,0 +1,32 @@
+"""Minimal deterministic tokenizer shared by the TF-IDF and embedding code.
+
+Lowercases, splits on non-word characters (keeping internal hyphens, since
+the synthetic vocabulary uses compound terms like ``graph-algorithms``), and
+drops stopwords and single-character tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an and are as at be by for from has have in is it its of on or that the
+    this to was we were will with using based new approach paper propose
+    present show results study method methods our their these those than then
+    can may must such into over under between via per both
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase content tokens.
+
+    >>> tokenize("Explaining Expert Search with ExES!")
+    ['explaining', 'expert', 'search', 'exes']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    return [t for t in tokens if len(t) > 1 and t not in STOPWORDS]

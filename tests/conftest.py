@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Heavy artifacts (the small DBLP-like dataset and the trained model stack)
+are session-scoped: they are built once and shared read-only by every test
+that needs them.  Tests that mutate a network must copy it first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import dblp_like, toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.linkpred import GaeConfig, train_gae
+from repro.search import CoverageExpertRanker, GcnExpertRanker, GcnRankerConfig
+from repro.team import CoverTeamFormer
+
+
+@pytest.fixture
+def toy_net():
+    """A fresh 12-person deterministic network (mutable per test)."""
+    return toy_network(n_people=12, seed=0)
+
+
+@pytest.fixture
+def coverage_ranker():
+    return CoverageExpertRanker()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small DBLP-like dataset (~180 nodes) shared across the session."""
+    return dblp_like(scale=0.01, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_embedding(small_dataset):
+    return train_ppmi_embedding(
+        small_dataset.corpus.token_lists(), dim=24, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_gcn_ranker(small_dataset, small_embedding):
+    config = GcnRankerConfig(epochs=40, n_train_queries=30, seed=0)
+    return GcnExpertRanker(small_embedding, config).fit(small_dataset.network)
+
+
+@pytest.fixture(scope="session")
+def small_gae(small_dataset):
+    return train_gae(small_dataset.network, GaeConfig(epochs=50, seed=0))
+
+
+@pytest.fixture(scope="session")
+def small_former(small_gcn_ranker):
+    return CoverTeamFormer(small_gcn_ranker)
+
+
+@pytest.fixture(scope="session")
+def small_query(small_dataset):
+    """A deterministic 3-term query over the small dataset's skills."""
+    skills = sorted(small_dataset.network.skill_universe())
+    rng = np.random.default_rng(42)
+    picks = rng.choice(len(skills), size=3, replace=False)
+    return [skills[i] for i in picks]

@@ -1,0 +1,63 @@
+"""Co-occurrence counting tests."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import count_cooccurrences
+from repro.embeddings.cooccurrence import build_vocabulary
+
+
+class TestVocabulary:
+    def test_min_count_filters(self):
+        docs = [["a", "a", "b"], ["a", "c"]]
+        vocab = build_vocabulary(docs, min_count=2)
+        assert set(vocab) == {"a"}
+
+    def test_indices_deterministic_sorted(self):
+        docs = [["b", "a", "c"]]
+        vocab = build_vocabulary(docs)
+        assert vocab == {"a": 0, "b": 1, "c": 2}
+
+
+class TestCounting:
+    def test_symmetric(self):
+        counts = count_cooccurrences([["a", "b", "c"]], window=2)
+        mat = counts.counts.todense()
+        assert (mat == mat.T).all()
+
+    def test_window_limits_pairs(self):
+        counts = count_cooccurrences([["a", "b", "c", "d"]], window=1)
+        v = counts.vocabulary
+        assert counts.counts[v["a"], v["b"]] > 0
+        assert counts.counts[v["a"], v["c"]] == 0
+
+    def test_distance_weighting(self):
+        counts = count_cooccurrences(
+            [["a", "b", "c"]], window=2, distance_weighting=True
+        )
+        v = counts.vocabulary
+        # (a,b) at distance 1 counts 1.0; (a,c) at distance 2 counts 0.5.
+        assert counts.counts[v["a"], v["b"]] == pytest.approx(1.0)
+        assert counts.counts[v["a"], v["c"]] == pytest.approx(0.5)
+
+    def test_no_distance_weighting(self):
+        counts = count_cooccurrences(
+            [["a", "b", "c"]], window=2, distance_weighting=False
+        )
+        v = counts.vocabulary
+        assert counts.counts[v["a"], v["c"]] == pytest.approx(1.0)
+
+    def test_word_counts(self):
+        counts = count_cooccurrences([["a", "a", "b"]], window=1)
+        v = counts.vocabulary
+        assert counts.word_counts[v["a"]] == 2
+        assert counts.word_counts[v["b"]] == 1
+
+    def test_index_of_unknown_raises(self):
+        counts = count_cooccurrences([["a", "b"]], window=1)
+        with pytest.raises(KeyError):
+            counts.index_of("zzz")
+
+    def test_total_pairs_positive(self):
+        counts = count_cooccurrences([["a", "b", "a", "b"]], window=3)
+        assert counts.total_pairs > 0

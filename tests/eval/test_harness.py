@@ -1,0 +1,159 @@
+"""Experiment harness tests on the fast coverage ranker."""
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.eval import (
+    Case,
+    random_queries,
+    run_counterfactual_experiment,
+    run_factual_experiment,
+)
+from repro.eval.tables import format_counterfactual_table, format_factual_table
+from repro.explain import BeamConfig, ExhaustiveConfig, FactualConfig, RelevanceTarget
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import CoverageExpertRanker
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = toy_network(n_people=14, seed=5)
+    ranker = CoverageExpertRanker()
+    target = RelevanceTarget(ranker, k=3)
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+    embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+    predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+    queries = random_queries(net, 3, seed=9)
+    expert_cases = []
+    nonexpert_cases = []
+    for q in queries:
+        results = ranker.evaluate(q, net)
+        expert_cases.append(Case(results.top_k(1)[0], tuple(q), target, "expert"))
+        nonexpert_cases.append(Case(int(results.order[4]), tuple(q), target, "non_expert"))
+    return net, embedding, predictor, expert_cases, nonexpert_cases
+
+
+class TestFactualExperiment:
+    def test_rows_per_kind(self, setup):
+        net, _, _, expert_cases, _ = setup
+        rows = run_factual_experiment(
+            expert_cases,
+            net,
+            kinds=("skills", "query"),
+            factual_config=FactualConfig(exact_limit=8, n_samples=48, max_samples=64),
+            exhaustive_config=ExhaustiveConfig(
+                exact_limit=8, n_samples=48, max_samples=64
+            ),
+            dataset_name="toy",
+        )
+        assert [r.kind for r in rows] == ["skills", "query"]
+        skills_row = rows[0]
+        assert skills_row.n_cases == len(expert_cases)
+        assert skills_row.latency_exes > 0
+        assert skills_row.latency_baseline > 0
+        assert skills_row.size_exes is not None
+        assert 0.0 <= (skills_row.precision_at_1 or 0.0) <= 1.0
+
+    def test_query_kind_has_no_baseline(self, setup):
+        net, _, _, expert_cases, _ = setup
+        rows = run_factual_experiment(
+            expert_cases,
+            net,
+            kinds=("query",),
+            factual_config=FactualConfig(exact_limit=8),
+        )
+        assert rows[0].latency_baseline is None
+        assert rows[0].precision_at_1 is None
+
+    def test_unknown_kind_rejected(self, setup):
+        net, _, _, expert_cases, _ = setup
+        with pytest.raises(ValueError):
+            run_factual_experiment(expert_cases, net, kinds=("bogus",))
+
+    def test_table_formatting(self, setup):
+        net, _, _, expert_cases, _ = setup
+        rows = run_factual_experiment(
+            expert_cases,
+            net,
+            kinds=("query",),
+            factual_config=FactualConfig(exact_limit=8),
+            with_baseline=False,
+        )
+        table = format_factual_table(rows, "Mini table")
+        assert "Mini table" in table
+        assert "query" in table
+
+
+class TestCounterfactualExperiment:
+    def test_skill_removal_with_full_baseline(self, setup):
+        net, embedding, predictor, expert_cases, _ = setup
+        row = run_counterfactual_experiment(
+            expert_cases,
+            net,
+            "skill_removal",
+            embedding,
+            predictor,
+            beam_config=BeamConfig(beam_size=4, n_candidates=4, n_explanations=2),
+            exhaustive_config=ExhaustiveConfig(timeout_seconds=5, n_explanations=2),
+            dataset_name="toy",
+        )
+        assert row.kind == "skill_removal"
+        assert row.latency_exes > 0
+        assert "full" in row.baselines
+        agg = row.baselines["full"]
+        assert agg.latency > 0
+        if row.n_explanations_exes and agg.n_explanations:
+            assert 0.0 <= agg.precision <= 1.0
+            assert agg.precision_star >= agg.precision
+
+    def test_skill_addition_uses_n_and_s(self, setup):
+        net, embedding, predictor, _, nonexpert_cases = setup
+        row = run_counterfactual_experiment(
+            nonexpert_cases,
+            net,
+            "skill_addition",
+            embedding,
+            predictor,
+            beam_config=BeamConfig(beam_size=4, n_candidates=3, n_explanations=2),
+            exhaustive_config=ExhaustiveConfig(timeout_seconds=5, n_explanations=2),
+            baselines=("N", "S"),
+        )
+        assert set(row.baselines) == {"N", "S"}
+
+    def test_no_baselines_mode(self, setup):
+        net, embedding, predictor, expert_cases, _ = setup
+        row = run_counterfactual_experiment(
+            expert_cases,
+            net,
+            "query_augmentation",
+            embedding,
+            predictor,
+            beam_config=BeamConfig(beam_size=4, n_candidates=3, n_explanations=2),
+            baselines=(),
+        )
+        assert row.baselines == {}
+        assert row.precision is None
+
+    def test_unknown_kind_rejected(self, setup):
+        net, embedding, predictor, expert_cases, _ = setup
+        with pytest.raises(ValueError):
+            run_counterfactual_experiment(
+                expert_cases, net, "bogus", embedding, predictor
+            )
+
+    def test_table_formatting_with_nested_baselines(self, setup):
+        net, embedding, predictor, _, nonexpert_cases = setup
+        row = run_counterfactual_experiment(
+            nonexpert_cases[:1],
+            net,
+            "skill_addition",
+            embedding,
+            predictor,
+            beam_config=BeamConfig(beam_size=3, n_candidates=3, n_explanations=1),
+            exhaustive_config=ExhaustiveConfig(timeout_seconds=2, n_explanations=1),
+            baselines=("N", "S"),
+        )
+        table = format_counterfactual_table([row], "CF table")
+        assert "skill_addition[N]" in table
+        assert "[S]" in table

@@ -1,0 +1,109 @@
+"""Hand-computed precision metric tests."""
+
+import pytest
+
+from repro.eval import cf_precision, cf_precision_star, factual_precision_at_k
+from repro.eval.metrics import mean_ignoring_none
+from repro.explain import (
+    Counterfactual,
+    CounterfactualExplanation,
+    FactualExplanation,
+    FeatureAttribution,
+    SkillAssignmentFeature,
+)
+from repro.graph.perturbations import RemoveSkill
+
+
+def _factual(values, people=None):
+    people = people or list(range(len(values)))
+    return FactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        attributions=[
+            FeatureAttribution(SkillAssignmentFeature(p, f"s{p}"), v)
+            for p, v in zip(people, values)
+        ],
+        base_value=0.0,
+        full_value=1.0,
+        n_evaluations=1,
+        elapsed_seconds=0.0,
+        method="exact",
+        pruned=True,
+        kind="skills",
+    )
+
+
+def _cf(sizes):
+    return CounterfactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        counterfactuals=[
+            Counterfactual(
+                tuple(RemoveSkill(i, f"s{i}-{j}") for j in range(size)), 2.0
+            )
+            for i, size in enumerate(sizes)
+        ],
+        initial_decision=True,
+        n_probes=1,
+        elapsed_seconds=0.0,
+        kind="skill_removal",
+        pruned=True,
+    )
+
+
+class TestFactualPrecision:
+    def test_full_overlap(self):
+        pruned = _factual([0.9, 0.5], people=[0, 1])
+        exhaustive = _factual([0.8, 0.4, 0.1], people=[0, 1, 2])
+        assert factual_precision_at_k(pruned, exhaustive, 2) == 1.0
+
+    def test_partial_overlap(self):
+        pruned = _factual([0.9, 0.5], people=[0, 9])  # feature 9 not in baseline
+        exhaustive = _factual([0.8, 0.4], people=[0, 1])
+        assert factual_precision_at_k(pruned, exhaustive, 2) == 0.5
+
+    def test_zero_values_in_baseline_dont_count(self):
+        pruned = _factual([0.9], people=[0])
+        exhaustive = _factual([0.0], people=[0])  # zero SHAP in baseline
+        assert factual_precision_at_k(pruned, exhaustive, 1) == 0.0
+
+    def test_pruned_all_zero_is_undefined(self):
+        pruned = _factual([0.0, 0.0])
+        exhaustive = _factual([0.8, 0.4])
+        assert factual_precision_at_k(pruned, exhaustive, 2) is None
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            factual_precision_at_k(_factual([1.0]), _factual([1.0]), 0)
+
+
+class TestCfPrecision:
+    def test_all_minimal(self):
+        assert cf_precision(_cf([1, 1]), _cf([1])) == 1.0
+
+    def test_half_minimal(self):
+        assert cf_precision(_cf([1, 2]), _cf([1])) == 0.5
+
+    def test_none_when_baseline_empty(self):
+        assert cf_precision(_cf([1]), _cf([])) is None
+
+    def test_none_when_pruned_empty(self):
+        assert cf_precision(_cf([]), _cf([1])) is None
+
+    def test_precision_star_within_one(self):
+        # baseline minimal = 1; sizes 1 and 2 both pass the star criterion.
+        assert cf_precision_star(_cf([1, 2]), _cf([1])) == 1.0
+        # size 3 exceeds minimal + 1.
+        assert cf_precision_star(_cf([1, 3]), _cf([1])) == 0.5
+
+    def test_star_at_least_plain(self):
+        pruned, base = _cf([1, 2, 2]), _cf([1])
+        assert cf_precision_star(pruned, base) >= cf_precision(pruned, base)
+
+
+class TestMeanIgnoringNone:
+    def test_mixed(self):
+        assert mean_ignoring_none([1.0, None, 0.0]) == 0.5
+
+    def test_all_none(self):
+        assert mean_ignoring_none([None, None]) is None

@@ -1,0 +1,159 @@
+"""Tests for the explanation-robustness extension (paper §5 future work)."""
+
+import pytest
+
+from repro.embeddings import train_ppmi_embedding
+from repro.eval import (
+    counterfactual_explanation_overlap,
+    factual_explanation_overlap,
+    measure_robustness,
+    person_similarity,
+    similar_pairs,
+)
+from repro.explain import (
+    BeamConfig,
+    Counterfactual,
+    CounterfactualExplainer,
+    CounterfactualExplanation,
+    FactualConfig,
+    FactualExplainer,
+    FactualExplanation,
+    FeatureAttribution,
+    RelevanceTarget,
+    SkillAssignmentFeature,
+)
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import AddSkill, RemoveSkill
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import CoverageExpertRanker
+
+
+@pytest.fixture
+def net():
+    """Two near-twins (0, 1) sharing skills and a neighbor, plus others."""
+    net = CollaborationNetwork()
+    net.add_person("twin-a", {"graph", "mining", "search"})
+    net.add_person("twin-b", {"graph", "mining", "index"})
+    net.add_person("hub", {"vision"})
+    net.add_person("odd", {"privacy"})
+    net.add_edge(0, 2)
+    net.add_edge(1, 2)
+    net.add_edge(2, 3)
+    return net
+
+
+class TestPersonSimilarity:
+    def test_twins_are_similar(self, net):
+        assert person_similarity(net, 0, 1) > 0.5
+
+    def test_unrelated_are_dissimilar(self, net):
+        assert person_similarity(net, 0, 3) < person_similarity(net, 0, 1)
+
+    def test_symmetric(self, net):
+        assert person_similarity(net, 0, 1) == person_similarity(net, 1, 0)
+
+
+class TestSimilarPairs:
+    def test_twins_found(self, net):
+        pairs = similar_pairs(net, min_similarity=0.3)
+        assert any({a, b} == {0, 1} for a, b, _ in pairs)
+
+    def test_threshold_filters(self, net):
+        pairs = similar_pairs(net, min_similarity=0.99)
+        assert pairs == []
+
+    def test_max_pairs_respected(self, net):
+        pairs = similar_pairs(net, min_similarity=0.0, max_pairs=1)
+        assert len(pairs) == 1
+
+
+def _fx(skills_with_values):
+    return FactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        attributions=[
+            FeatureAttribution(SkillAssignmentFeature(0, s), v)
+            for s, v in skills_with_values
+        ],
+        base_value=0.0,
+        full_value=1.0,
+        n_evaluations=1,
+        elapsed_seconds=0.0,
+        method="exact",
+        pruned=True,
+        kind="skills",
+    )
+
+
+def _cf(perturbations):
+    return CounterfactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        counterfactuals=[Counterfactual(tuple(perturbations), 2.0)],
+        initial_decision=True,
+        n_probes=1,
+        elapsed_seconds=0.0,
+        kind="skill_removal",
+        pruned=True,
+    )
+
+
+class TestOverlapMetrics:
+    def test_factual_identical(self):
+        a = _fx([("graph", 0.9), ("mining", 0.5)])
+        assert factual_explanation_overlap(a, a) == 1.0
+
+    def test_factual_disjoint(self):
+        a = _fx([("graph", 0.9)])
+        b = _fx([("privacy", 0.9)])
+        assert factual_explanation_overlap(a, b) == 0.0
+
+    def test_factual_zero_values_ignored(self):
+        a = _fx([("graph", 0.9), ("noise", 0.0)])
+        b = _fx([("graph", 0.5)])
+        assert factual_explanation_overlap(a, b) == 1.0
+
+    def test_factual_undefined_when_both_empty(self):
+        assert factual_explanation_overlap(_fx([]), _fx([])) is None
+
+    def test_cf_vocabulary_overlap(self):
+        a = _cf([RemoveSkill(0, "graph")])
+        b = _cf([AddSkill(1, "graph"), AddSkill(1, "mining")])
+        assert counterfactual_explanation_overlap(a, b) == 0.5
+
+    def test_cf_undefined_when_empty(self):
+        empty = CounterfactualExplanation(
+            person=0, query=frozenset(), counterfactuals=[],
+            initial_decision=True, n_probes=0, elapsed_seconds=0.0,
+            kind="skill_removal", pruned=True,
+        )
+        assert counterfactual_explanation_overlap(empty, empty) is None
+
+
+class TestMeasureRobustness:
+    def test_end_to_end_on_twins(self, net):
+        target = RelevanceTarget(CoverageExpertRanker(), k=2)
+        profiles = [sorted(net.skills(p)) for p in net.people()] * 3
+        embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        factual = FactualExplainer(target, FactualConfig(exact_limit=10))
+        counterfactual = CounterfactualExplainer(
+            target, embedding, predictor, BeamConfig(beam_size=4, n_candidates=4)
+        )
+        pairs = similar_pairs(net, min_similarity=0.3)
+        report = measure_robustness(
+            factual, counterfactual, net, ["graph", "mining"], pairs
+        )
+        assert report.n_pairs == len(pairs)
+        assert report.mean_person_similarity > 0.3
+        # Twins share their decisive skills: factual stories must overlap.
+        assert report.factual_overlap is None or report.factual_overlap >= 0.0
+        assert "robustness" in report.as_text()
+
+    def test_empty_pairs(self, net):
+        target = RelevanceTarget(CoverageExpertRanker(), k=2)
+        report = measure_robustness(
+            FactualExplainer(target), None, net, ["graph"], []
+        )
+        assert report.n_pairs == 0
+        assert report.factual_overlap is None

@@ -1,0 +1,94 @@
+"""Unit tests for the Figure 9 sweep machinery (fast coverage ranker)."""
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.eval import (
+    Case,
+    random_queries,
+    sweep_beam_size,
+    sweep_candidates,
+    sweep_radius,
+    sweep_tau,
+)
+from repro.eval.tables import format_sweep
+from repro.explain import BeamConfig, ExhaustiveConfig, FactualConfig, RelevanceTarget
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import CoverageExpertRanker
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = toy_network(n_people=14, seed=6)
+    ranker = CoverageExpertRanker()
+    target = RelevanceTarget(ranker, k=3)
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+    embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+    predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+    queries = random_queries(net, 2, seed=10)
+    expert_cases = []
+    nonexpert_cases = []
+    for q in queries:
+        results = ranker.evaluate(q, net)
+        expert_cases.append(Case(results.top_k(3)[-1], tuple(q), target, "expert"))
+        nonexpert_cases.append(Case(int(results.order[4]), tuple(q), target, "non_expert"))
+    config = BeamConfig(beam_size=4, n_candidates=3, n_explanations=2, max_size=3)
+    excfg = ExhaustiveConfig(timeout_seconds=3, n_explanations=2, max_size=3)
+    return net, embedding, predictor, expert_cases, nonexpert_cases, config, excfg
+
+
+class TestSweeps:
+    def test_beam_size_sweep_points(self, setup):
+        net, emb, pred, experts, _, config, excfg = setup
+        points = sweep_beam_size(
+            experts, net, emb, pred, values=(2, 4), base_config=config,
+            exhaustive_config=excfg,
+        )
+        assert [p.parameter for p in points] == [2.0, 4.0]
+        assert all(p.latency is not None and p.latency >= 0 for p in points)
+        assert all(p.n_explanations is not None for p in points)
+
+    def test_candidates_sweep_points(self, setup):
+        net, emb, pred, _, nonexperts, config, excfg = setup
+        points = sweep_candidates(
+            nonexperts, net, emb, pred, values=(2, 4), base_config=config,
+            exhaustive_config=excfg,
+        )
+        assert len(points) == 2
+        # More candidates can only expand the searched space.
+        assert points[1].n_explanations >= points[0].n_explanations - 1
+
+    def test_radius_sweep_points(self, setup):
+        net, emb, pred, _, nonexperts, config, excfg = setup
+        points = sweep_radius(
+            nonexperts, net, emb, pred, values=(0, 1), base_config=config,
+            exhaustive_config=excfg,
+        )
+        assert [p.parameter for p in points] == [0.0, 1.0]
+
+    def test_tau_sweep_monotone_size(self, setup):
+        net, _, _, experts, _, _, _ = setup
+        points = sweep_tau(
+            experts, net, values=(0.01, 0.5),
+            base_config=FactualConfig(exact_limit=8, n_samples=48, max_samples=64),
+        )
+        assert points[1].size <= points[0].size
+        assert points[0].precision is None  # tau sweep measures size/latency
+
+    def test_unsupported_kind_rejected(self, setup):
+        from repro.eval.sensitivity import _baseline_results
+
+        net, emb, _, experts, _, _, excfg = setup
+        with pytest.raises(ValueError, match="unsupported sweep kind"):
+            _baseline_results(experts, net, "link_addition", emb, excfg)
+
+    def test_format_sweep_output(self, setup):
+        net, emb, pred, experts, _, config, excfg = setup
+        points = sweep_beam_size(
+            experts, net, emb, pred, values=(2,), base_config=config,
+            exhaustive_config=excfg,
+        )
+        text = format_sweep(points, "Title here", "b")
+        assert "Title here" in text
+        assert "latency" in text

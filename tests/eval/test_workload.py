@@ -1,0 +1,90 @@
+"""Workload generation and subject sampling tests."""
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.eval import random_queries, sample_search_subjects, sample_team_subjects
+from repro.search import CoverageExpertRanker
+from repro.team import CoverTeamFormer
+
+
+@pytest.fixture
+def net():
+    return toy_network(n_people=12, seed=4)
+
+
+class TestRandomQueries:
+    def test_count_and_length(self, net):
+        queries = random_queries(net, 10, seed=1)
+        assert len(queries) == 10
+        assert all(3 <= len(q) <= 5 for q in queries)
+
+    def test_terms_from_universe(self, net):
+        universe = net.skill_universe()
+        for q in random_queries(net, 5, seed=2):
+            assert set(q) <= universe
+
+    def test_no_duplicate_terms_within_query(self, net):
+        for q in random_queries(net, 10, seed=3):
+            assert len(q) == len(set(q))
+
+    def test_deterministic(self, net):
+        assert random_queries(net, 5, seed=4) == random_queries(net, 5, seed=4)
+
+    def test_custom_term_range(self, net):
+        queries = random_queries(net, 5, seed=5, terms=(2, 2))
+        assert all(len(q) == 2 for q in queries)
+
+    def test_invalid_range(self, net):
+        with pytest.raises(ValueError):
+            random_queries(net, 5, terms=(3, 1))
+
+    def test_skillless_network_rejected(self):
+        from repro.graph import CollaborationNetwork
+
+        empty = CollaborationNetwork()
+        empty.add_person("a")
+        with pytest.raises(ValueError):
+            random_queries(empty, 1)
+
+
+class TestSearchSubjects:
+    def test_expert_in_topk_nonexpert_in_band(self, net):
+        ranker = CoverageExpertRanker()
+        queries = random_queries(net, 6, seed=6)
+        subjects = sample_search_subjects(ranker, net, queries, k=3, seed=6)
+        assert len(subjects) == 6
+        for s in subjects:
+            results = ranker.evaluate(list(s.query), net)
+            if s.expert is not None:
+                assert results.rank_of(s.expert) <= 3
+            if s.non_expert is not None:
+                assert 3 < results.rank_of(s.non_expert) <= 6
+
+    def test_zero_score_individuals_excluded(self, net):
+        """Subjects must actually match the query (score > 0)."""
+        ranker = CoverageExpertRanker()
+        queries = random_queries(net, 6, seed=7)
+        subjects = sample_search_subjects(ranker, net, queries, k=3, seed=7)
+        for s in subjects:
+            if s.expert is not None:
+                scores = ranker.scores(frozenset(s.query), net)
+                assert scores[s.expert] > 0
+
+
+class TestTeamSubjects:
+    def test_member_on_team_nonmember_off(self, net):
+        ranker = CoverageExpertRanker()
+        former = CoverTeamFormer(ranker)
+        queries = random_queries(net, 6, seed=8)
+        subjects = sample_team_subjects(former, ranker, net, queries, k=3, seed=8)
+        assert subjects
+        for s in subjects:
+            team = former.form(list(s.query), net, seed_member=s.seed_member)
+            assert s.seed_member in team.members
+            if s.member is not None:
+                assert s.member in team.members
+                assert s.member != s.seed_member
+            if s.non_member is not None:
+                assert s.non_member not in team.members
+                assert net.has_edge(s.seed_member, s.non_member)

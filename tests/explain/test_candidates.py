@@ -1,0 +1,165 @@
+"""Candidate-generator tests (Pruning Strategies 1, 4, 5)."""
+
+import pytest
+
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import RelevanceTarget
+from repro.explain.candidates import (
+    link_addition_candidates,
+    link_removal_candidates,
+    query_augmentation_candidates,
+    skill_addition_candidates,
+    skill_removal_candidates,
+)
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    RemoveEdge,
+    RemoveSkill,
+)
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import CoverageExpertRanker
+
+
+@pytest.fixture
+def net():
+    net = CollaborationNetwork()
+    net.add_person("a", {"graph", "mining"})
+    net.add_person("b", {"graph"})
+    net.add_person("c", {"vision", "mining"})
+    net.add_person("d", {"privacy"})
+    net.add_person("e", {"stream"})
+    for u, v in [(0, 1), (0, 2), (1, 3), (2, 4)]:
+        net.add_edge(u, v)
+    return net
+
+
+@pytest.fixture
+def embedding(net):
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 3
+    return train_ppmi_embedding(profiles, dim=4, min_count=1)
+
+
+@pytest.fixture
+def target():
+    return RelevanceTarget(CoverageExpertRanker(), k=2)
+
+
+QUERY = frozenset({"graph", "mining"})
+
+
+class TestSkillRemoval:
+    def test_only_existing_assignments(self, net, embedding):
+        for cand in skill_removal_candidates(0, QUERY, net, embedding, t=4, radius=1):
+            assert isinstance(cand, RemoveSkill)
+            assert net.has_skill(cand.person, cand.skill)
+
+    def test_respects_neighborhood(self, net, embedding):
+        cands = skill_removal_candidates(0, QUERY, net, embedding, t=4, radius=1)
+        people = {c.person for c in cands}
+        assert people <= {0, 1, 2}  # N(0, 1)
+
+    def test_query_skills_among_candidates(self, net, embedding):
+        cands = skill_removal_candidates(0, QUERY, net, embedding, t=4, radius=1)
+        skills = {c.skill for c in cands}
+        assert "graph" in skills or "mining" in skills
+
+
+class TestSkillAddition:
+    def test_only_missing_assignments(self, net, embedding):
+        for cand in skill_addition_candidates(3, QUERY, net, embedding, t=4, radius=1):
+            assert isinstance(cand, AddSkill)
+            assert not net.has_skill(cand.person, cand.skill)
+
+    def test_skills_come_from_universe(self, net, embedding):
+        cands = skill_addition_candidates(3, QUERY, net, embedding, t=4, radius=1)
+        universe = net.skill_universe()
+        assert all(c.skill in universe for c in cands)
+
+    def test_lexical_fallback_covers_oov_queries(self, net, embedding):
+        """Query terms absent from the embedding still yield candidates."""
+        cands = skill_addition_candidates(
+            3, frozenset({"zzz-unknown"}), net, embedding, t=3, radius=1
+        )
+        assert cands  # fallback fills from the pool deterministically
+
+
+class TestQueryAugmentation:
+    def test_promote_excludes_query_terms(self, net, embedding):
+        cands = query_augmentation_candidates(
+            3, QUERY, net, embedding, t=4, promote=True
+        )
+        assert all(isinstance(c, AddQueryTerm) for c in cands)
+        assert all(c.term not in QUERY for c in cands)
+
+    def test_evict_excludes_own_skills(self, net, embedding):
+        cands = query_augmentation_candidates(
+            0, QUERY, net, embedding, t=4, promote=False
+        )
+        own = net.skills(0)
+        assert all(c.term not in own for c in cands)
+
+    def test_bounded_by_t(self, net, embedding):
+        cands = query_augmentation_candidates(
+            0, QUERY, net, embedding, t=2, promote=False
+        )
+        assert len(cands) <= 2
+
+
+class TestLinkAddition:
+    def test_only_missing_edges(self, net, embedding, target):
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        cands = link_addition_candidates(
+            3, QUERY, net, predictor, target, t=5, radius=1
+        )
+        for c in cands:
+            assert isinstance(c, AddEdge)
+            assert not net.has_edge(c.u, c.v)
+
+    def test_person_anchored_edges_first(self, net, embedding, target):
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        cands = link_addition_candidates(
+            3, QUERY, net, predictor, target, t=3, radius=1
+        )
+        assert cands
+        assert 3 in (cands[0].u, cands[0].v)
+
+    def test_bounded_by_t(self, net, target):
+        predictor = HeuristicLinkPredictor("jaccard").fit(net)
+        cands = link_addition_candidates(
+            3, QUERY, net, predictor, target, t=2, radius=1
+        )
+        assert len(cands) <= 2
+
+
+class TestLinkRemoval:
+    def test_only_existing_edges(self, net, target):
+        cands, probes = link_removal_candidates(0, QUERY, net, target, t=3, radius=2)
+        for c in cands:
+            assert isinstance(c, RemoveEdge)
+            assert net.has_edge(c.u, c.v)
+        assert probes > 0
+
+    def test_most_damaging_edge_first(self, net, target):
+        """For expert 0, losing (0,2) costs the 'mining' neighbor bonus —
+        it must rank above edges not touching 0's score."""
+        cands, _ = link_removal_candidates(0, QUERY, net, target, t=4, radius=2)
+        assert cands[0] in (RemoveEdge(0, 2), RemoveEdge(0, 1))
+
+    def test_probe_cap(self, net, target):
+        cands, probes = link_removal_candidates(
+            0, QUERY, net, target, t=2, radius=2, max_probe_edges=2
+        )
+        assert probes <= 3  # base + capped edges
+        assert len(cands) <= 2
+
+    def test_no_edges_case(self, target):
+        lonely = CollaborationNetwork()
+        lonely.add_person("x", {"graph"})
+        lonely.add_person("y")
+        cands, probes = link_removal_candidates(
+            0, frozenset({"graph"}), lonely, target, t=2, radius=2
+        )
+        assert cands == [] and probes == 0

@@ -1,0 +1,233 @@
+"""Beam-search counterfactual tests (Algorithm 1) on transparent systems.
+
+Fixture arithmetic (CoverageExpertRanker, neighbor_weight=0.5,
+query = {graph, mining}, k=2):
+
+    p0 "leader" {graph, mining}, edge to p2   -> 1.0 + 0.5*0.5  = 1.25  rank 1
+    p2 "helper" {mining},        edge to p0,p3 -> 0.5 + 0.5*1.0 = 1.00  rank 2
+    p1 "second" {graph, text},   edges to p3,p4 -> 0.5 + 0      = 0.50  rank 3
+
+so p2 is the boundary expert (eviction target) and p1 the near-miss
+non-expert (promotion target).  Single-perturbation flips verified by hand:
+
+    RemoveSkill(2,'mining')  -> p2 = 0.5 ties p1, loses id tie-break: evicted
+    AddSkill(1,'mining')     -> p1 = 1.0 ties p2, wins id tie-break: promoted
+    AddQueryTerm('text')     -> p1 = 2/3 ties p2, wins: p2 evicted
+    RemoveEdge(0,2)          -> p2 = 0.5 ties p1, loses: evicted
+    AddEdge(0,1)             -> p1 = 1.0 ties p2, wins: promoted
+"""
+
+import pytest
+
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import (
+    BeamConfig,
+    CounterfactualExplainer,
+    RelevanceTarget,
+    beam_search_counterfactuals,
+)
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import AddSkill, RemoveSkill
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import CoverageExpertRanker
+
+EXPERT = 2  # boundary expert (rank 2 of k=2)
+NONEXPERT = 1  # near miss (rank 3)
+QUERY = ["graph", "mining"]
+
+
+@pytest.fixture
+def net():
+    net = CollaborationNetwork()
+    net.add_person("leader", {"graph", "mining"})
+    net.add_person("second", {"graph", "text"})
+    net.add_person("helper", {"mining"})
+    net.add_person("side", {"vision"})
+    net.add_person("filler", {"privacy"})
+    net.add_edge(0, 2)
+    net.add_edge(1, 3)
+    net.add_edge(1, 4)
+    net.add_edge(2, 3)
+    return net
+
+
+@pytest.fixture
+def target():
+    return RelevanceTarget(CoverageExpertRanker(), k=2)
+
+
+@pytest.fixture
+def embedding(net):
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 3
+    return train_ppmi_embedding(profiles, dim=4, min_count=1)
+
+
+@pytest.fixture
+def explainer(net, target, embedding):
+    predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+    return CounterfactualExplainer(
+        target, embedding, predictor, BeamConfig(beam_size=6, n_candidates=6)
+    )
+
+
+class TestBeamSearchCore:
+    def test_finds_known_minimal_removal(self, net, target):
+        candidates = [
+            RemoveSkill(0, "graph"),
+            RemoveSkill(0, "mining"),
+            RemoveSkill(2, "mining"),
+        ]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=3, n_explanations=3),
+            kind="skill_removal",
+        )
+        assert result.found
+        assert result.minimal_size == 1
+        assert result.initial_decision is True
+        best = result.sorted_counterfactuals()[0]
+        assert best.perturbations == (RemoveSkill(2, "mining"),)
+
+    def test_respects_max_size(self, net, target):
+        """Weak candidate + γ=1: no explanation reachable."""
+        candidates = [RemoveSkill(3, "vision")]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=1, max_size=1),
+            kind="skill_removal",
+        )
+        assert not result.found
+
+    def test_respects_n_explanations(self, net, target):
+        candidates = [
+            RemoveSkill(2, "mining"),
+            RemoveSkill(0, "graph"),
+            RemoveSkill(0, "mining"),
+        ]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=3, n_explanations=1),
+            kind="skill_removal",
+        )
+        assert len(result.counterfactuals) == 1
+
+    def test_no_supersets_of_found(self, net, target):
+        candidates = [
+            RemoveSkill(2, "mining"),
+            RemoveSkill(0, "graph"),
+            RemoveSkill(0, "mining"),
+        ]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=6, n_candidates=3, n_explanations=5),
+            kind="skill_removal",
+        )
+        sets = [frozenset(c.perturbations) for c in result.counterfactuals]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                assert i == j or not (a < b)
+
+    def test_promotion_direction(self, net, target):
+        candidates = [AddSkill(1, "mining"), AddSkill(4, "graph")]
+        result = beam_search_counterfactuals(
+            target, NONEXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=2),
+            kind="skill_addition",
+        )
+        assert result.initial_decision is False
+        assert result.found
+        best = result.sorted_counterfactuals()[0]
+        assert AddSkill(1, "mining") in best.perturbations
+
+    def test_probe_count_positive(self, net, target):
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, [RemoveSkill(2, "mining")],
+            BeamConfig(beam_size=2, n_candidates=1),
+            kind="skill_removal",
+        )
+        assert result.n_probes >= 2  # initial + at least one expansion
+
+    def test_timeout_flag(self, net, target):
+        candidates = [RemoveSkill(3, "vision"), RemoveSkill(4, "privacy")]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=2, n_candidates=2, timeout_seconds=0.0),
+            kind="skill_removal",
+        )
+        assert result.timed_out
+
+    def test_empty_candidates(self, net, target):
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, [],
+            BeamConfig(beam_size=2, n_candidates=1),
+            kind="skill_removal",
+        )
+        assert not result.found
+        assert result.candidate_count == 0
+
+    def test_inapplicable_states_skipped(self, net, target):
+        """A candidate that's a no-op (skill the person lacks after another
+        perturbation) must be skipped, not crash the search."""
+        candidates = [RemoveSkill(2, "mining"), AddSkill(2, "mining")]
+        result = beam_search_counterfactuals(
+            target, EXPERT, QUERY, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=2, n_explanations=5),
+            kind="skill_removal",
+        )
+        assert result.found  # the legitimate removal is still found
+
+
+class TestExplainerMethods:
+    def test_skill_removal_end_to_end(self, net, explainer):
+        result = explainer.explain_skill_removal(EXPERT, QUERY, net)
+        assert result.kind == "skill_removal"
+        assert result.found
+        assert result.minimal_size == 1
+
+    def test_skill_addition_end_to_end(self, net, explainer):
+        result = explainer.explain_skill_addition(NONEXPERT, QUERY, net)
+        assert result.kind == "skill_addition"
+        assert result.found
+        assert result.minimal_size == 1
+
+    def test_query_augmentation_evicts_expert(self, net, explainer):
+        result = explainer.explain_query_augmentation(EXPERT, QUERY, net)
+        assert result.kind == "query_augmentation"
+        assert result.found
+
+    def test_query_augmentation_promotes_nonexpert(self, net, explainer):
+        result = explainer.explain_query_augmentation(NONEXPERT, QUERY, net)
+        assert result.found
+        assert result.initial_decision is False
+
+    def test_link_removal_demotes(self, net, explainer):
+        result = explainer.explain_link_removal(EXPERT, QUERY, net)
+        assert result.kind == "link_removal"
+        assert result.found
+        assert result.minimal_size == 1
+
+    def test_link_addition_promotes(self, net, explainer):
+        result = explainer.explain_link_addition(NONEXPERT, QUERY, net)
+        assert result.kind == "link_addition"
+        assert result.found
+
+    def test_with_config_override(self, explainer):
+        narrow = explainer.with_config(beam_size=1, n_candidates=2)
+        assert narrow.config.beam_size == 1
+        assert narrow.config.n_candidates == 2
+        assert explainer.config.beam_size == 6  # original untouched
+
+
+class TestBeamConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beam_size": 0},
+            {"n_candidates": 0},
+            {"max_size": 0},
+            {"n_explanations": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BeamConfig(**kwargs)

@@ -1,0 +1,167 @@
+"""Exhaustive baseline tests: ground-truth minimality and budget behavior.
+
+Uses the same worked-out fixture as test_counterfactual.py (see its module
+docstring for the score arithmetic): p2 is the boundary expert of a k=2
+ranking and RemoveSkill(2,'mining') / AddQueryTerm('text') / RemoveEdge(0,2)
+are verified single-perturbation flips.
+"""
+
+import pytest
+
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import (
+    ExhaustiveConfig,
+    ExhaustiveCounterfactualExplainer,
+    ExhaustiveFactualExplainer,
+    RelevanceTarget,
+)
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import AddQueryTerm, RemoveSkill
+from repro.search import CoverageExpertRanker
+
+EXPERT = 2
+NONEXPERT = 1
+QUERY = ["graph", "mining"]
+
+
+@pytest.fixture
+def net():
+    net = CollaborationNetwork()
+    net.add_person("leader", {"graph", "mining"})
+    net.add_person("second", {"graph", "text"})
+    net.add_person("helper", {"mining"})
+    net.add_person("side", {"vision"})
+    net.add_person("filler", {"privacy"})
+    net.add_edge(0, 2)
+    net.add_edge(1, 3)
+    net.add_edge(1, 4)
+    net.add_edge(2, 3)
+    return net
+
+
+@pytest.fixture
+def target():
+    return RelevanceTarget(CoverageExpertRanker(), k=2)
+
+
+class TestExhaustiveFactual:
+    def test_skills_cover_whole_network(self, net, target):
+        explainer = ExhaustiveFactualExplainer(target, ExhaustiveConfig(exact_limit=4))
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        people = {a.feature.person for a in fx.attributions}
+        assert people == {0, 1, 2, 3, 4}  # every node, not just N(2)
+        assert not fx.pruned
+
+    def test_collaborations_cover_all_edges(self, net, target):
+        explainer = ExhaustiveFactualExplainer(target, ExhaustiveConfig(exact_limit=4))
+        fx = explainer.explain_collaborations(EXPERT, QUERY, net)
+        assert len(fx.attributions) == net.n_edges
+
+    def test_query_features_identical_to_pruned(self, net, target):
+        explainer = ExhaustiveFactualExplainer(target)
+        fx = explainer.explain_query(EXPERT, QUERY, net)
+        assert {a.feature.term for a in fx.attributions} == set(QUERY)
+
+
+class TestExhaustiveCounterfactualSearch:
+    def test_finds_global_minimal_removal(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(n_explanations=3, timeout_seconds=10)
+        )
+        result = explainer.explain_skill_removal(EXPERT, QUERY, net)
+        assert result.found
+        assert result.minimal_size == 1
+        first = result.sorted_counterfactuals()[0].perturbations[0]
+        assert first == RemoveSkill(2, "mining")
+
+    def test_query_augmentation_space_excludes_query(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(target)
+        space = explainer.query_augmentation_space(frozenset(QUERY), net)
+        terms = {p.term for p in space}
+        assert terms == {"text", "vision", "privacy"}
+
+    def test_query_augmentation_finds_eviction(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(timeout_seconds=10)
+        )
+        result = explainer.explain_query_augmentation(EXPERT, QUERY, net)
+        assert result.found
+        assert result.minimal_size == 1
+        minimal_terms = {
+            c.perturbations[0].term
+            for c in result.counterfactuals
+            if c.size == 1
+        }
+        assert "text" in minimal_terms
+
+    def test_link_removal_finds_eviction(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(timeout_seconds=10)
+        )
+        result = explainer.explain_link_removal(EXPERT, QUERY, net)
+        assert result.found
+        assert result.minimal_size == 1
+
+    def test_link_spaces(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(target)
+        assert len(explainer.link_removal_space(net)) == net.n_edges
+        n = net.n_people
+        assert (
+            len(explainer.link_addition_space(net))
+            == n * (n - 1) // 2 - net.n_edges
+        )
+
+    def test_timeout_truncates_search(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(
+            target,
+            ExhaustiveConfig(timeout_seconds=0.0, n_explanations=5),
+        )
+        result = explainer.explain_skill_removal(EXPERT, QUERY, net)
+        assert result.timed_out
+        assert not result.found
+
+    def test_skill_addition_neighborhood_space(self, net, target):
+        """Baseline N: every node x pruned shortlist."""
+        profiles = [sorted(net.skills(p)) for p in net.people()] * 3
+        embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+        explainer = ExhaustiveCounterfactualExplainer(target)
+        space = explainer.skill_addition_space_neighborhood(
+            NONEXPERT, frozenset(QUERY), net, embedding, t=2
+        )
+        people = {p.person for p in space}
+        assert len(people) > 2  # spans the whole network, not just N(1)
+        skills = {p.skill for p in space}
+        assert len(skills) <= 2  # but only t skills
+
+    def test_skill_addition_skills_space(self, net, target):
+        """Baseline S: neighborhood nodes x full universe."""
+        explainer = ExhaustiveCounterfactualExplainer(target)
+        space = explainer.skill_addition_space_skills(
+            NONEXPERT, frozenset(QUERY), net, radius=1
+        )
+        people = {p.person for p in space}
+        assert people <= {1, 3, 4}  # N(1, 1)
+        skills = {p.skill for p in space}
+        assert skills <= set(net.skill_universe())
+
+    def test_skill_addition_n_baseline_promotes(self, net, target):
+        profiles = [sorted(net.skills(p)) for p in net.people()] * 3
+        embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+        explainer = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(timeout_seconds=10)
+        )
+        result = explainer.explain_skill_addition_neighborhood(
+            NONEXPERT, QUERY, net, embedding, t=3
+        )
+        assert result.kind == "skill_addition[N]"
+        assert result.found
+
+    def test_minimality_of_result_sets(self, net, target):
+        explainer = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(n_explanations=5, timeout_seconds=10)
+        )
+        result = explainer.explain_skill_removal(EXPERT, QUERY, net)
+        sets = [frozenset(c.perturbations) for c in result.counterfactuals]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                assert i == j or not (a < b)

@@ -1,0 +1,122 @@
+"""Explanation dataclass tests (sizes, ordering, minimality filter)."""
+
+import pytest
+
+from repro.explain import (
+    Counterfactual,
+    CounterfactualExplanation,
+    FactualExplanation,
+    FeatureAttribution,
+    QueryTermFeature,
+    SkillAssignmentFeature,
+    filter_minimal,
+)
+from repro.graph.perturbations import AddQueryTerm, AddSkill, RemoveSkill
+
+
+def _factual(values):
+    return FactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        attributions=[
+            FeatureAttribution(SkillAssignmentFeature(0, f"s{i}"), v)
+            for i, v in enumerate(values)
+        ],
+        base_value=0.0,
+        full_value=1.0,
+        n_evaluations=10,
+        elapsed_seconds=0.1,
+        method="exact",
+        pruned=True,
+        kind="skills",
+    )
+
+
+class TestFactualExplanation:
+    def test_size_counts_nonzero(self):
+        assert _factual([0.5, 0.0, -0.2, 1e-12]).size == 2
+
+    def test_top_orders_by_magnitude(self):
+        fx = _factual([0.1, -0.9, 0.5])
+        top = fx.top(2)
+        assert [a.value for a in top] == [-0.9, 0.5]
+
+    def test_positive_negative_split(self):
+        fx = _factual([0.3, -0.4, 0.0])
+        assert [a.value for a in fx.positive()] == [0.3]
+        assert [a.value for a in fx.negative()] == [-0.4]
+
+    def test_value_of_lookup(self):
+        fx = _factual([0.3, -0.4])
+        assert fx.value_of(SkillAssignmentFeature(0, "s1")) == -0.4
+        with pytest.raises(KeyError):
+            fx.value_of(QueryTermFeature("missing"))
+
+
+def _cf(perturbation_sets, initial=True):
+    return CounterfactualExplanation(
+        person=0,
+        query=frozenset({"q"}),
+        counterfactuals=[
+            Counterfactual(tuple(ps), new_order_key=float(i + 2))
+            for i, ps in enumerate(perturbation_sets)
+        ],
+        initial_decision=initial,
+        n_probes=10,
+        elapsed_seconds=0.1,
+        kind="skill_removal",
+        pruned=True,
+    )
+
+
+class TestCounterfactualExplanation:
+    def test_minimal_and_mean_size(self):
+        cf = _cf([
+            [RemoveSkill(0, "a")],
+            [RemoveSkill(0, "b"), RemoveSkill(1, "c")],
+        ])
+        assert cf.minimal_size == 1
+        assert cf.mean_size == 1.5
+        assert cf.found
+
+    def test_empty_explanation(self):
+        cf = _cf([])
+        assert cf.minimal_size is None
+        assert cf.mean_size is None
+        assert not cf.found
+
+    def test_sorted_by_size_then_effect(self):
+        cf = _cf([
+            [RemoveSkill(0, "a"), RemoveSkill(0, "b")],  # size 2, rank 2
+            [RemoveSkill(0, "c")],  # size 1, rank 3
+            [RemoveSkill(0, "d")],  # size 1, rank 4
+        ], initial=True)
+        ordered = cf.sorted_counterfactuals()
+        assert [c.size for c in ordered] == [1, 1, 2]
+        # Evictions: bigger rank (stronger demotion) first within a size.
+        assert ordered[0].new_order_key == 4.0
+
+
+class TestFilterMinimal:
+    def test_supersets_removed(self):
+        a = Counterfactual((RemoveSkill(0, "x"),), 2.0)
+        b = Counterfactual((RemoveSkill(0, "x"), RemoveSkill(0, "y")), 3.0)
+        assert filter_minimal([a, b]) == [a]
+
+    def test_duplicates_removed(self):
+        a = Counterfactual((RemoveSkill(0, "x"),), 2.0)
+        b = Counterfactual((RemoveSkill(0, "x"),), 5.0)
+        assert filter_minimal([a, b]) == [a]
+
+    def test_order_of_perturbations_irrelevant_for_duplicates(self):
+        a = Counterfactual((AddSkill(0, "x"), AddQueryTerm("y")), 2.0)
+        b = Counterfactual((AddQueryTerm("y"), AddSkill(0, "x")), 3.0)
+        assert len(filter_minimal([a, b])) == 1
+
+    def test_incomparable_sets_kept(self):
+        a = Counterfactual((RemoveSkill(0, "x"),), 2.0)
+        b = Counterfactual((RemoveSkill(0, "y"),), 3.0)
+        assert filter_minimal([a, b]) == [a, b]
+
+    def test_empty(self):
+        assert filter_minimal([]) == []

@@ -1,0 +1,162 @@
+"""Factual explainer tests on a hand-built network with the transparent
+coverage ranker, so every SHAP value can be reasoned about.
+
+Fixture arithmetic (CoverageExpertRanker, neighbor_weight=0.5, k=1,
+query = {graph, mining}; the explained expert is p1, which LOSES id
+tie-breaks to the rival p0, making feature signs unambiguous):
+
+    p0 "rival"  {graph}          -> own 0.5
+    p1 "expert" {graph, hobby}, edge to p2 -> 0.5 + 0.5*0.5 = 0.75  rank 1
+    p2 "collab" {mining}
+    p3 "bystander" {vision}, edge to p0
+
+Without p2's 'mining', p1 ties p0 at 0.5 and loses -> both the skill
+(p2,'mining') and the edge (1,2) are pivotal with positive SHAP; 'hobby'
+never changes any coalition's outcome -> exactly zero.
+"""
+
+import pytest
+
+from repro.explain import (
+    EdgeFeature,
+    FactualConfig,
+    FactualExplainer,
+    RelevanceTarget,
+    SkillAssignmentFeature,
+)
+from repro.graph import CollaborationNetwork
+from repro.search import CoverageExpertRanker
+
+EXPERT = 1
+QUERY = ["graph", "mining"]
+
+
+@pytest.fixture
+def net():
+    net = CollaborationNetwork()
+    net.add_person("rival", {"graph"})
+    net.add_person("expert", {"graph", "hobby"})
+    net.add_person("collab", {"mining"})
+    net.add_person("bystander", {"vision"})
+    net.add_edge(1, 2)
+    net.add_edge(0, 3)
+    return net
+
+
+@pytest.fixture
+def target():
+    return RelevanceTarget(CoverageExpertRanker(), k=1)
+
+
+@pytest.fixture
+def explainer(target):
+    return FactualExplainer(target, FactualConfig(exact_limit=12, tau=0.05))
+
+
+class TestSkillFactuals:
+    def test_feature_space_is_neighborhood_assignments(self, net, explainer):
+        features = explainer.skill_features(EXPERT, net)
+        people = {f.person for f in features}
+        assert people == {1, 2}  # N(1, 1)
+        assert SkillAssignmentFeature(1, "graph") in features
+        assert SkillAssignmentFeature(0, "graph") not in features
+
+    def test_own_query_skill_is_most_important(self, net, explainer):
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        top = fx.top(1)[0]
+        assert top.feature == SkillAssignmentFeature(1, "graph")
+        assert top.value > 0
+
+    def test_collaborator_query_skill_positive(self, net, explainer):
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        assert fx.value_of(SkillAssignmentFeature(2, "mining")) > 0
+
+    def test_unrelated_own_skill_exactly_zero(self, net, explainer):
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        assert fx.value_of(SkillAssignmentFeature(1, "hobby")) == pytest.approx(
+            0.0, abs=1e-10
+        )
+
+    def test_radius_zero_restricts_to_own_skills(self, net, target):
+        explainer = FactualExplainer(target, FactualConfig(radius=0, exact_limit=12))
+        features = explainer.skill_features(EXPERT, net)
+        assert {f.person for f in features} == {EXPERT}
+
+    def test_metadata_recorded(self, net, explainer):
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        assert fx.kind == "skills"
+        assert fx.pruned
+        assert fx.method == "exact"  # few features -> exact path
+        assert fx.n_evaluations > 0
+        assert fx.elapsed_seconds > 0
+        assert fx.full_value == 1.0  # p1 is the top expert
+
+    def test_size_counts_nonzero_only(self, net, explainer):
+        fx = explainer.explain_skills(EXPERT, QUERY, net)
+        assert fx.size < len(fx.attributions)  # 'hobby' contributes a zero
+
+
+class TestQueryFactuals:
+    def test_features_are_query_terms(self, net, explainer):
+        fx = explainer.explain_query(EXPERT, QUERY, net)
+        labels = {a.feature.term for a in fx.attributions}
+        assert labels == set(QUERY)
+
+    def test_exact_for_short_queries(self, net, explainer):
+        fx = explainer.explain_query(EXPERT, QUERY, net)
+        assert fx.method == "exact"
+        assert fx.n_evaluations == 4  # 2^2 coalitions
+
+    def test_mining_term_is_pivotal(self, net, explainer):
+        """Dropping 'mining' from the query erases p1's propagation edge
+        over the rival: positive SHAP on the 'mining' query term."""
+        fx = explainer.explain_query(EXPERT, QUERY, net)
+        mining = next(
+            a.value for a in fx.attributions if a.feature.term == "mining"
+        )
+        assert mining > 0
+
+
+class TestCollaborationFactuals:
+    def test_influential_edges_include_query_collaborator(self, net, explainer):
+        edges, evals = explainer.influential_edges(
+            EXPERT, frozenset(QUERY), net
+        )
+        assert EdgeFeature(1, 2) in edges
+        assert evals > 0
+
+    def test_edge_to_query_collaborator_positive(self, net, explainer):
+        fx = explainer.explain_collaborations(EXPERT, QUERY, net)
+        assert fx.value_of(EdgeFeature(1, 2)) > 0
+
+    def test_high_tau_shrinks_explanation(self, net, target):
+        loose = FactualExplainer(target, FactualConfig(tau=0.01, exact_limit=12))
+        strict = FactualExplainer(target, FactualConfig(tau=0.45, exact_limit=12))
+        fx_loose = loose.explain_collaborations(EXPERT, QUERY, net)
+        fx_strict = strict.explain_collaborations(EXPERT, QUERY, net)
+        assert len(fx_strict.attributions) <= len(fx_loose.attributions)
+
+    def test_no_influential_edges_yields_empty(self, net, target):
+        explainer = FactualExplainer(target, FactualConfig(tau=10.0))
+        fx = explainer.explain_collaborations(EXPERT, QUERY, net)
+        assert fx.attributions == []
+        assert fx.kind == "collaborations"
+
+    def test_bfs_respects_radius(self, net, target):
+        """Edge (0,3) lies outside N(1, d) for any d reachable here and must
+        never be scored."""
+        explainer = FactualExplainer(
+            target, FactualConfig(collab_radius=2, tau=0.0, exact_limit=12)
+        )
+        edges, _ = explainer.influential_edges(EXPERT, frozenset(QUERY), net)
+        assert EdgeFeature(0, 3) not in edges
+
+
+class TestConfigValidation:
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            FactualConfig(radius=-1)
+
+    def test_negative_tau(self):
+        with pytest.raises(ValueError):
+            FactualConfig(tau=-0.1)

@@ -1,0 +1,146 @@
+"""Feature masking semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy_network
+from repro.explain import EdgeFeature, QueryTermFeature, SkillAssignmentFeature
+from repro.explain.features import masked_inputs, validate_features
+
+
+@pytest.fixture
+def net():
+    return toy_network(n_people=8, seed=2)
+
+
+class TestFeatureObjects:
+    def test_edge_feature_canonical(self):
+        assert EdgeFeature(5, 2) == EdgeFeature(2, 5)
+        assert EdgeFeature(5, 2).u == 2
+
+    def test_labels_are_readable(self, net):
+        skill = sorted(net.skills(0))[0]
+        assert skill in SkillAssignmentFeature(0, skill).label(net)
+        assert "query:" in QueryTermFeature("x").label(net)
+        u, v = sorted(net.edges())[0]
+        assert "--" in EdgeFeature(u, v).label(net)
+
+    def test_removal_perturbations_match_type(self, net):
+        from repro.graph.perturbations import (
+            RemoveEdge,
+            RemoveQueryTerm,
+            RemoveSkill,
+        )
+
+        assert isinstance(QueryTermFeature("x").removal(), RemoveQueryTerm)
+        assert isinstance(SkillAssignmentFeature(0, "x").removal(), RemoveSkill)
+        assert isinstance(EdgeFeature(0, 1).removal(), RemoveEdge)
+
+
+class TestValidateFeatures:
+    def test_valid_features_pass(self, net):
+        skill = sorted(net.skills(1))[0]
+        u, v = sorted(net.edges())[0]
+        validate_features(
+            [
+                QueryTermFeature("graph"),
+                SkillAssignmentFeature(1, skill),
+                EdgeFeature(u, v),
+            ],
+            frozenset({"graph"}),
+            net,
+        )
+
+    def test_absent_query_term_rejected(self, net):
+        with pytest.raises(ValueError, match="not in query"):
+            validate_features([QueryTermFeature("zz")], frozenset({"a"}), net)
+
+    def test_absent_skill_rejected(self, net):
+        with pytest.raises(ValueError, match="skill feature absent"):
+            validate_features(
+                [SkillAssignmentFeature(0, "not-a-skill")], frozenset(), net
+            )
+
+    def test_absent_edge_rejected(self, net):
+        non_edge = None
+        for u in net.people():
+            for v in net.people():
+                if u < v and not net.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        with pytest.raises(ValueError, match="edge feature absent"):
+            validate_features([EdgeFeature(*non_edge)], frozenset(), net)
+
+
+class TestMaskedInputs:
+    def test_all_on_returns_originals(self, net):
+        features = [QueryTermFeature("a")]
+        out_net, out_q = masked_inputs(
+            features, np.array([True]), frozenset({"a"}), net
+        )
+        assert out_net is net
+        assert out_q == {"a"}
+
+    def test_query_mask_off(self, net):
+        features = [QueryTermFeature("a"), QueryTermFeature("b")]
+        out_net, out_q = masked_inputs(
+            features, np.array([False, True]), frozenset({"a", "b"}), net
+        )
+        assert out_q == {"b"}
+        assert out_net is net  # no graph copy for query-only masking
+
+    def test_skill_mask_off_copies_network(self, net):
+        skill = sorted(net.skills(3))[0]
+        features = [SkillAssignmentFeature(3, skill)]
+        out_net, _ = masked_inputs(features, np.array([False]), frozenset(), net)
+        assert out_net is not net
+        assert not out_net.has_skill(3, skill)
+        assert net.has_skill(3, skill)
+
+    def test_edge_mask_off(self, net):
+        u, v = sorted(net.edges())[0]
+        features = [EdgeFeature(u, v)]
+        out_net, _ = masked_inputs(features, np.array([False]), frozenset(), net)
+        assert not out_net.has_edge(u, v)
+        assert net.has_edge(u, v)
+
+    def test_mixed_masking(self, net):
+        skill = sorted(net.skills(0))[0]
+        u, v = sorted(net.edges())[0]
+        features = [
+            QueryTermFeature("q1"),
+            SkillAssignmentFeature(0, skill),
+            EdgeFeature(u, v),
+        ]
+        out_net, out_q = masked_inputs(
+            features,
+            np.array([False, False, False]),
+            frozenset({"q1", "q2"}),
+            net,
+        )
+        assert out_q == {"q2"}
+        assert not out_net.has_skill(0, skill)
+        assert not out_net.has_edge(u, v)
+
+    def test_masking_absent_feature_raises(self, net):
+        features = [SkillAssignmentFeature(0, "ghost-skill")]
+        with pytest.raises(ValueError, match="absent skill"):
+            masked_inputs(features, np.array([False]), frozenset(), net)
+
+    def test_matches_perturbation_path(self, net):
+        """The fast bulk path must agree with apply_perturbations."""
+        from repro.graph.perturbations import apply_perturbations
+
+        skill = sorted(net.skills(2))[0]
+        u, v = sorted(net.edges())[-1]
+        features = [SkillAssignmentFeature(2, skill), EdgeFeature(u, v)]
+        mask = np.array([False, False])
+        fast_net, _ = masked_inputs(features, mask, frozenset(), net)
+        slow_net, _ = apply_perturbations(
+            net, frozenset(), [f.removal() for f in features]
+        )
+        assert sorted(fast_net.edges()) == sorted(slow_net.edges())
+        for p in net.people():
+            assert fast_net.skills(p) == slow_net.skills(p)

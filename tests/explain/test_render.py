@@ -1,0 +1,169 @@
+"""Renderer tests: content, not just smoke."""
+
+import pytest
+
+from repro.explain import (
+    Counterfactual,
+    CounterfactualExplanation,
+    FactualExplanation,
+    FeatureAttribution,
+    EdgeFeature,
+    QueryTermFeature,
+    SkillAssignmentFeature,
+    render_collaboration_graph,
+    render_counterfactuals,
+    render_force_plot,
+    render_skill_summary,
+    render_team,
+)
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import AddQueryTerm, RemoveSkill
+from repro.team.base import Team
+
+
+@pytest.fixture
+def net():
+    net = CollaborationNetwork()
+    net.add_person("Ada", {"graph"})
+    net.add_person("Bob", {"mining"})
+    net.add_edge(0, 1)
+    return net
+
+
+def _factual(attrs, kind="skills"):
+    return FactualExplanation(
+        person=0,
+        query=frozenset({"graph"}),
+        attributions=attrs,
+        base_value=0.0,
+        full_value=1.0,
+        n_evaluations=8,
+        elapsed_seconds=0.01,
+        method="exact",
+        pruned=True,
+        kind=kind,
+    )
+
+
+class TestForcePlot:
+    def test_contains_person_query_and_features(self, net):
+        fx = _factual([
+            FeatureAttribution(SkillAssignmentFeature(0, "graph"), 0.8),
+            FeatureAttribution(SkillAssignmentFeature(1, "mining"), -0.2),
+        ])
+        out = render_force_plot(fx, net)
+        assert "Ada" in out and "graph" in out
+        assert "+0.800" in out and "-0.200" in out
+        assert "++" in out and "-" in out  # bars with signs
+
+    def test_empty_explanation(self, net):
+        out = render_force_plot(_factual([]), net)
+        assert "(no features)" in out
+
+    def test_top_limits_rows(self, net):
+        attrs = [
+            FeatureAttribution(SkillAssignmentFeature(0, f"s{i}"), 0.1 * (i + 1))
+            for i in range(10)
+        ]
+        out = render_force_plot(_factual(attrs), net, top=3)
+        assert out.count("\n") <= 6
+
+
+class TestCollaborationGraph:
+    def test_lists_edges_with_signs(self, net):
+        fx = _factual(
+            [FeatureAttribution(EdgeFeature(0, 1), 0.5)], kind="collaborations"
+        )
+        out = render_collaboration_graph(fx, net)
+        assert "Ada -- Bob" in out
+        assert "supports" in out
+
+    def test_empty(self, net):
+        out = render_collaboration_graph(_factual([], kind="collaborations"), net)
+        assert "none" in out
+
+
+class TestCounterfactualRendering:
+    def test_eviction_phrasing(self, net):
+        cf = CounterfactualExplanation(
+            person=0,
+            query=frozenset({"graph"}),
+            counterfactuals=[
+                Counterfactual((RemoveSkill(0, "graph"),), 5.0),
+            ],
+            initial_decision=True,
+            n_probes=12,
+            elapsed_seconds=0.02,
+            kind="skill_removal",
+            pruned=True,
+        )
+        out = render_counterfactuals(cf, net)
+        assert "would no longer be selected" in out
+        assert "remove skill 'graph' from Ada" in out
+        assert "new rank 5" in out
+
+    def test_promotion_phrasing(self, net):
+        cf = CounterfactualExplanation(
+            person=1,
+            query=frozenset({"graph"}),
+            counterfactuals=[Counterfactual((AddQueryTerm("mining"),), 2.0)],
+            initial_decision=False,
+            n_probes=3,
+            elapsed_seconds=0.01,
+            kind="query_augmentation",
+            pruned=True,
+        )
+        out = render_counterfactuals(cf, net)
+        assert "would become selected" in out
+        assert "add 'mining' to the query" in out
+
+    def test_empty_and_timeout(self, net):
+        cf = CounterfactualExplanation(
+            person=0,
+            query=frozenset({"graph"}),
+            counterfactuals=[],
+            initial_decision=True,
+            n_probes=1,
+            elapsed_seconds=0.01,
+            kind="skill_removal",
+            pruned=True,
+            timed_out=True,
+        )
+        out = render_counterfactuals(cf, net)
+        assert "no counterfactual found" in out
+        assert "timed out" in out
+
+
+class TestTeamRendering:
+    def test_team_view(self, net):
+        team = Team(
+            members=frozenset({0, 1}),
+            seed=0,
+            covered_terms=frozenset({"graph"}),
+            uncovered_terms=frozenset(),
+            build_order=(0, 1),
+        )
+        out = render_team(team, net)
+        assert "[seed] Ada" in out
+        assert "[member] Bob" in out
+        assert "covers the full query" in out
+
+    def test_uncovered_listed(self, net):
+        team = Team(
+            members=frozenset({0}),
+            seed=0,
+            covered_terms=frozenset({"graph"}),
+            uncovered_terms=frozenset({"quantum"}),
+        )
+        assert "uncovered: quantum" in render_team(team, net)
+
+
+class TestSkillSummary:
+    def test_splits_positive_negative(self, net):
+        fx = _factual([
+            FeatureAttribution(SkillAssignmentFeature(0, "graph"), 0.8),
+            FeatureAttribution(SkillAssignmentFeature(1, "mining"), -0.2),
+        ])
+        out = render_skill_summary(fx, net)
+        assert "supporting skills: graph" in out
+        assert "opposing skills:   mining" in out

@@ -1,0 +1,128 @@
+"""JSON round-trip tests for explanation serialization."""
+
+import json
+
+import pytest
+
+from repro.explain import (
+    Counterfactual,
+    CounterfactualExplanation,
+    EdgeFeature,
+    FactualExplanation,
+    FeatureAttribution,
+    QueryTermFeature,
+    SkillAssignmentFeature,
+)
+from repro.explain.serialize import (
+    counterfactual_from_dict,
+    counterfactual_to_dict,
+    factual_from_dict,
+    factual_to_dict,
+    feature_from_dict,
+    feature_to_dict,
+    perturbation_from_dict,
+    perturbation_to_dict,
+)
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    RemoveEdge,
+    RemoveQueryTerm,
+    RemoveSkill,
+)
+
+
+class TestFeatureRoundTrip:
+    @pytest.mark.parametrize(
+        "feature",
+        [
+            QueryTermFeature("graph"),
+            SkillAssignmentFeature(3, "mining"),
+            EdgeFeature(1, 7),
+        ],
+    )
+    def test_roundtrip(self, feature):
+        payload = feature_to_dict(feature)
+        json.dumps(payload)  # must be JSON-safe
+        assert feature_from_dict(payload) == feature
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            feature_from_dict({"type": "nope"})
+
+
+class TestPerturbationRoundTrip:
+    @pytest.mark.parametrize(
+        "perturbation",
+        [
+            AddSkill(2, "graph"),
+            RemoveSkill(0, "mining"),
+            AddEdge(4, 9),
+            RemoveEdge(1, 2),
+            AddQueryTerm("vision"),
+            RemoveQueryTerm("privacy"),
+        ],
+    )
+    def test_roundtrip(self, perturbation):
+        payload = perturbation_to_dict(perturbation)
+        json.dumps(payload)
+        assert perturbation_from_dict(payload) == perturbation
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            perturbation_from_dict({"type": "nope"})
+
+
+class TestExplanationRoundTrip:
+    def test_factual(self):
+        fx = FactualExplanation(
+            person=5,
+            query=frozenset({"graph", "mining"}),
+            attributions=[
+                FeatureAttribution(SkillAssignmentFeature(5, "graph"), 0.7),
+                FeatureAttribution(QueryTermFeature("mining"), -0.1),
+            ],
+            base_value=0.0,
+            full_value=1.0,
+            n_evaluations=64,
+            elapsed_seconds=0.5,
+            method="kernel",
+            pruned=True,
+            kind="skills",
+        )
+        payload = factual_to_dict(fx)
+        json.dumps(payload)
+        back = factual_from_dict(payload)
+        assert back.person == fx.person
+        assert back.query == fx.query
+        assert back.attributions == fx.attributions
+        assert back.size == fx.size
+
+    def test_counterfactual(self):
+        cf = CounterfactualExplanation(
+            person=3,
+            query=frozenset({"graph"}),
+            counterfactuals=[
+                Counterfactual((AddSkill(3, "mining"), AddEdge(3, 7)), 4.0),
+            ],
+            initial_decision=False,
+            n_probes=42,
+            elapsed_seconds=1.5,
+            kind="skill_addition",
+            pruned=True,
+            timed_out=False,
+            candidate_count=12,
+        )
+        payload = counterfactual_to_dict(cf)
+        json.dumps(payload)
+        back = counterfactual_from_dict(payload)
+        assert back.counterfactuals == cf.counterfactuals
+        assert back.initial_decision is False
+        assert back.candidate_count == 12
+
+    def test_wrong_payload_types_rejected(self):
+        with pytest.raises(ValueError):
+            factual_from_dict({"type": "counterfactual"})
+        with pytest.raises(ValueError):
+            counterfactual_from_dict({"type": "factual"})

@@ -1,0 +1,147 @@
+"""SHAP estimator tests: axioms, analytic recovery, sparsity, budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explain import ShapExplainer, exact_shap, kernel_shap
+
+
+def linear_fn(coef):
+    return lambda mask: float(np.asarray(coef) @ mask)
+
+
+class TestExactShap:
+    def test_linear_recovery(self):
+        coef = np.array([0.5, -1.2, 2.0])
+        result = exact_shap(linear_fn(coef), 3)
+        np.testing.assert_allclose(result.values, coef, atol=1e-10)
+
+    def test_and_interaction_split_evenly(self):
+        fn = lambda mask: float(mask[0] and mask[1])
+        result = exact_shap(fn, 3)
+        np.testing.assert_allclose(result.values, [0.5, 0.5, 0.0], atol=1e-10)
+
+    def test_dummy_feature_gets_zero(self):
+        fn = lambda mask: float(mask[0])
+        result = exact_shap(fn, 4)
+        np.testing.assert_allclose(result.values[1:], 0.0, atol=1e-12)
+
+    def test_symmetry_axiom(self):
+        """Interchangeable features receive equal values."""
+        fn = lambda mask: float(mask[0]) + float(mask[1])
+        result = exact_shap(fn, 2)
+        assert result.values[0] == pytest.approx(result.values[1])
+
+    def test_efficiency_axiom(self):
+        rng = np.random.default_rng(0)
+        table = rng.random(2 ** 4)  # arbitrary set function over 4 features
+
+        def fn(mask):
+            idx = int(np.dot(mask, 2 ** np.arange(4)))
+            return float(table[idx])
+
+        result = exact_shap(fn, 4)
+        assert result.check_efficiency()
+
+    def test_caches_duplicate_masks(self):
+        calls = {"n": 0}
+
+        def fn(mask):
+            calls["n"] += 1
+            return float(mask.sum())
+
+        result = exact_shap(fn, 3)
+        assert calls["n"] == 2 ** 3  # each coalition evaluated exactly once
+        assert result.n_evaluations == 8
+
+    def test_empty_feature_count_rejected(self):
+        with pytest.raises(ValueError):
+            exact_shap(lambda m: 0.0, 0)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_efficiency_property_random_functions(self, seed):
+        rng = np.random.default_rng(seed)
+        table = rng.normal(size=2 ** 3)
+
+        def fn(mask):
+            idx = int(np.dot(mask, 2 ** np.arange(3)))
+            return float(table[idx])
+
+        assert exact_shap(fn, 3).check_efficiency()
+
+
+class TestKernelShap:
+    def test_linear_recovery_dense(self):
+        coef = np.arange(1.0, 9.0)
+        result = kernel_shap(
+            linear_fn(coef), 8, n_samples=400, l1_regularization=None
+        )
+        np.testing.assert_allclose(result.values, coef, atol=1e-8)
+
+    def test_linear_recovery_sparse_l1(self):
+        coef = np.zeros(12)
+        coef[[1, 5]] = [2.0, -3.0]
+        result = kernel_shap(linear_fn(coef), 12, n_samples=400)
+        np.testing.assert_allclose(result.values, coef, atol=1e-6)
+        assert set(result.nonzero_indices()) == {1, 5}
+
+    def test_efficiency_always_holds(self):
+        rng = np.random.default_rng(3)
+        coef = rng.normal(size=30)
+        fn = lambda mask: float(coef @ mask) + float(mask[0] and mask[7])
+        result = kernel_shap(fn, 30, n_samples=200)
+        assert result.check_efficiency()
+
+    def test_matches_exact_on_small_interaction(self):
+        fn = lambda mask: float(mask[0] and mask[1]) + 0.5 * float(mask[2])
+        exact = exact_shap(fn, 4)
+        kernel = kernel_shap(fn, 4, n_samples=100, l1_regularization=None)
+        np.testing.assert_allclose(kernel.values, exact.values, atol=1e-8)
+
+    def test_single_feature(self):
+        fn = lambda mask: 3.0 * float(mask[0])
+        result = kernel_shap(fn, 1)
+        np.testing.assert_allclose(result.values, [3.0])
+
+    def test_constant_function_all_zero(self):
+        result = kernel_shap(lambda mask: 1.0, 20, n_samples=100)
+        np.testing.assert_allclose(result.values, 0.0, atol=1e-9)
+
+    def test_budget_respected(self):
+        result = kernel_shap(
+            linear_fn(np.ones(50)), 50, n_samples=120, max_samples=120
+        )
+        # +2 for the mandatory empty/full coalitions.
+        assert result.n_evaluations <= 122
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        coef = rng.normal(size=25)
+        a = kernel_shap(linear_fn(coef), 25, n_samples=150, seed=9)
+        b = kernel_shap(linear_fn(coef), 25, n_samples=150, seed=9)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_top_indices_ordering(self):
+        coef = np.array([0.1, -5.0, 2.0])
+        result = kernel_shap(linear_fn(coef), 3, n_samples=64)
+        assert result.top_indices()[:2] == [1, 2]
+
+
+class TestShapExplainer:
+    def test_dispatches_exact_below_limit(self):
+        explainer = ShapExplainer(exact_limit=5)
+        result = explainer.explain(linear_fn(np.ones(4)), 4)
+        assert result.method == "exact"
+
+    def test_dispatches_kernel_above_limit(self):
+        explainer = ShapExplainer(exact_limit=5, n_samples=64)
+        result = explainer.explain(linear_fn(np.ones(12)), 12)
+        assert result.method == "kernel"
+
+    def test_empty_feature_space(self):
+        result = ShapExplainer().explain(lambda m: 0.0, 0)
+        assert result.method == "empty"
+        assert result.n_features == 0

@@ -1,0 +1,102 @@
+"""Tests for the synthetic network generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkRecipe, synthesize_network
+from repro.graph.generators import make_person_names, make_skill_vocabulary
+
+
+@pytest.fixture(scope="module")
+def result():
+    recipe = NetworkRecipe(n_people=250, n_edges=1200, n_skills=180, seed=3)
+    return synthesize_network(recipe)
+
+
+class TestRecipeValidation:
+    def test_too_few_people(self):
+        with pytest.raises(ValueError):
+            NetworkRecipe(n_people=1, n_edges=0, n_skills=5)
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            NetworkRecipe(n_people=4, n_edges=100, n_skills=5)
+
+    def test_bad_intra_fraction(self):
+        with pytest.raises(ValueError):
+            NetworkRecipe(
+                n_people=10, n_edges=5, n_skills=5, intra_community_fraction=1.5
+            )
+
+
+class TestGeneratedShape:
+    def test_counts_match_recipe(self, result):
+        net = result.network
+        assert net.n_people == 250
+        assert net.n_edges == 1200
+        net.validate()
+
+    def test_skills_attached_from_community_pools(self, result):
+        net = result.network
+        counts = [len(net.skills(p)) for p in net.people()]
+        assert np.mean(counts) > 5
+        universe = net.skill_universe()
+        assert universe <= set(result.skill_vocabulary)
+
+    def test_every_person_has_communities(self, result):
+        assert len(result.person_communities) == 250
+        assert all(len(c) >= 1 for c in result.person_communities)
+
+    def test_degree_distribution_heavy_tailed(self, result):
+        degrees = sorted(
+            (result.network.degree(p) for p in result.network.people()),
+            reverse=True,
+        )
+        # The busiest collaborator should dwarf the median — power-law-ish.
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_community_structure_visible(self, result):
+        """Edges should fall inside shared communities far more often than
+        the ~1/n_communities a random graph would give."""
+        net = result.network
+        comms = result.person_communities
+        intra = sum(
+            1 for u, v in net.edges() if set(comms[u]) & set(comms[v])
+        )
+        assert intra / net.n_edges > 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        recipe = NetworkRecipe(n_people=60, n_edges=150, n_skills=40, seed=9)
+        a = synthesize_network(recipe)
+        b = synthesize_network(recipe)
+        assert sorted(a.network.edges()) == sorted(b.network.edges())
+        for p in a.network.people():
+            assert a.network.skills(p) == b.network.skills(p)
+
+    def test_different_seed_different_network(self):
+        base = dict(n_people=60, n_edges=150, n_skills=40)
+        a = synthesize_network(NetworkRecipe(seed=1, **base))
+        b = synthesize_network(NetworkRecipe(seed=2, **base))
+        assert sorted(a.network.edges()) != sorted(b.network.edges())
+
+
+class TestHelpers:
+    def test_names_mostly_unique(self):
+        rng = np.random.default_rng(0)
+        names = make_person_names(500, rng)
+        assert len(names) == 500
+        assert len(set(names)) == 500  # suffixes de-duplicate collisions
+
+    def test_vocabulary_exact_size_and_unique(self):
+        rng = np.random.default_rng(0)
+        for size in (10, 150, 2000, 4000):
+            vocab = make_skill_vocabulary(size, rng)
+            assert len(vocab) == size
+            assert len(set(vocab)) == size
+
+    def test_attach_skills_false_leaves_nodes_bare(self):
+        recipe = NetworkRecipe(n_people=30, n_edges=60, n_skills=20, seed=4)
+        result = synthesize_network(recipe, attach_skills=False)
+        assert result.network.skill_universe() == frozenset()

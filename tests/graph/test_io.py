@@ -1,0 +1,65 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.graph import (
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_network_json,
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        net = toy_network(n_people=10, seed=2)
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.n_people == net.n_people
+        assert sorted(clone.edges()) == sorted(net.edges())
+        for p in net.people():
+            assert clone.skills(p) == net.skills(p)
+            assert clone.name(p) == net.name(p)
+
+    def test_file_roundtrip(self, tmp_path):
+        net = toy_network(n_people=6, seed=3)
+        path = tmp_path / "nets" / "toy.json"
+        save_network_json(net, path)
+        clone = load_network_json(path)
+        assert sorted(clone.edges()) == sorted(net.edges())
+
+    def test_json_is_stable(self, tmp_path):
+        net = toy_network(n_people=6, seed=3)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_network_json(net, a)
+        save_network_json(net, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestValidation:
+    def test_bad_format_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            network_from_dict({"format_version": 99, "people": [], "edges": []})
+
+    def test_non_contiguous_ids(self):
+        payload = {
+            "format_version": 1,
+            "people": [{"id": 1, "name": "a", "skills": []}],
+            "edges": [],
+        }
+        with pytest.raises(ValueError, match="contiguous"):
+            network_from_dict(payload)
+
+    def test_loaded_network_is_validated(self, tmp_path):
+        payload = {
+            "format_version": 1,
+            "people": [
+                {"id": 0, "name": "a", "skills": []},
+                {"id": 1, "name": "b", "skills": []},
+            ],
+            "edges": [[0, 1], [0, 1]],  # duplicate edge is tolerated (set)
+        }
+        net = network_from_dict(payload)
+        assert net.n_edges == 1

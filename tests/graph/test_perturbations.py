@@ -1,0 +1,139 @@
+"""Unit and property tests for the perturbation model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import toy_network
+from repro.graph.perturbations import (
+    AddEdge,
+    AddQueryTerm,
+    AddSkill,
+    RemoveEdge,
+    RemoveQueryTerm,
+    RemoveSkill,
+    apply_perturbations,
+    as_query,
+    touches_network,
+)
+
+
+@pytest.fixture
+def net():
+    return toy_network(n_people=8, seed=1)
+
+
+class TestSkillPerturbations:
+    def test_add_skill_applies(self, net):
+        assert not net.has_skill(0, "quantum")
+        out, q = apply_perturbations(net, ["x"], [AddSkill(0, "quantum")])
+        assert out.has_skill(0, "quantum")
+        assert not net.has_skill(0, "quantum")  # original untouched
+        assert q == {"x"}
+
+    def test_remove_skill_applies(self, net):
+        skill = sorted(net.skills(0))[0]
+        out, _ = apply_perturbations(net, [], [RemoveSkill(0, skill)])
+        assert not out.has_skill(0, skill)
+
+    def test_add_existing_skill_is_noop_error(self, net):
+        skill = sorted(net.skills(0))[0]
+        with pytest.raises(ValueError, match="no-op"):
+            apply_perturbations(net, [], [AddSkill(0, skill)])
+
+    def test_remove_missing_skill_is_noop_error(self, net):
+        with pytest.raises(ValueError, match="no-op"):
+            apply_perturbations(net, [], [RemoveSkill(0, "quantum")])
+
+    def test_inverse_roundtrip(self, net):
+        p = AddSkill(0, "quantum")
+        assert p.inverse() == RemoveSkill(0, "quantum")
+        assert p.inverse().inverse() == p
+
+
+class TestEdgePerturbations:
+    def test_canonical_ordering(self):
+        assert AddEdge(5, 2) == AddEdge(2, 5)
+        assert RemoveEdge(5, 2).u == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            AddEdge(3, 3)
+
+    def test_add_edge_applies(self, net):
+        u, v = 0, 5
+        if net.has_edge(u, v):
+            net.remove_edge(u, v)
+        out, _ = apply_perturbations(net, [], [AddEdge(u, v)])
+        assert out.has_edge(u, v)
+        assert not net.has_edge(u, v)
+
+    def test_remove_edge_applies(self, net):
+        u, v = sorted(net.edges())[0]
+        out, _ = apply_perturbations(net, [], [RemoveEdge(u, v)])
+        assert not out.has_edge(u, v)
+
+    def test_touches_network(self):
+        assert touches_network(AddEdge(0, 1))
+        assert touches_network(RemoveSkill(0, "x"))
+        assert not touches_network(AddQueryTerm("x"))
+
+
+class TestQueryPerturbations:
+    def test_add_query_term(self, net):
+        out, q = apply_perturbations(net, ["a"], [AddQueryTerm("b")])
+        assert q == {"a", "b"}
+        assert out is net  # no network copy for query-only edits
+
+    def test_remove_query_term(self, net):
+        _, q = apply_perturbations(net, ["a", "b"], [RemoveQueryTerm("a")])
+        assert q == {"b"}
+
+    def test_add_existing_term_is_noop_error(self, net):
+        with pytest.raises(ValueError, match="no-op"):
+            apply_perturbations(net, ["a"], [AddQueryTerm("a")])
+
+    def test_describe_mentions_term(self, net):
+        assert "'b'" in AddQueryTerm("b").describe(net)
+
+
+class TestCompositeApplication:
+    def test_multiple_perturbations_compose(self, net):
+        skill = sorted(net.skills(2))[0]
+        out, q = apply_perturbations(
+            net,
+            ["a"],
+            [AddSkill(0, "quantum"), RemoveSkill(2, skill), AddQueryTerm("b")],
+        )
+        assert out.has_skill(0, "quantum")
+        assert not out.has_skill(2, skill)
+        assert q == {"a", "b"}
+
+    def test_network_copied_once_queries_shared(self, net):
+        out, _ = apply_perturbations(net, [], [AddSkill(0, "q1"), AddSkill(1, "q2")])
+        assert out is not net
+        out.validate()
+
+    @given(
+        person=st.integers(min_value=0, max_value=7),
+        skill=st.sampled_from(["alpha", "beta", "gamma"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_add_then_remove_restores_skills(self, person, skill):
+        network = toy_network(n_people=8, seed=1)
+        if network.has_skill(person, skill):
+            return  # AddSkill would be a no-op
+        before = network.skills(person)
+        out, _ = apply_perturbations(network, [], [AddSkill(person, skill)])
+        out2, _ = apply_perturbations(out, [], [RemoveSkill(person, skill)])
+        assert out2.skills(person) == before
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_edge_toggle_roundtrip(self, seed):
+        network = toy_network(n_people=8, seed=seed % 5)
+        edges = sorted(network.edges())
+        u, v = edges[seed % len(edges)]
+        out, _ = apply_perturbations(network, [], [RemoveEdge(u, v)])
+        out2, _ = apply_perturbations(out, [], [AddEdge(u, v)])
+        assert sorted(out2.edges()) == edges

@@ -1,0 +1,49 @@
+"""Tests for network statistics."""
+
+from repro.graph import CollaborationNetwork, compute_stats
+from repro.graph.stats import degree_histogram, skill_frequency
+
+
+def _triangle_plus_isolate():
+    net = CollaborationNetwork()
+    for i, skills in enumerate([{"a", "b"}, {"a"}, {"c"}, set()]):
+        net.add_person(f"p{i}", skills)
+    net.add_edge(0, 1)
+    net.add_edge(1, 2)
+    net.add_edge(0, 2)
+    return net
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        stats = compute_stats(_triangle_plus_isolate())
+        assert stats.n_nodes == 4
+        assert stats.n_edges == 3
+        assert stats.n_skills == 3
+        assert stats.mean_skills_per_person == 1.0
+        assert stats.max_degree == 2
+        assert stats.n_isolated == 1
+
+    def test_components(self):
+        stats = compute_stats(_triangle_plus_isolate())
+        assert stats.n_components == 2
+        assert stats.largest_component == 3
+
+    def test_table_row_contains_counts(self):
+        row = compute_stats(_triangle_plus_isolate()).as_table_row("Tiny")
+        assert "Tiny" in row and "4" in row and "3" in row
+
+    def test_empty_network(self):
+        stats = compute_stats(CollaborationNetwork())
+        assert stats.n_nodes == 0
+        assert stats.n_components == 0
+
+
+class TestHistograms:
+    def test_degree_histogram(self):
+        hist = degree_histogram(_triangle_plus_isolate())
+        assert hist == {2: 3, 0: 1}
+
+    def test_skill_frequency(self):
+        freq = skill_frequency(_triangle_plus_isolate())
+        assert freq == {"a": 2, "b": 1, "c": 1}

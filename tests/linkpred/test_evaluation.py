@@ -1,0 +1,75 @@
+"""AUC / AP metric tests against hand-computed values."""
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.linkpred import (
+    HeuristicLinkPredictor,
+    auc_score,
+    average_precision,
+    evaluate_predictor,
+    split_edges,
+)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc_score([0.9, 0.8], [0.1, 0.2]) == 1.0
+
+    def test_inverted(self):
+        assert auc_score([0.1], [0.9]) == 0.0
+
+    def test_ties_count_half(self):
+        assert auc_score([0.5], [0.5]) == 0.5
+
+    def test_mixed_hand_computed(self):
+        # pairs: (.9>.5)=1, (.9>.7)=1, (.3>.5)=0, (.3>.7)=0 -> 2/4
+        assert auc_score([0.9, 0.3], [0.5, 0.7]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auc_score([], [0.1])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([0.9, 0.8], [0.1]) == 1.0
+
+    def test_hand_computed(self):
+        # Ranking: pos(.9), neg(.8), pos(.7) -> AP = (1/1 + 2/3)/2
+        assert average_precision([0.9, 0.7], [0.8]) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            average_precision([], [0.5])
+
+
+class TestSplitEdges:
+    def test_split_counts(self):
+        net = toy_network(n_people=12, seed=0)
+        split = split_edges(net, test_fraction=0.25, seed=1)
+        held = len(split.test_positives)
+        assert held == max(1, round(net.n_edges * 0.25))
+        assert split.train_network.n_edges == net.n_edges - held
+        assert len(split.test_negatives) == held
+
+    def test_negatives_are_non_edges(self):
+        net = toy_network(n_people=12, seed=0)
+        split = split_edges(net, test_fraction=0.2, seed=2)
+        for u, v in split.test_negatives:
+            assert not net.has_edge(u, v)
+
+    def test_invalid_fraction(self):
+        net = toy_network(n_people=6, seed=0)
+        with pytest.raises(ValueError):
+            split_edges(net, test_fraction=1.5)
+
+    def test_evaluate_predictor_returns_auc_ap(self):
+        net = toy_network(n_people=12, seed=3)
+        split = split_edges(net, test_fraction=0.2, seed=3)
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(
+            split.train_network
+        )
+        auc, ap = evaluate_predictor(predictor, split)
+        assert 0.0 <= auc <= 1.0
+        assert 0.0 <= ap <= 1.0

@@ -1,0 +1,77 @@
+"""Link-prediction heuristic tests on a hand-built graph."""
+
+import math
+
+import pytest
+
+from repro.graph import CollaborationNetwork
+from repro.linkpred import (
+    HeuristicLinkPredictor,
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+)
+
+
+@pytest.fixture
+def net():
+    """0 and 1 share neighbors {2, 3}; 4 hangs off 2; 5 isolated."""
+    net = CollaborationNetwork()
+    for i in range(6):
+        net.add_person(f"p{i}")
+    for u, v in [(0, 2), (0, 3), (1, 2), (1, 3), (2, 4)]:
+        net.add_edge(u, v)
+    return net
+
+
+class TestScores:
+    def test_common_neighbors(self, net):
+        assert common_neighbors(net, 0, 1) == 2.0
+        assert common_neighbors(net, 0, 5) == 0.0
+
+    def test_jaccard(self, net):
+        assert jaccard_coefficient(net, 0, 1) == pytest.approx(1.0)  # identical nbrs
+        # N(0)={2,3}, N(4)={2}: intersection {2}, union {2,3}.
+        assert jaccard_coefficient(net, 0, 4) == pytest.approx(1 / 2)
+        assert jaccard_coefficient(net, 5, 0) == 0.0
+
+    def test_adamic_adar(self, net):
+        # Common neighbors of (0,1): node 2 (deg 3), node 3 (deg 2).
+        expected = 1 / math.log(3) + 1 / math.log(2)
+        assert adamic_adar(net, 0, 1) == pytest.approx(expected)
+
+    def test_adamic_adar_ignores_degree_one_brokers(self):
+        net = CollaborationNetwork()
+        for i in range(3):
+            net.add_person(f"p{i}")
+        net.add_edge(0, 2)
+        net.add_edge(1, 2)
+        # Broker 2 has degree 2 -> contributes; if it had degree 1 it would
+        # be skipped (log 1 = 0 guard).
+        assert adamic_adar(net, 0, 1) == pytest.approx(1 / math.log(2))
+
+    def test_preferential_attachment(self, net):
+        assert preferential_attachment(net, 0, 2) == 6.0
+
+
+class TestPredictorInterface:
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            HeuristicLinkPredictor("nope")
+
+    def test_score_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HeuristicLinkPredictor("jaccard").score(0, 1)
+
+    def test_top_candidates_excludes_existing_edges(self, net):
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        candidates = predictor.top_candidates(0, range(6), topn=10)
+        pairs = [pair for pair, _ in candidates]
+        assert (0, 2) not in pairs and (0, 3) not in pairs
+        assert pairs[0] == (0, 1)  # two common neighbors: strongest
+
+    def test_score_pairs(self, net):
+        predictor = HeuristicLinkPredictor("jaccard").fit(net)
+        scores = predictor.score_pairs([(0, 1), (0, 5)])
+        assert scores[0] > scores[1]

@@ -1,0 +1,233 @@
+"""Gradient checks for the autograd engine (central finite differences)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, sparse_matmul, stack_rows
+
+EPS = 1e-6
+
+
+def finite_diff_grad(fn, x: np.ndarray) -> np.ndarray:
+    """Numerical gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = fn(x)
+        flat[i] = orig - EPS
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient with finite differences for `build`,
+    a function Tensor -> scalar Tensor."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    numeric = finite_diff_grad(lambda arr: build(Tensor(arr)).item(), x0)
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        check_gradient(lambda t: (t + 2.0).sum(), (3, 4))
+
+    def test_mul(self):
+        check_gradient(lambda t: (t * t).sum(), (3, 4))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda t: (1.0 - t - t).sum(), (2, 5))
+
+    def test_div(self):
+        check_gradient(lambda t: (t / 3.0 + 2.0 / (t + 10.0)).sum(), (4,))
+
+    def test_pow(self):
+        check_gradient(lambda t: ((t + 5.0) ** 3).sum(), (3,))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: ((t.exp() + 1.0).log()).sum(), (3, 2))
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), (4, 2))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), (5,))
+
+    def test_relu_away_from_kink(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(4, 3))
+        x0[np.abs(x0) < 0.1] = 0.5  # keep clear of the kink
+        t = Tensor(x0.copy(), requires_grad=True)
+        t.relu().sum().backward()
+        numeric = finite_diff_grad(lambda a: Tensor(a).relu().sum().item(), x0)
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+    def test_clip_min(self):
+        check_gradient(lambda t: (t + 5.0).clip_min(0.1).sum(), (4,))
+
+
+class TestMatmulAndShaping:
+    def test_matmul_left(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), (3, 4))
+
+    def test_matmul_right(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (Tensor(x) @ t).sum(), (4, 2))
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_transpose(self):
+        check_gradient(lambda t: (t.T @ t).sum(), (3, 4))
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6) * np.arange(6.0)).sum(), (2, 3))
+
+    def test_rows_gather(self):
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda t: t.rows(idx).sum(), (4, 3))
+
+    def test_rows_scatter_accumulates(self):
+        t = Tensor(np.ones((3, 2)), requires_grad=True)
+        t.rows(np.array([1, 1, 1])).sum().backward()
+        assert t.grad[1].tolist() == [3.0, 3.0]
+        assert t.grad[0].tolist() == [0.0, 0.0]
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda t: t.sum(), (3, 4))
+
+    def test_sum_axis0(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_axis1_keepdims(self):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) * t).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), (2, 6))
+
+
+class TestBroadcasting:
+    def test_add_row_vector(self):
+        rng = np.random.default_rng(4)
+        b = rng.normal(size=(4,))
+        check_gradient(lambda t: ((t + Tensor(b)) ** 2).sum(), (3, 4))
+
+    def test_broadcast_grad_shape(self):
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        x = Tensor(np.ones((5, 4)))
+        ((x + bias) * 2.0).sum().backward()
+        assert bias.grad.shape == (4,)
+        np.testing.assert_allclose(bias.grad, np.full(4, 10.0))
+
+    def test_scalar_mul_broadcast(self):
+        s = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(np.ones((3, 3)))
+        (x * s).sum().backward()
+        assert s.grad.shape == ()
+        assert float(s.grad) == 9.0
+
+
+class TestGraphStructure:
+    def test_diamond_reuse(self):
+        """A node consumed twice must accumulate both gradient paths."""
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        z = (y * y) + y  # dz/dx = 2*(2x)*2 + 2 = 8x + 2 = 26
+        z.sum().backward()
+        np.testing.assert_allclose(x.grad, [26.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (x * 2.0).backward()
+
+    def test_no_grad_tracking_for_constants(self):
+        a = Tensor(np.ones(3))
+        b = a * 2.0 + 1.0
+        assert b._parents == ()  # constant graph is not recorded
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        d = x.detach()
+        assert d._parents == () and not d.requires_grad
+
+
+class TestSparseMatmul:
+    def test_value_matches_dense(self):
+        rng = np.random.default_rng(5)
+        dense = (rng.random((4, 4)) < 0.5).astype(float)
+        a = sp.csr_matrix(dense)
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_allclose(sparse_matmul(a, x).numpy(), dense @ x.numpy())
+
+    def test_gradient(self):
+        rng = np.random.default_rng(6)
+        dense = (rng.random((4, 4)) < 0.5).astype(float)
+        a = sp.csr_matrix(dense)
+        check_gradient(lambda t: (sparse_matmul(a, t) ** 2).sum(), (4, 3))
+
+
+class TestStackRows:
+    def test_stack_and_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        out = stack_rows([a, b])
+        (out * np.array([[1.0, 1.0], [2.0, 2.0]])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [2.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stack_rows([])
+
+
+class TestCompositeNetworks:
+    def test_two_layer_mlp_gradcheck(self):
+        rng = np.random.default_rng(7)
+        w1 = rng.normal(size=(5, 4))
+        w2 = rng.normal(size=(4, 1))
+
+        def forward(t):
+            h = (t @ Tensor(w1)).tanh()
+            return (h @ Tensor(w2)).sum()
+
+        check_gradient(forward, (3, 5))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_of_gradient(self, seed):
+        """Property: for f(x) = c·x (linear), grad == c exactly."""
+        rng = np.random.default_rng(seed)
+        c = rng.normal(size=(4,))
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (x * c).sum().backward()
+        np.testing.assert_allclose(x.grad, c, atol=1e-12)

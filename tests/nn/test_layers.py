@@ -1,0 +1,93 @@
+"""Tests for layers and the Module parameter registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import GCNConv, Linear, Module, Parameter, Tensor
+
+
+class TestModuleRegistry:
+    def test_linear_registers_weight_and_bias(self):
+        layer = Linear(3, 2)
+        params = layer.parameters()
+        assert len(params) == 2
+        assert {p.data.shape for p in params} == {(3, 2), (2,)}
+
+    def test_nested_modules_collected(self):
+        class Net(Module):
+            def __init__(self):
+                self.a = Linear(3, 4)
+                self.b = Linear(4, 1)
+                self.extra = [Linear(2, 2)]
+                self.table = {"c": Linear(1, 1)}
+
+        params = Net().parameters()
+        assert len(params) == 8
+
+    def test_shared_parameter_collected_once(self):
+        class Net(Module):
+            def __init__(self):
+                self.a = Linear(3, 3)
+                self.alias = self.a
+
+        assert len(Net().parameters()) == 2
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 1)
+        out = layer(Tensor(np.ones((4, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_n_parameters(self):
+        assert Linear(3, 2).n_parameters() == 8
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        out = layer(Tensor(x)).numpy()
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_parameters(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(2))
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert layer.bias.grad.shape == (2,)
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestGCNConv:
+    def test_identity_adjacency_reduces_to_linear(self):
+        conv = GCNConv(3, 2, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).normal(size=(5, 3))
+        eye = sp.identity(5, format="csr")
+        out = conv(Tensor(x), eye).numpy()
+        expected = x @ conv.weight.data + conv.bias.data
+        np.testing.assert_allclose(out, expected)
+
+    def test_propagation_mixes_neighbors(self):
+        conv = GCNConv(1, 1, rng=np.random.default_rng(5), bias=False)
+        conv.weight.data[:] = 1.0
+        # Two nodes, symmetric full mixing.
+        adj = sp.csr_matrix(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        x = np.array([[1.0], [3.0]])
+        out = conv(Tensor(x), adj).numpy()
+        np.testing.assert_allclose(out, [[2.0], [2.0]])
+
+    def test_gradients_reach_weight(self):
+        conv = GCNConv(3, 2, rng=np.random.default_rng(6))
+        adj = sp.identity(4, format="csr")
+        conv(Tensor(np.ones((4, 3))), adj).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == (3, 2)

@@ -1,0 +1,76 @@
+"""Loss function correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, bce_with_logits, margin_ranking_loss, mse_loss
+
+
+class TestMse:
+    def test_zero_at_target(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_matches_numpy(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = np.array([0.0, 0.0])
+        assert mse_loss(pred, target).item() == pytest.approx(5.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        mse_loss(pred, np.array([0.0])).backward()
+        np.testing.assert_allclose(pred.grad, [4.0])
+
+
+class TestBceWithLogits:
+    def test_matches_reference(self):
+        logits = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        target = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+        expected = np.mean(
+            np.maximum(logits, 0) - logits * target + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = bce_with_logits(Tensor(logits), target).item()
+        assert loss == pytest.approx(expected, abs=1e-9)
+
+    def test_stable_at_extreme_logits(self):
+        logits = np.array([1000.0, -1000.0])
+        target = np.array([1.0, 0.0])
+        loss = bce_with_logits(Tensor(logits), target).item()
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_sign(self):
+        """Gradient pushes logits toward the label (evaluated off the
+        ReLU kink at exactly 0, where the subgradient convention differs)."""
+        logits = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+        bce_with_logits(logits, np.array([1.0, 0.0])).backward()
+        assert logits.grad[0] < 0  # increase logit for positive label
+        assert logits.grad[1] > 0
+
+    def test_gradient_matches_sigmoid_minus_label(self):
+        """d/dx mean BCE = (σ(x) − y)/n."""
+        x0 = np.array([0.7, -1.3])
+        y = np.array([1.0, 0.0])
+        logits = Tensor(x0.copy(), requires_grad=True)
+        bce_with_logits(logits, y).backward()
+        expected = (1 / (1 + np.exp(-x0)) - y) / len(x0)
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-9)
+
+
+class TestMarginRanking:
+    def test_zero_when_margin_satisfied(self):
+        pos = Tensor(np.array([2.0, 3.0]))
+        neg = Tensor(np.array([0.0, 1.0]))
+        assert margin_ranking_loss(pos, neg, margin=1.0).item() == 0.0
+
+    def test_penalizes_violations(self):
+        pos = Tensor(np.array([0.0]))
+        neg = Tensor(np.array([0.0]))
+        assert margin_ranking_loss(pos, neg, margin=0.5).item() == pytest.approx(0.5)
+
+    def test_gradient_separates_pair(self):
+        pos = Tensor(np.array([0.0]), requires_grad=True)
+        neg = Tensor(np.array([0.0]), requires_grad=True)
+        margin_ranking_loss(pos, neg, margin=1.0).backward()
+        assert pos.grad[0] < 0  # loss decreases as pos increases
+        assert neg.grad[0] > 0

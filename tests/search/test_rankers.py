@@ -1,0 +1,184 @@
+"""Behavioral tests shared across the concrete expert search systems."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy_network
+from repro.graph import CollaborationNetwork
+from repro.search import (
+    CoverageExpertRanker,
+    DocumentExpertRanker,
+    HitsExpertRanker,
+    PageRankExpertRanker,
+)
+
+
+@pytest.fixture
+def skill_net():
+    """Node 0 holds both query skills; 1 holds one; 2 none but collaborates
+    with 0; 3 isolated with none."""
+    net = CollaborationNetwork()
+    net.add_person("both", {"graph", "mining"})
+    net.add_person("one", {"graph", "vision"})
+    net.add_person("connector", {"vision"})
+    net.add_person("outsider", {"privacy"})
+    net.add_edge(0, 2)
+    net.add_edge(1, 2)
+    return net
+
+
+ALL_RANKERS = [
+    CoverageExpertRanker(),
+    PageRankExpertRanker(),
+    DocumentExpertRanker(),
+    HitsExpertRanker(),
+]
+
+
+@pytest.mark.parametrize("ranker", ALL_RANKERS, ids=lambda r: r.name)
+class TestCommonBehaviour:
+    def test_full_match_ranks_first(self, ranker, skill_net):
+        assert ranker.rank(["graph", "mining"], skill_net)[0] == 0
+
+    def test_non_matching_outsider_ranks_last_or_zero(self, ranker, skill_net):
+        scores = ranker.scores(frozenset({"graph", "mining"}), skill_net)
+        assert scores[3] <= min(scores[0], scores[1])
+
+    def test_empty_query_all_zero(self, ranker, skill_net):
+        scores = ranker.scores(frozenset(), skill_net)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_unknown_query_all_zero(self, ranker, skill_net):
+        scores = ranker.scores(frozenset({"quantum"}), skill_net)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_deterministic(self, ranker, skill_net):
+        q = frozenset({"graph", "vision"})
+        a = ranker.scores(q, skill_net)
+        b = ranker.scores(q, skill_net)
+        np.testing.assert_allclose(a, b)
+
+
+class TestCoverageRanker:
+    def test_neighbor_coverage_propagates(self, skill_net):
+        scores = CoverageExpertRanker(neighbor_weight=0.5).scores(
+            frozenset({"graph", "mining"}), skill_net
+        )
+        # Connector (no own match) still scores via neighbor 0's full match.
+        assert scores[2] == pytest.approx(0.5)
+        assert scores[3] == 0.0
+
+    def test_zero_neighbor_weight_is_pure_lexical(self, skill_net):
+        scores = CoverageExpertRanker(neighbor_weight=0.0).scores(
+            frozenset({"graph"}), skill_net
+        )
+        np.testing.assert_allclose(scores, [1.0, 1.0, 0.0, 0.0])
+
+
+class TestPageRank:
+    def test_restart_mass_spreads_to_neighbors(self, skill_net):
+        scores = PageRankExpertRanker().scores(frozenset({"mining"}), skill_net)
+        assert scores[0] > scores[2] > 0.0  # walk reaches the connector
+        assert scores[3] == 0.0  # disconnected from all matches
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            PageRankExpertRanker(damping=1.5)
+
+    def test_scores_sum_to_one(self, skill_net):
+        scores = PageRankExpertRanker().scores(frozenset({"graph"}), skill_net)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDocumentRanker:
+    def test_rare_skill_weighs_more(self):
+        """A match on a rare skill should outrank a match on a ubiquitous
+        one (idf weighting)."""
+        net = CollaborationNetwork()
+        net.add_person("rare", {"quantum", "common"})
+        net.add_person("common1", {"common"})
+        net.add_person("common2", {"common"})
+        order = DocumentExpertRanker().rank(["quantum"], net)
+        assert order[0] == 0
+
+    def test_profile_cosine_penalizes_dilution(self):
+        net = CollaborationNetwork()
+        net.add_person("focused", {"graph"})
+        net.add_person("diluted", {"graph", "a", "b", "c", "d", "e"})
+        scores = DocumentExpertRanker().scores(frozenset({"graph"}), net)
+        assert scores[0] > scores[1]
+
+
+class TestHits:
+    def test_base_set_excludes_far_nodes(self, skill_net):
+        scores = HitsExpertRanker().scores(frozenset({"mining"}), skill_net)
+        assert scores[3] == 0.0
+
+    def test_authority_rewards_connectivity(self):
+        """In a star of matching nodes, the hub has the highest authority."""
+        net = CollaborationNetwork()
+        for i in range(5):
+            net.add_person(f"p{i}", {"graph"})
+        for i in range(1, 5):
+            net.add_edge(0, i)
+        order = HitsExpertRanker().rank(["graph"], net)
+        assert order[0] == 0
+
+
+class TestGcnRanker:
+    """Integration-grade checks on the trained GCN (session fixtures)."""
+
+    def test_correlates_with_coverage_oracle(
+        self, small_dataset, small_gcn_ranker, small_query
+    ):
+        net = small_dataset.network
+        scores = small_gcn_ranker.scores(frozenset(small_query), net)
+        oracle = small_gcn_ranker.coverage_oracle(small_query, net)
+        corr = np.corrcoef(scores, oracle)[0, 1]
+        assert corr > 0.4, f"GCN barely tracks relevance (corr={corr:.2f})"
+
+    def test_removing_matched_skill_worsens_rank(
+        self, small_dataset, small_gcn_ranker, small_query
+    ):
+        net = small_dataset.network
+        results = small_gcn_ranker.evaluate(small_query, net)
+        top = results.top_k(5)
+        expert = next(
+            (p for p in top if net.skills(p) & set(small_query)), None
+        )
+        assert expert is not None
+        skill = sorted(net.skills(expert) & set(small_query))[0]
+        perturbed = net.copy()
+        perturbed.remove_skill(expert, skill)
+        assert (
+            small_gcn_ranker.rank_of(expert, small_query, perturbed)
+            > results.rank_of(expert)
+        )
+
+    def test_unfitted_ranker_raises(self, small_embedding, small_dataset):
+        from repro.search import GcnExpertRanker
+
+        ranker = GcnExpertRanker(small_embedding)
+        with pytest.raises(RuntimeError, match="fit"):
+            ranker.scores(frozenset({"x"}), small_dataset.network)
+
+    def test_empty_query_zero(self, small_dataset, small_gcn_ranker):
+        scores = small_gcn_ranker.scores(frozenset(), small_dataset.network)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_handles_added_skill_from_universe(
+        self, small_dataset, small_gcn_ranker, small_query
+    ):
+        """Perturbed networks with added skills must score without error
+        and the addition of a query skill must improve that person."""
+        net = small_dataset.network
+        results = small_gcn_ranker.evaluate(small_query, net)
+        person = int(results.order[25])
+        missing = [s for s in small_query if not net.has_skill(person, s)]
+        assert missing
+        perturbed = net.copy()
+        perturbed.add_skill(person, missing[0])
+        assert (
+            small_gcn_ranker.rank_of(person, small_query, perturbed)
+            <= results.rank_of(person)
+        )

@@ -1,0 +1,82 @@
+"""Dataset preset tests (Table 6 shapes, fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dblp_like, figure1_network, github_like, toy_network
+
+
+class TestPresetShapes:
+    def test_dblp_small_scale_counts(self):
+        ds = dblp_like(scale=0.01, seed=13)
+        stats = ds.stats()
+        assert stats.n_nodes == max(30, round(17630 * 0.01))
+        assert stats.n_edges == max(60, round(128809 * 0.01))
+        assert stats.mean_skills_per_person > 10  # paper: ~15
+
+    def test_github_small_scale_counts(self):
+        ds = github_like(scale=0.02, seed=17)
+        stats = ds.stats()
+        assert stats.n_nodes == max(25, round(3278 * 0.02))
+        assert stats.n_edges == max(45, round(15502 * 0.02))
+
+    def test_github_sparser_than_dblp(self):
+        """The paper's GitHub network has lower mean degree than DBLP."""
+        dblp = dblp_like(scale=0.01, seed=1)
+        gh = github_like(scale=0.05, seed=1)
+        assert gh.stats().mean_degree < dblp.stats().mean_degree
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            dblp_like(scale=0.0)
+        with pytest.raises(ValueError):
+            github_like(scale=1.5)
+
+    def test_deterministic(self):
+        a = dblp_like(scale=0.01, seed=3)
+        b = dblp_like(scale=0.01, seed=3)
+        assert sorted(a.network.edges()) == sorted(b.network.edges())
+        for p in a.network.people():
+            assert a.network.skills(p) == b.network.skills(p)
+
+    def test_corpus_attached(self):
+        ds = dblp_like(scale=0.01, seed=13)
+        assert ds.corpus.n_documents > ds.network.n_people / 2
+
+    def test_table6_row(self):
+        row = dblp_like(scale=0.01, seed=13).table6_row()
+        assert "DBLP" in row
+
+
+class TestFigure1Network:
+    def test_people_and_skills(self):
+        net = figure1_network()
+        assert net.n_people == 9
+        weikum = net.find_person("Gerhard Weikum")
+        assert net.skills(weikum) == {"kb", "db", "xai"}
+
+    def test_weikum_anand_collaboration(self):
+        """The paper's counterfactual mentions this edge explicitly."""
+        net = figure1_network()
+        assert net.has_edge(
+            net.find_person("Gerhard Weikum"), net.find_person("Avishek Anand")
+        )
+
+    def test_valid(self):
+        figure1_network().validate()
+
+
+class TestToyNetwork:
+    def test_deterministic(self):
+        a, b = toy_network(seed=2), toy_network(seed=2)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_connected_ring(self):
+        net = toy_network(n_people=10, seed=0)
+        for p in net.people():
+            assert net.degree(p) >= 2
+
+    def test_everyone_has_skills(self):
+        net = toy_network(n_people=10, seed=1)
+        for p in net.people():
+            assert len(net.skills(p)) >= 2

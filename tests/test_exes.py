@@ -1,0 +1,102 @@
+"""ExES facade tests against the trained session stack."""
+
+import pytest
+
+from repro import ExES
+from repro.explain import BeamConfig, FactualConfig
+
+
+@pytest.fixture(scope="module")
+def exes(small_dataset, small_gcn_ranker, small_embedding, small_gae, small_former):
+    return ExES(
+        network=small_dataset.network,
+        ranker=small_gcn_ranker,
+        embedding=small_embedding,
+        link_predictor=small_gae,
+        former=small_former,
+        k=10,
+        factual_config=FactualConfig(n_samples=96, max_samples=128, exact_limit=8),
+        beam_config=BeamConfig(beam_size=8, n_candidates=5, n_explanations=3),
+    )
+
+
+class TestSystemPassthroughs:
+    def test_top_k_size(self, exes, small_query):
+        assert len(exes.top_k(small_query)) == 10
+
+    def test_rank_consistency(self, exes, small_query):
+        top = exes.top_k(small_query)
+        assert exes.rank_of(top[0], small_query) == 1
+        assert exes.is_expert(top[0], small_query)
+
+    def test_form_team_includes_seed(self, exes, small_query):
+        seed = exes.top_k(small_query)[0]
+        team = exes.form_team(small_query, seed_member=seed)
+        assert seed in team.members
+
+
+class TestFactualFacade:
+    def test_explain_skills(self, exes, small_query):
+        expert = exes.top_k(small_query)[0]
+        fx = exes.explain_skills(expert, small_query)
+        assert fx.kind == "skills"
+        assert fx.person == expert
+        assert fx.attributions
+
+    def test_explain_query(self, exes, small_query):
+        expert = exes.top_k(small_query)[0]
+        fx = exes.explain_query(expert, small_query)
+        assert {a.feature.term for a in fx.attributions} == set(small_query)
+
+    def test_team_membership_explanation(self, exes, small_query):
+        seed = exes.top_k(small_query)[0]
+        team = exes.form_team(small_query, seed_member=seed)
+        others = sorted(team.members - {seed})
+        if not others:
+            pytest.skip("seed alone covers this query")
+        fx = exes.explain_skills(others[0], small_query, team=True, seed_member=seed)
+        assert fx.full_value == 1.0  # member status is true
+
+    def test_team_without_former_rejected(self, small_dataset, small_gcn_ranker,
+                                          small_embedding, small_gae):
+        bare = ExES(
+            network=small_dataset.network,
+            ranker=small_gcn_ranker,
+            embedding=small_embedding,
+            link_predictor=small_gae,
+            former=None,
+        )
+        with pytest.raises(ValueError, match="team formation"):
+            bare.target(team=True)
+
+
+class TestCounterfactualFacade:
+    def test_skills_auto_direction_expert(self, exes, small_query):
+        """An expert gets removal counterfactuals..."""
+        expert = exes.top_k(small_query)[0]
+        cf = exes.counterfactual_skills(expert, small_query)
+        assert cf.kind == "skill_removal"
+
+    def test_skills_auto_direction_nonexpert(self, exes, small_query):
+        """...and a non-expert gets addition counterfactuals."""
+        results = exes.ranker.evaluate(small_query, exes.network)
+        non_expert = int(results.order[14])
+        cf = exes.counterfactual_skills(non_expert, small_query)
+        assert cf.kind == "skill_addition"
+
+    def test_collaborations_auto_direction(self, exes, small_query):
+        results = exes.ranker.evaluate(small_query, exes.network)
+        expert = int(results.order[0])
+        non_expert = int(results.order[14])
+        assert exes.counterfactual_collaborations(
+            expert, small_query
+        ).kind == "link_removal"
+        assert exes.counterfactual_collaborations(
+            non_expert, small_query
+        ).kind == "link_addition"
+
+    def test_query_counterfactual(self, exes, small_query):
+        expert = exes.top_k(small_query)[0]
+        cf = exes.counterfactual_query(expert, small_query)
+        assert cf.kind == "query_augmentation"
+        assert cf.initial_decision is True

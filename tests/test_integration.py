@@ -1,0 +1,177 @@
+"""Full-stack integration tests: the paper's core claims, end to end.
+
+These run on the session-scoped trained stack (small DBLP-like dataset,
+GCN ranker, PPMI embedding, GAE) and assert the *semantic* properties the
+paper relies on, not just that code runs:
+
+* factual explanations put real weight on query-matching skills,
+* counterfactuals actually flip the decision when applied,
+* pruned explanations are found faster than exhaustive ones,
+* team membership explanations respect the membership bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import random_queries
+from repro.explain import (
+    BeamConfig,
+    CounterfactualExplainer,
+    ExhaustiveConfig,
+    ExhaustiveCounterfactualExplainer,
+    FactualConfig,
+    FactualExplainer,
+    MembershipTarget,
+    RelevanceTarget,
+)
+from repro.graph.perturbations import apply_perturbations
+
+
+@pytest.fixture(scope="module")
+def stack(small_dataset, small_gcn_ranker, small_embedding, small_gae, small_former):
+    net = small_dataset.network
+    target = RelevanceTarget(small_gcn_ranker, k=10)
+    query = random_queries(net, 1, seed=11)[0]
+    results = small_gcn_ranker.evaluate(query, net)
+    return {
+        "net": net,
+        "target": target,
+        "query": query,
+        "results": results,
+        "embedding": small_embedding,
+        "gae": small_gae,
+        "former": small_former,
+    }
+
+
+class TestFactualSemantics:
+    def test_query_skill_attributions_dominate(self, stack):
+        """Attributions on query-matching skill assignments must outweigh
+        attributions on unrelated ones, on average."""
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        expert = stack["results"].top_k(3)[0]
+        explainer = FactualExplainer(
+            target, FactualConfig(n_samples=128, max_samples=256)
+        )
+        fx = explainer.explain_skills(expert, query, net)
+        matching = [
+            abs(a.value) for a in fx.attributions if a.feature.skill in set(query)
+        ]
+        others = [
+            abs(a.value)
+            for a in fx.attributions
+            if a.feature.skill not in set(query)
+        ]
+        assert matching, "expected query-skill features in the neighborhood"
+        assert np.mean(matching) > (np.mean(others) if others else 0.0)
+
+    def test_efficiency_axiom_on_real_model(self, stack):
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        expert = stack["results"].top_k(3)[0]
+        explainer = FactualExplainer(
+            target, FactualConfig(n_samples=96, max_samples=128)
+        )
+        fx = explainer.explain_skills(expert, query, net)
+        total = sum(a.value for a in fx.attributions)
+        assert total == pytest.approx(fx.full_value - fx.base_value, abs=1e-6)
+
+
+class TestCounterfactualsActuallyFlip:
+    @pytest.fixture(scope="class")
+    def explainer(self, small_embedding, small_gae):
+        def build(target):
+            return CounterfactualExplainer(
+                target,
+                small_embedding,
+                small_gae,
+                BeamConfig(beam_size=8, n_candidates=6, n_explanations=3),
+            )
+
+        return build
+
+    def test_skill_removal_flips(self, stack, explainer):
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        expert = stack["results"].top_k(10)[-1]  # boundary expert
+        result = explainer(target).explain_skill_removal(expert, query, net)
+        if not result.found:
+            pytest.skip("no removal counterfactual within budget for this seed")
+        for cf in result.counterfactuals:
+            net2, q2 = apply_perturbations(net, query, cf.perturbations)
+            assert target.decide(expert, q2, net2) is False
+
+    def test_skill_addition_flips(self, stack, explainer):
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        non_expert = int(stack["results"].order[12])
+        result = explainer(target).explain_skill_addition(non_expert, query, net)
+        assert result.found
+        for cf in result.counterfactuals:
+            net2, q2 = apply_perturbations(net, query, cf.perturbations)
+            assert target.decide(non_expert, q2, net2) is True
+
+    def test_query_augmentation_flips(self, stack, explainer):
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        non_expert = int(stack["results"].order[12])
+        result = explainer(target).explain_query_augmentation(
+            non_expert, query, net
+        )
+        if not result.found:
+            pytest.skip("no query counterfactual within budget for this seed")
+        for cf in result.counterfactuals:
+            net2, q2 = apply_perturbations(net, query, cf.perturbations)
+            assert target.decide(non_expert, q2, net2) is True
+            assert net2 is net  # query perturbations never touch the graph
+
+    def test_link_addition_flips(self, stack, explainer):
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        non_expert = int(stack["results"].order[11])
+        result = explainer(target).explain_link_addition(non_expert, query, net)
+        if not result.found:
+            pytest.skip("no link counterfactual within budget for this seed")
+        for cf in result.counterfactuals:
+            net2, q2 = apply_perturbations(net, query, cf.perturbations)
+            assert target.decide(non_expert, q2, net2) is True
+
+
+class TestPruningSpeedup:
+    def test_pruned_skill_removal_faster_than_exhaustive(self, stack):
+        """The headline claim: pruning beats exhaustive search on latency
+        (here with a modest margin since the network is small)."""
+        net, target, query = stack["net"], stack["target"], stack["query"]
+        expert = stack["results"].top_k(10)[-1]
+        pruned = CounterfactualExplainer(
+            target,
+            stack["embedding"],
+            stack["gae"],
+            BeamConfig(beam_size=8, n_candidates=6, n_explanations=3),
+        ).explain_skill_removal(expert, query, net)
+        exhaustive = ExhaustiveCounterfactualExplainer(
+            target, ExhaustiveConfig(timeout_seconds=30, n_explanations=3)
+        ).explain_skill_removal(expert, query, net)
+        if not exhaustive.found:
+            assert exhaustive.elapsed_seconds > pruned.elapsed_seconds
+        else:
+            assert pruned.elapsed_seconds < exhaustive.elapsed_seconds
+
+
+class TestTeamMembershipExplanations:
+    def test_membership_counterfactual_flips(self, stack):
+        net, query = stack["net"], stack["query"]
+        former = stack["former"]
+        seed = stack["results"].top_k(1)[0]
+        team = former.form(query, net, seed_member=seed)
+        others = sorted(team.members - {seed})
+        if not others:
+            pytest.skip("seed covers the query alone for this seed")
+        member = others[0]
+        target = MembershipTarget(former, seed_member=seed)
+        result = CounterfactualExplainer(
+            target,
+            stack["embedding"],
+            stack["gae"],
+            BeamConfig(beam_size=6, n_candidates=5, n_explanations=2),
+        ).explain_skill_removal(member, query, net)
+        if not result.found:
+            pytest.skip("no membership counterfactual within budget")
+        for cf in result.counterfactuals:
+            net2, q2 = apply_perturbations(net, query, cf.perturbations)
+            assert target.decide(member, q2, net2) is False

@@ -1,0 +1,80 @@
+"""Corpus generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkRecipe, synthesize_network
+from repro.text import CorpusRecipe, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def synthesis():
+    return synthesize_network(
+        NetworkRecipe(n_people=60, n_edges=150, n_skills=50, seed=5),
+        attach_skills=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus(synthesis):
+    return generate_corpus(synthesis, CorpusRecipe(seed=5))
+
+
+class TestGeneration:
+    def test_every_person_authors_something(self, synthesis, corpus):
+        for p in synthesis.network.people():
+            assert corpus.person_doc_ids[p], f"person {p} has no documents"
+
+    def test_documents_have_tokens(self, corpus):
+        assert corpus.n_documents > 0
+        for doc in corpus.documents:
+            assert len(doc.tokens) >= 8
+
+    def test_author_ids_valid(self, synthesis, corpus):
+        n = synthesis.network.n_people
+        for doc in corpus.documents:
+            assert all(0 <= a < n for a in doc.authors)
+
+    def test_coauthored_docs_use_network_edges(self, synthesis, corpus):
+        net = synthesis.network
+        for doc in corpus.documents:
+            if len(doc.authors) == 2:
+                u, v = doc.authors
+                assert net.has_edge(u, v)
+
+    def test_person_tokens_aggregates_authored_docs(self, corpus):
+        tokens = corpus.person_tokens(0)
+        total = sum(len(d.tokens) for d in corpus.documents_of(0))
+        assert len(tokens) == total
+
+    def test_skill_tokens_come_from_community_pools(self, synthesis, corpus):
+        """Most non-filler tokens of a solo-authored doc must come from the
+        author's community pools."""
+        from repro.text.corpus import _FILLER_TOKENS
+
+        filler = set(_FILLER_TOKENS)
+        doc = next(d for d in corpus.documents if len(d.authors) == 1)
+        author = doc.authors[0]
+        pool = set()
+        for c in synthesis.person_communities[author]:
+            pool.update(synthesis.community_skill_pools[c])
+        non_filler = [t for t in doc.tokens if t not in filler]
+        assert non_filler
+        assert all(t in pool for t in non_filler)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, synthesis):
+        a = generate_corpus(synthesis, CorpusRecipe(seed=9))
+        b = generate_corpus(synthesis, CorpusRecipe(seed=9))
+        assert [d.tokens for d in a.documents] == [d.tokens for d in b.documents]
+
+    def test_different_seed_differs(self, synthesis):
+        a = generate_corpus(synthesis, CorpusRecipe(seed=9))
+        b = generate_corpus(synthesis, CorpusRecipe(seed=10))
+        assert [d.tokens for d in a.documents] != [d.tokens for d in b.documents]
+
+    def test_token_lists_shape(self, corpus):
+        lists = corpus.token_lists()
+        assert len(lists) == corpus.n_documents
+        assert all(isinstance(t, str) for t in lists[0])

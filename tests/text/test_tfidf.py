@@ -1,0 +1,111 @@
+"""TF-IDF model and skill extraction tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkRecipe, synthesize_network
+from repro.text import CorpusRecipe, TfidfModel, extract_skills, generate_corpus
+
+
+@pytest.fixture
+def docs():
+    return [
+        ["graph", "mining", "graph"],
+        ["graph", "search"],
+        ["privacy", "search", "search"],
+    ]
+
+
+class TestTfidfModel:
+    def test_vocabulary_is_sorted_terms(self, docs):
+        model = TfidfModel.fit(docs)
+        assert list(model.vocabulary) == sorted(model.vocabulary)
+        assert model.n_documents == 3
+
+    def test_idf_formula(self, docs):
+        model = TfidfModel.fit(docs)
+        idx = model.vocabulary["graph"]  # df=2, N=3
+        assert model.idf[idx] == pytest.approx(math.log(4 / 3) + 1)
+
+    def test_min_df_filters(self, docs):
+        model = TfidfModel.fit(docs, min_df=2)
+        assert "mining" not in model.vocabulary
+        assert "graph" in model.vocabulary
+
+    def test_term_scores_tf_weighting(self, docs):
+        model = TfidfModel.fit(docs)
+        scores = model.term_scores(["graph", "graph", "mining"])
+        assert scores["graph"] > scores["mining"] * 1.2  # tf 2/3 vs 1/3
+
+    def test_unknown_terms_ignored(self, docs):
+        model = TfidfModel.fit(docs)
+        assert model.term_scores(["quantum"]) == {}
+        assert np.all(model.vector(["quantum"]) == 0.0)
+
+    def test_vector_is_unit_norm(self, docs):
+        model = TfidfModel.fit(docs)
+        vec = model.vector(["graph", "search"])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_matrix_rows_match_vectors(self, docs):
+        model = TfidfModel.fit(docs)
+        mat = model.matrix(docs)
+        for i, doc in enumerate(docs):
+            np.testing.assert_allclose(
+                np.asarray(mat[i].todense()).ravel(), model.vector(doc), atol=1e-12
+            )
+
+    def test_cosine_favors_matching_docs(self, docs):
+        model = TfidfModel.fit(docs)
+        mat = model.matrix(docs)
+        q = model.vector(["privacy"])
+        sims = np.asarray(mat @ q).ravel()
+        assert np.argmax(sims) == 2
+
+
+class TestExtractSkills:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        synthesis = synthesize_network(
+            NetworkRecipe(n_people=50, n_edges=120, n_skills=40, seed=6),
+            attach_skills=False,
+        )
+        corpus = generate_corpus(synthesis, CorpusRecipe(seed=6))
+        return synthesis, corpus
+
+    def test_respects_max_skills(self, pipeline):
+        _, corpus = pipeline
+        skills = extract_skills(corpus, range(50), max_skills=7)
+        assert all(len(s) <= 7 for s in skills.values())
+
+    def test_mean_skills_near_max_for_rich_corpus(self, pipeline):
+        _, corpus = pipeline
+        skills = extract_skills(corpus, range(50), max_skills=10)
+        mean = np.mean([len(s) for s in skills.values()])
+        assert mean > 8
+
+    def test_filler_terms_excluded(self, pipeline):
+        _, corpus = pipeline
+        from repro.text.corpus import _FILLER_TOKENS
+
+        skills = extract_skills(
+            corpus, range(50), max_skills=10, filler_terms=_FILLER_TOKENS
+        )
+        for s in skills.values():
+            assert not set(s) & set(_FILLER_TOKENS)
+
+    def test_skills_reflect_communities(self, pipeline):
+        """A person's extracted skills should overlap their community pool."""
+        synthesis, corpus = pipeline
+        skills = extract_skills(corpus, range(50), max_skills=10)
+        hits = 0
+        total = 0
+        for p in range(50):
+            pool = set()
+            for c in synthesis.person_communities[p]:
+                pool.update(synthesis.community_skill_pools[c])
+            total += len(skills[p])
+            hits += sum(1 for s in skills[p] if s in pool)
+        assert hits / total > 0.6

@@ -1,0 +1,34 @@
+"""Tokenizer tests."""
+
+from repro.text import STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Graph Mining") == ["graph", "mining"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the graph of the mining") == ["graph", "mining"]
+
+    def test_drops_single_characters(self):
+        assert tokenize("a b graph") == ["graph"]
+
+    def test_keeps_internal_hyphens(self):
+        assert tokenize("graph-algorithms rock") == ["graph-algorithms", "rock"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("graphs, mining; and search!") == [
+            "graphs",
+            "mining",
+            "search",
+        ]
+
+    def test_numbers_kept(self):
+        assert tokenize("web 2x faster") == ["web", "2x", "faster"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_stopwords_is_frozen(self):
+        assert "the" in STOPWORDS
+        assert isinstance(STOPWORDS, frozenset)
