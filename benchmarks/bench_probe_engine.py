@@ -1,0 +1,263 @@
+"""Probe-engine benchmark: counterfactual + factual suites, engine on/off.
+
+Times the Table 8/10-style counterfactual workload (three expert kinds,
+three non-expert kinds) and a factual suite with the incremental probe
+engine enabled vs. disabled (``full_rebuild`` escape hatch + memoization
+off — the seed code path), verifies that both modes produce identical
+explanations and 1e-9-identical scores, and writes ``BENCH_probe_engine.json``
+at the repo root so the perf trajectory is tracked across PRs.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_probe_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import ExES
+from repro.datasets import dblp_like
+from repro.eval import random_queries, sample_search_subjects
+from repro.explain import BeamConfig, CounterfactualExplainer, FactualConfig, FactualExplainer
+from repro.graph.perturbations import apply_perturbations
+from repro.search import GcnRankerConfig, ProbeEngine
+
+K = 10
+N_QUERIES = 3
+MAX_CASES = 2  # per role (expert / non-expert)
+BEAM = BeamConfig(beam_size=10, n_candidates=6, max_size=4, n_explanations=3)
+FACTUAL = FactualConfig(n_samples=96, max_samples=192, selection_samples=48)
+
+EXPERT_KINDS = ("explain_skill_removal", "explain_query_augmentation", "explain_link_removal")
+NONEXPERT_KINDS = ("explain_skill_addition", "explain_query_augmentation", "explain_link_addition")
+FACTUAL_KINDS = ("explain_skills", "explain_query", "explain_collaborations")
+
+
+def build_stack(seed: int = 1):
+    dataset = dblp_like(scale=0.012, seed=13)
+    exes = ExES.build(
+        dataset,
+        k=K,
+        ranker_config=GcnRankerConfig(epochs=40, n_train_queries=30, seed=seed),
+        beam_config=BEAM,
+        factual_config=FACTUAL,
+        seed=seed,
+    )
+    net = dataset.network
+    queries = random_queries(net, N_QUERIES, seed=seed + 100)
+    subjects = sample_search_subjects(exes.ranker, net, queries, K, seed=seed + 200)
+    experts, nonexperts = [], []
+    for s in subjects:
+        if s.expert is not None and len(experts) < MAX_CASES:
+            experts.append((s.expert, s.query))
+        if s.non_expert is not None and len(nonexperts) < MAX_CASES:
+            nonexperts.append((s.non_expert, s.query))
+    return exes, net, experts, nonexperts
+
+
+def _engine(exes, engine_on: bool) -> ProbeEngine:
+    target = exes.target()
+    if engine_on:
+        return ProbeEngine(target, exes.network)
+    return ProbeEngine(target, exes.network, memoize=False, full_rebuild=True)
+
+
+def run_counterfactual_suite(exes, net, experts, nonexperts, engine_on: bool):
+    """One full Table 8/10-style pass; returns (elapsed, probes, results)."""
+    exes.ranker.full_rebuild = not engine_on
+    engine = _engine(exes, engine_on)
+    explainer = CounterfactualExplainer(
+        engine.target, exes.embedding, exes.link_predictor, BEAM, engine=engine
+    )
+    results = []
+    probes = 0
+    start = time.perf_counter()
+    for person, query in experts:
+        for method in EXPERT_KINDS:
+            res = getattr(explainer, method)(person, query, net)
+            probes += res.n_probes
+            results.append(res)
+    for person, query in nonexperts:
+        for method in NONEXPERT_KINDS:
+            res = getattr(explainer, method)(person, query, net)
+            probes += res.n_probes
+            results.append(res)
+    elapsed = time.perf_counter() - start
+    exes.ranker.full_rebuild = False
+    return elapsed, probes, results
+
+
+def run_factual_suite(exes, net, experts, nonexperts, engine_on: bool):
+    exes.ranker.full_rebuild = not engine_on
+    engine = _engine(exes, engine_on)
+    explainer = FactualExplainer(engine.target, FACTUAL, engine=engine)
+    results = []
+    evaluations = 0
+    start = time.perf_counter()
+    for person, query in experts + nonexperts:
+        for method in FACTUAL_KINDS:
+            res = getattr(explainer, method)(person, query, net)
+            evaluations += res.n_evaluations
+            results.append(res)
+    elapsed = time.perf_counter() - start
+    exes.ranker.full_rebuild = False
+    return elapsed, evaluations, results
+
+
+def _random_perturbations(net, rng, n):
+    """A mixed, applicable skill/edge flip sequence against ``net``."""
+    from repro.graph import NetworkOverlay
+    from repro.graph.perturbations import AddEdge, AddSkill, RemoveEdge, RemoveSkill
+
+    skills = sorted(net.skill_universe())
+    edges = sorted(net.edges())
+    perts = []
+    state = NetworkOverlay(net)
+    for _ in range(n):
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            p = int(rng.integers(0, net.n_people))
+            s = skills[int(rng.integers(0, len(skills)))]
+            pert = AddSkill(p, s) if not state.has_skill(p, s) else RemoveSkill(p, s)
+        elif kind == 1:
+            p = int(rng.integers(0, net.n_people))
+            own = sorted(state.skills(p))
+            if not own:
+                continue
+            pert = RemoveSkill(p, own[int(rng.integers(0, len(own)))])
+        elif kind == 2:
+            u, v = edges[int(rng.integers(0, len(edges)))]
+            if not state.has_edge(u, v):
+                continue
+            pert = RemoveEdge(u, v)
+        else:
+            u = int(rng.integers(0, net.n_people))
+            v = int(rng.integers(0, net.n_people))
+            if u == v or state.has_edge(u, v):
+                continue
+            pert = AddEdge(u, v)
+        pert.apply(state, frozenset())
+        perts.append(pert)
+    return perts
+
+
+def parity_check(exes, net, n_trials: int = 25, seed: int = 7) -> float:
+    """Max |engine score − full-rebuild score| over random probe states."""
+    rng = np.random.default_rng(seed)
+    skills = sorted(net.skill_universe())
+    worst = 0.0
+    for _ in range(n_trials):
+        query = frozenset(
+            skills[i] for i in rng.choice(len(skills), size=3, replace=False)
+        )
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            continue
+        overlay, q2 = apply_perturbations(net, query, perts)
+        fast = exes.ranker.scores(q2, overlay)
+        rebuilt, _ = apply_perturbations(net, query, perts, full_rebuild=True)
+        slow = exes.ranker.scores(q2, rebuilt)
+        worst = max(worst, float(np.abs(fast - slow).max()))
+    return worst
+
+
+def _cf_signature(results):
+    """Comparable digest of a counterfactual suite's outputs."""
+    return [
+        (r.kind, r.person, sorted(str(c.perturbations) for c in r.counterfactuals))
+        for r in results
+    ]
+
+
+def main() -> dict:
+    print("building stack (train ranker + GAE) ...", flush=True)
+    exes, net, experts, nonexperts = build_stack()
+    print(
+        f"network: {net.n_people} people, {net.n_edges} edges, "
+        f"{len(net.skill_universe())} skills; "
+        f"{len(experts)} expert + {len(nonexperts)} non-expert cases",
+        flush=True,
+    )
+
+    print("parity check ...", flush=True)
+    max_diff = parity_check(exes, net)
+    assert max_diff < 1e-9, f"parity violated: {max_diff}"
+
+    print("counterfactual suite, engine OFF (seed path) ...", flush=True)
+    off_s, off_probes, off_results = run_counterfactual_suite(
+        exes, net, experts, nonexperts, engine_on=False
+    )
+    print(f"  {off_s:.2f}s, {off_probes} probes", flush=True)
+    print("counterfactual suite, engine ON ...", flush=True)
+    on_s, on_probes, on_results = run_counterfactual_suite(
+        exes, net, experts, nonexperts, engine_on=True
+    )
+    print(f"  {on_s:.2f}s, {on_probes} unique probes", flush=True)
+    assert _cf_signature(on_results) == _cf_signature(off_results), (
+        "engine-on and engine-off found different counterfactuals"
+    )
+
+    print("factual suite, engine OFF ...", flush=True)
+    f_off_s, f_off_evals, _ = run_factual_suite(
+        exes, net, experts, nonexperts, engine_on=False
+    )
+    print(f"  {f_off_s:.2f}s, {f_off_evals} evaluations", flush=True)
+    print("factual suite, engine ON ...", flush=True)
+    f_on_s, f_on_evals, _ = run_factual_suite(
+        exes, net, experts, nonexperts, engine_on=True
+    )
+    print(f"  {f_on_s:.2f}s, {f_on_evals} evaluations", flush=True)
+
+    report = {
+        "network": {
+            "n_people": net.n_people,
+            "n_edges": net.n_edges,
+            "n_skills": len(net.skill_universe()),
+        },
+        "beam": {
+            "beam_size": BEAM.beam_size,
+            "n_candidates": BEAM.n_candidates,
+            "max_size": BEAM.max_size,
+            "n_explanations": BEAM.n_explanations,
+        },
+        "parity_max_abs_diff": max_diff,
+        "counterfactual": {
+            "engine_off_seconds": off_s,
+            "engine_on_seconds": on_s,
+            "speedup": off_s / on_s,
+            "probes_engine_off": off_probes,
+            "probes_engine_on": on_probes,
+            "probes_per_sec_engine_off": off_probes / off_s,
+            "probes_per_sec_engine_on": on_probes / on_s,
+        },
+        "factual": {
+            "engine_off_seconds": f_off_s,
+            "engine_on_seconds": f_on_s,
+            "speedup": f_off_s / f_on_s,
+            "evaluations_engine_off": f_off_evals,
+            "evaluations_engine_on": f_on_evals,
+        },
+    }
+    out = REPO_ROOT / "BENCH_probe_engine.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\ncounterfactual speedup: {report['counterfactual']['speedup']:.2f}x, "
+        f"factual speedup: {report['factual']['speedup']:.2f}x "
+        f"(parity {max_diff:.2e})\nwrote {out}",
+        flush=True,
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTar
 from repro.graph.network import CollaborationNetwork
 from repro.linkpred.gae import GaeConfig, train_gae
 from repro.search.base import ExpertSearchSystem
+from repro.search.engine import ProbeEngine
 from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
 from repro.team.base import Team, TeamFormationSystem
 from repro.team.greedy import CoverTeamFormer
@@ -48,6 +49,12 @@ class ExES:
     k: int = 10
     factual_config: FactualConfig = field(default_factory=FactualConfig)
     beam_config: BeamConfig = field(default_factory=BeamConfig)
+    # One probe engine per decision target, shared by every explainer this
+    # facade hands out — beam search, SHAP value functions, and candidate
+    # generation all stop re-scoring identical perturbed states.
+    _engines: Dict[Tuple[bool, Optional[int]], ProbeEngine] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # construction
@@ -99,21 +106,35 @@ class ExES:
             raise ValueError("no team formation system was configured")
         return MembershipTarget(self.former, seed_member=seed_member)
 
+    def probe_engine(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> ProbeEngine:
+        """The shared, memoizing probe engine for the chosen target."""
+        key = (team, seed_member)
+        engine = self._engines.get(key)
+        if engine is None or engine.base is not self.network:
+            engine = ProbeEngine(self.target(team, seed_member), self.network)
+            self._engines[key] = engine
+        return engine
+
     def factual_explainer(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> FactualExplainer:
         """A factual explainer bound to the chosen decision target."""
-        return FactualExplainer(self.target(team, seed_member), self.factual_config)
+        engine = self.probe_engine(team, seed_member)
+        return FactualExplainer(engine.target, self.factual_config, engine=engine)
 
     def counterfactual_explainer(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> CounterfactualExplainer:
         """A counterfactual explainer bound to the chosen decision target."""
+        engine = self.probe_engine(team, seed_member)
         return CounterfactualExplainer(
-            self.target(team, seed_member),
+            engine.target,
             self.embedding,
             self.link_predictor,
             self.beam_config,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -190,11 +211,9 @@ class ExES:
     ) -> CounterfactualExplanation:
         """Skill perturbations that flip the decision: removal for current
         experts/members, addition for the rest (career advancement)."""
-        target = self.target(team, seed_member)
-        explainer = CounterfactualExplainer(
-            target, self.embedding, self.link_predictor, self.beam_config
-        )
-        if target.decide(person, frozenset(query), self.network):
+        explainer = self.counterfactual_explainer(team, seed_member)
+        engine = self.probe_engine(team, seed_member)
+        if engine.decide(person, frozenset(query), self.network):
             return explainer.explain_skill_removal(person, query, self.network)
         return explainer.explain_skill_addition(person, query, self.network)
 
@@ -206,12 +225,9 @@ class ExES:
         seed_member: Optional[int] = None,
     ) -> CounterfactualExplanation:
         """Query augmentations that flip the decision (§3.3.2)."""
-        return CounterfactualExplainer(
-            self.target(team, seed_member),
-            self.embedding,
-            self.link_predictor,
-            self.beam_config,
-        ).explain_query_augmentation(person, query, self.network)
+        return self.counterfactual_explainer(team, seed_member).explain_query_augmentation(
+            person, query, self.network
+        )
 
     def counterfactual_collaborations(
         self,
@@ -222,10 +238,8 @@ class ExES:
     ) -> CounterfactualExplanation:
         """Edge perturbations that flip the decision: removal for current
         experts/members, addition for the rest (§3.3.3)."""
-        target = self.target(team, seed_member)
-        explainer = CounterfactualExplainer(
-            target, self.embedding, self.link_predictor, self.beam_config
-        )
-        if target.decide(person, frozenset(query), self.network):
+        explainer = self.counterfactual_explainer(team, seed_member)
+        engine = self.probe_engine(team, seed_member)
+        if engine.decide(person, frozenset(query), self.network):
             return explainer.explain_link_removal(person, query, self.network)
         return explainer.explain_link_addition(person, query, self.network)

@@ -24,6 +24,7 @@ from typing import List, Optional, Protocol, Sequence, Tuple
 from repro.embeddings.similarity import SkillEmbedding
 from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import (
     AddEdge,
     AddQueryTerm,
@@ -171,16 +172,22 @@ def link_removal_candidates(
     t: int,
     radius: int,
     max_probe_edges: int = 60,
+    engine=None,
 ) -> Tuple[List[Perturbation], int]:
     """The t edges of N(p_i, d) whose removal hurts p_i's rank most.
 
-    Each candidate edge is probed once (single-removal rank delta); the
-    probe count is returned so callers can account for it in latency
+    Each candidate edge is probed once (single-removal rank delta) as a
+    copy-on-write overlay through a :class:`repro.search.engine.ProbeEngine`
+    — when the caller shares its engine, beam search round one re-probes
+    these exact single-removal states for free.  The number of *unique*
+    probes spent here is returned so callers can account for it in latency
     bookkeeping.  Lower rank = better, so "hurts most" = largest rank
     increase.  Around hub nodes the 2-hop neighborhood can contain hundreds
     of edges, so probing is capped at ``max_probe_edges``, prioritizing
     edges incident to p_i, then edges incident to p_i's collaborators.
     """
+    from repro.search.engine import ProbeEngine
+
     nodes = network.neighborhood(person, radius)
     edges = network.edges_within(nodes)
     if not edges:
@@ -198,14 +205,18 @@ def link_removal_candidates(
         return (tier, u, v)
 
     edges = sorted(edges, key=priority)[:max_probe_edges]
-    _, base_order = target.decide_with_order(person, query, network)
+    if engine is None or not engine.accepts(network):
+        engine = ProbeEngine(target, network)
+    misses_before = engine.misses
+    _, base_order = engine.probe(person, query, network)
     scored: List[Tuple[float, Tuple[int, int]]] = []
-    probes = 1
     for u, v in edges:
-        trial = network.copy()
+        trial = NetworkOverlay(network)
         trial.remove_edge(u, v)
-        _, order = target.decide_with_order(person, query, trial)
-        probes += 1
+        _, order = engine.probe(person, query, trial)
         scored.append((order - base_order, (u, v)))
     scored.sort(key=lambda kv: (-kv[0], kv[1]))
-    return [RemoveEdge(u, v) for _, (u, v) in scored[:t]], probes
+    return (
+        [RemoveEdge(u, v) for _, (u, v) in scored[:t]],
+        engine.misses - misses_before,
+    )

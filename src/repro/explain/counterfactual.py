@@ -36,6 +36,7 @@ from repro.explain.explanation import (
 from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import Perturbation, Query, apply_perturbations, as_query
+from repro.search.engine import ProbeEngine
 
 
 @dataclass(frozen=True)
@@ -71,15 +72,26 @@ def beam_search_counterfactuals(
     config: BeamConfig,
     kind: str,
     extra_probes: int = 0,
+    engine: Optional[ProbeEngine] = None,
 ) -> CounterfactualExplanation:
-    """Algorithm 1: beam search for up to ``e`` minimal counterfactuals."""
+    """Algorithm 1: beam search for up to ``e`` minimal counterfactuals.
+
+    All probes route through a :class:`ProbeEngine` (one is created ad hoc
+    when none is supplied), so repeated states — within this search or
+    across earlier searches sharing the engine — are answered from memory.
+    ``n_probes`` on the result counts *unique* system evaluations this call
+    actually triggered, plus ``extra_probes`` spent by the caller on
+    candidate generation.
+    """
     query = as_query(query)
     start = time.perf_counter()
     deadline = (
         start + config.timeout_seconds if config.timeout_seconds is not None else None
     )
-    initial_decision, _ = target.decide_with_order(person, query, network)
-    probes = 1 + extra_probes
+    if engine is None:
+        engine = ProbeEngine(target, network)
+    misses_at_entry = engine.misses
+    initial_decision, _ = engine.probe(person, query, network)
 
     found: List[Counterfactual] = []
     found_sets: Set[FrozenSet[Perturbation]] = set()
@@ -105,8 +117,7 @@ def beam_search_counterfactuals(
                     net2, q2 = apply_perturbations(network, query, new_state)
                 except ValueError:
                     continue  # contains a no-op (e.g. removing then re-adding)
-                decision, order = target.decide_with_order(person, q2, net2)
-                probes += 1
+                decision, order = engine.probe(person, q2, net2)
                 if decision != initial_decision:
                     found.append(
                         Counterfactual(perturbations=new_state, new_order_key=order)
@@ -139,7 +150,7 @@ def beam_search_counterfactuals(
         query=query,
         counterfactuals=minimal,
         initial_decision=initial_decision,
-        n_probes=probes,
+        n_probes=extra_probes + (engine.misses - misses_at_entry),
         elapsed_seconds=time.perf_counter() - start,
         kind=kind,
         pruned=True,
@@ -157,11 +168,23 @@ class CounterfactualExplainer:
         embedding: SkillEmbedding,
         link_predictor: LinkPredictor,
         config: Optional[BeamConfig] = None,
+        engine: Optional[ProbeEngine] = None,
     ) -> None:
         self.target = target
         self.embedding = embedding
         self.link_predictor = link_predictor
         self.config = config or BeamConfig()
+        self._engine = engine  # injected (ExES-shared) engine, if any
+        self._auto_engine: Optional[ProbeEngine] = None
+
+    def _engine_for(self, network: CollaborationNetwork) -> ProbeEngine:
+        """The probe engine serving ``network`` — the injected one when it
+        matches, else a lazily created engine reused across explain calls."""
+        if self._engine is not None and self._engine.accepts(network):
+            return self._engine
+        if self._auto_engine is None or not self._auto_engine.accepts(network):
+            self._auto_engine = ProbeEngine(self.target, network)
+        return self._auto_engine
 
     # -- skills ---------------------------------------------------------
     def explain_skill_removal(
@@ -175,7 +198,7 @@ class CounterfactualExplainer:
         )
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
-            kind="skill_removal",
+            kind="skill_removal", engine=self._engine_for(network),
         )
 
     def explain_skill_addition(
@@ -189,7 +212,7 @@ class CounterfactualExplainer:
         )
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
-            kind="skill_addition",
+            kind="skill_addition", engine=self._engine_for(network),
         )
 
     # -- query ----------------------------------------------------------
@@ -198,14 +221,17 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which added keywords flip p_i's status? (direction inferred)"""
         query = as_query(query)
-        initial = self.target.decide(person, query, network)
+        engine = self._engine_for(network)
+        misses_before = engine.misses
+        initial = engine.decide(person, query, network)
         candidates = query_augmentation_candidates(
             person, query, network, self.embedding,
             self.config.n_candidates, promote=not initial,
         )
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
-            kind="query_augmentation", extra_probes=1,
+            kind="query_augmentation", engine=engine,
+            extra_probes=engine.misses - misses_before,
         )
 
     # -- collaborations ---------------------------------------------------
@@ -222,6 +248,7 @@ class CounterfactualExplainer:
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
             kind="link_addition", extra_probes=1,
+            engine=self._engine_for(network),
         )
 
     def explain_link_removal(
@@ -229,13 +256,15 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which lost collaborations would evict p_i?"""
         query = as_query(query)
+        engine = self._engine_for(network)
         candidates, probes = link_removal_candidates(
             person, query, network, self.target,
             self.config.n_candidates, self.config.link_removal_radius,
+            engine=engine,
         )
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
-            kind="link_removal", extra_probes=probes,
+            kind="link_removal", extra_probes=probes, engine=engine,
         )
 
     def with_config(self, **overrides) -> "CounterfactualExplainer":
@@ -245,4 +274,5 @@ class CounterfactualExplainer:
             self.embedding,
             self.link_predictor,
             replace(self.config, **overrides),
+            engine=self._engine,
         )

@@ -32,6 +32,7 @@ from repro.explain.shap import ShapExplainer, ShapResult
 from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import Query, as_query
+from repro.search.engine import ProbeEngine
 
 
 @dataclass(frozen=True)
@@ -58,9 +59,16 @@ class FactualConfig:
 class FactualExplainer:
     """SHAP-based factual explanations of one decision target."""
 
-    def __init__(self, target: DecisionTarget, config: FactualConfig | None = None):
+    def __init__(
+        self,
+        target: DecisionTarget,
+        config: FactualConfig | None = None,
+        engine: ProbeEngine | None = None,
+    ):
         self.target = target
         self.config = config or FactualConfig()
+        self._engine = engine  # injected (ExES-shared) engine, if any
+        self._auto_engine: ProbeEngine | None = None
         self._shap = ShapExplainer(
             exact_limit=self.config.exact_limit,
             n_samples=self.config.n_samples,
@@ -80,6 +88,16 @@ class FactualExplainer:
     # ------------------------------------------------------------------
     # shared machinery
     # ------------------------------------------------------------------
+    def _engine_for(self, network: CollaborationNetwork) -> ProbeEngine:
+        """Probes route through one engine, so identical masked states —
+        across coalitions, selection vs. final SHAP stages, or sibling
+        explainers sharing the injected engine — are scored once."""
+        if self._engine is not None and self._engine.accepts(network):
+            return self._engine
+        if self._auto_engine is None or not self._auto_engine.accepts(network):
+            self._auto_engine = ProbeEngine(self.target, network)
+        return self._auto_engine
+
     def _value_function(
         self,
         person: int,
@@ -88,10 +106,11 @@ class FactualExplainer:
         features: Sequence[Feature],
     ):
         """f(mask) = the decision bit with masked-off features removed."""
+        engine = self._engine_for(network)
 
         def fn(mask: np.ndarray) -> float:
             net2, q2 = masked_inputs(features, mask, query, network)
-            return 1.0 if self.target.decide(person, q2, net2) else 0.0
+            return 1.0 if engine.decide(person, q2, net2) else 0.0
 
         return fn
 
@@ -233,7 +252,9 @@ class FactualExplainer:
                 query=query,
                 attributions=[],
                 base_value=0.0,
-                full_value=1.0 if self.target.decide(person, query, network) else 0.0,
+                full_value=1.0
+                if self._engine_for(network).decide(person, query, network)
+                else 0.0,
                 n_evaluations=selection_evals + 1,
                 elapsed_seconds=time.perf_counter() - start,
                 method="empty",

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple, Union
 import numpy as np
 
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import (
     Perturbation,
     Query,
@@ -103,12 +104,14 @@ def masked_inputs(
     query: Query,
     network: CollaborationNetwork,
 ) -> Tuple[CollaborationNetwork, Query]:
-    """Apply the removals of all masked-off features to fresh copies.
+    """Apply the removals of all masked-off features to fresh views.
 
     Semantically identical to building removal perturbations and calling
-    :func:`apply_perturbations`, but edits the copy directly — SHAP masks
-    half the feature space per coalition, so this path is hot (thousands of
-    removals per explanation).
+    :func:`apply_perturbations`: network removals land on a copy-on-write
+    :class:`NetworkOverlay` — SHAP masks half the feature space per
+    coalition, so this path is hot (thousands of removals per explanation)
+    and the overlay both avoids the deep copy and unlocks the delta-scoring
+    path of :mod:`repro.search.engine` inside the probed ranker.
     """
     off = [feat for feat, keep in zip(features, mask) if not keep]
     if not off:
@@ -122,7 +125,7 @@ def masked_inputs(
             q = q - {feat.term}
             continue
         if net is None:
-            net = network.copy()
+            net = NetworkOverlay(network)
         if isinstance(feat, SkillAssignmentFeature):
             if not net.remove_skill(feat.person, feat.skill):
                 raise ValueError(

@@ -72,11 +72,14 @@ class _CachingValueFunction:
         self.n_evaluations = 0
 
     def __call__(self, mask: np.ndarray) -> float:
-        key = np.asarray(mask, dtype=bool).tobytes()
-        if key not in self._cache:
-            self._cache[key] = float(self._fn(np.asarray(mask, dtype=bool)))
+        arr = np.asarray(mask, dtype=bool)
+        key = arr.tobytes()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = float(self._fn(arr))
+            self._cache[key] = cached
             self.n_evaluations += 1
-        return self._cache[key]
+        return cached
 
 
 def exact_shap(fn: ValueFunction, n_features: int) -> ShapResult:

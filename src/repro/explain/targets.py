@@ -10,12 +10,28 @@ ordering hint of Algorithm 1 (line 11's newRank) from the same system pass.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 from repro.graph.network import CollaborationNetwork
 from repro.search.base import ExpertSearchSystem
 from repro.team.base import TeamFormationSystem
+
+
+@lru_cache(maxsize=None)
+def _form_accepts_scores(former_type: type) -> bool:
+    """Does this former's ``form`` take the precomputed ``scores=`` hook?
+    Checked once per type — not per probe, and not via exception control
+    flow (which would mask genuine TypeErrors inside ``form``)."""
+    try:
+        params = inspect.signature(former_type.form).parameters
+    except (TypeError, ValueError):
+        return False
+    return "scores" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
 
 
 class DecisionTarget(abc.ABC):
@@ -82,9 +98,17 @@ class MembershipTarget(DecisionTarget):
         return person in self.former.form(query, network, seed_member=self.seed_member)
 
     def decide_with_order(self, person, query, network) -> Tuple[bool, float]:
-        member = self.decide(person, query, network)
-        rank = float(self.ranker.rank_of(person, query, network))
-        return (member, rank)
+        # Single system pass per probe: the ranking that orders the beam and
+        # the scores the former consumes come from one evaluate() call
+        # (previously this ran team formation AND a second full ranking).
+        results = self.ranker.evaluate(query, network)
+        if _form_accepts_scores(type(self.former)):
+            team = self.former.form(
+                query, network, seed_member=self.seed_member, scores=results.scores
+            )
+        else:  # former predates the scores= hook
+            team = self.former.form(query, network, seed_member=self.seed_member)
+        return (person in team, float(results.rank_of(person)))
 
     @property
     def ranker(self) -> ExpertSearchSystem:

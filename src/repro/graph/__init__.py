@@ -7,6 +7,7 @@ shape of the DBLP and GitHub datasets used in the paper.
 """
 
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import (
     AddEdge,
     AddQueryTerm,
@@ -31,6 +32,7 @@ __all__ = [
     "AddQueryTerm",
     "AddSkill",
     "CollaborationNetwork",
+    "NetworkOverlay",
     "NetworkRecipe",
     "NetworkStats",
     "Perturbation",

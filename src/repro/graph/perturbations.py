@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple, Union
 
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 
 Query = FrozenSet[str]
 
@@ -179,12 +180,18 @@ def apply_perturbations(
     network: CollaborationNetwork,
     query: Iterable[str],
     perturbations: Iterable[Perturbation],
+    full_rebuild: bool = False,
 ) -> Tuple[CollaborationNetwork, Query]:
-    """Apply a perturbation set to fresh copies of the inputs.
+    """Apply a perturbation set without mutating the inputs.
 
     This is the ``Apply(perturbation, G, q)`` step of Algorithm 1 (line 10).
-    The original network is never mutated; the graph is copied only when at
-    least one perturbation actually touches it.
+    The original network is never touched.  When at least one perturbation
+    edits the graph, the result is a copy-on-write :class:`NetworkOverlay`
+    recording just the flips — O(Δ) per probe instead of a deep copy — which
+    also lets delta-aware rankers (see ``repro.search.engine``) skip the
+    from-scratch feature/adjacency rebuild.  ``full_rebuild=True`` restores
+    the seed behaviour (an independent deep copy) as an escape hatch and as
+    the reference implementation for parity tests.
 
     Inapplicable perturbations (e.g. adding a skill the person already has)
     raise ``ValueError`` — silently skipping them would let beam search count
@@ -192,8 +199,13 @@ def apply_perturbations(
     """
     q = as_query(query)
     perts = list(perturbations)
-    needs_copy = any(touches_network(p) for p in perts)
-    net = network.copy() if needs_copy else network
+    needs_net = any(touches_network(p) for p in perts)
+    if not needs_net:
+        net = network
+    elif full_rebuild:
+        net = network.copy()  # an overlay's copy() materializes fully
+    else:
+        net = NetworkOverlay(network)  # flattens if network is an overlay
     for p in perts:
         if not p.is_applicable(net, q):
             raise ValueError(f"perturbation is a no-op in this state: {p}")

@@ -16,6 +16,7 @@ package ships four interchangeable systems behind one interface:
 
 from repro.search.base import ExpertSearchSystem, RankedResults, RelevanceJudge
 from repro.search.coverage import CoverageExpertRanker
+from repro.search.engine import ProbeEngine, ProbeSession
 from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
 from repro.search.pagerank import PageRankExpertRanker
 from repro.search.docrank import DocumentExpertRanker
@@ -29,6 +30,8 @@ __all__ = [
     "GcnRankerConfig",
     "HitsExpertRanker",
     "PageRankExpertRanker",
+    "ProbeEngine",
+    "ProbeSession",
     "RankedResults",
     "RelevanceJudge",
 ]

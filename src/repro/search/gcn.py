@@ -30,7 +30,9 @@ import numpy as np
 
 from repro.embeddings.similarity import SkillEmbedding
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
+from repro.search.engine import ProbeSession
 from repro.nn.autograd import Tensor
 from repro.nn.layers import GCNConv, Linear, Module
 from repro.nn.losses import margin_ranking_loss
@@ -82,6 +84,10 @@ class GcnExpertRanker(ExpertSearchSystem):
         self._scorer: Optional[_GcnScorer] = None
         self._feature_vocab: Optional[Dict[str, int]] = None
         self._feature_matrix: Optional[np.ndarray] = None
+        # Escape hatch: True forces the from-scratch probe path even for
+        # NetworkOverlay inputs (parity testing, engine-off benchmarks).
+        self.full_rebuild: bool = False
+        self._session: Optional[ProbeSession] = None
 
     # ------------------------------------------------------------------
     # feature space
@@ -108,6 +114,7 @@ class GcnExpertRanker(ExpertSearchSystem):
                 matrix[row] = v / np.linalg.norm(v)
         self._feature_vocab = vocab
         self._feature_matrix = matrix
+        self._session = None  # cached probe inputs are tied to the old vocab
 
     def _query_vector(self, query: Query) -> np.ndarray:
         assert self._feature_vocab is not None and self._feature_matrix is not None
@@ -131,7 +138,20 @@ class GcnExpertRanker(ExpertSearchSystem):
         n = network.n_people
         match = np.zeros(n)
         if query:
+            # In-vocabulary terms come straight off the incidence matrix
+            # (one spmv); terms outside the feature vocabulary can still be
+            # held as skills, so they fall back to the skill index.
+            indicator = np.zeros(incidence.shape[1])
+            oov = []
             for term in query:
+                col = self._feature_vocab.get(term)
+                if col is None:
+                    oov.append(term)
+                else:
+                    indicator[col] = 1.0
+            if indicator.any():
+                match = np.asarray(incidence @ indicator).ravel()
+            for term in oov:
                 for p in network.people_with_skill(term):
                     match[p] += 1.0
             match /= len(query)
@@ -157,16 +177,30 @@ class GcnExpertRanker(ExpertSearchSystem):
         """The supervision signal: own coverage + discounted best-neighbor
         coverage of the query (expertise propagation at depth one)."""
         query = as_query(query)
-        if not query:
-            return np.zeros(network.n_people)
-        own = np.array(
-            [len(network.skills(p) & query) / len(query) for p in network.people()]
-        )
-        best_neighbor = np.zeros(network.n_people)
-        for p in network.people():
-            nbrs = network.neighbors(p)
-            if nbrs:
-                best_neighbor[p] = max(own[v] for v in nbrs)
+        n = network.n_people
+        if not query or n == 0:
+            return np.zeros(n)
+        # Own coverage via the network's cached incidence matrix: one spmv
+        # against an indicator over the query's columns.  Query terms
+        # outside the network's skill universe have no holders, exactly as
+        # in the old per-person set-intersection loop.
+        vocab_index = network.skill_vocabulary_index()
+        indicator = np.zeros(len(vocab_index))
+        for term in query:
+            col = vocab_index.get(term)
+            if col is not None:
+                indicator[col] = 1.0
+        own = np.asarray(network.skill_matrix() @ indicator).ravel() / len(query)
+        # Best-neighbor coverage: segmented max of own[] over the CSR
+        # adjacency rows (reduceat segments collapse over empty rows, which
+        # contribute no indices, so non-empty starts index their own rows).
+        best_neighbor = np.zeros(n)
+        adj = network.adjacency_csr()
+        if adj.indices.size:
+            nonempty = np.diff(adj.indptr) > 0
+            best_neighbor[nonempty] = np.maximum.reduceat(
+                own[adj.indices], adj.indptr[:-1][nonempty]
+            )
         return own + self.config.neighbor_weight * best_neighbor
 
     def _sample_training_queries(
@@ -230,6 +264,18 @@ class GcnExpertRanker(ExpertSearchSystem):
         query = as_query(query)
         if not query:
             return np.zeros(network.n_people)
-        features = self._node_features(query, network)
-        adj_norm = network.normalized_adjacency()
+        if not self.full_rebuild and isinstance(network, NetworkOverlay):
+            session = self._session_for(network.base)
+            features, adj_norm = session.probe_inputs(query, network)
+        else:
+            features = self._node_features(query, network)
+            adj_norm = network.normalized_adjacency()
         return self._scorer.forward(features, adj_norm).numpy().copy()
+
+    def _session_for(self, base: CollaborationNetwork) -> ProbeSession:
+        """The delta-scoring cache for ``base``, rebuilt on version drift."""
+        session = self._session
+        if session is None or not session.valid_for(base):
+            session = ProbeSession(self, base)
+            self._session = session
+        return session

@@ -45,8 +45,15 @@ class TeamFormationSystem(abc.ABC):
         query: Iterable[str],
         network: CollaborationNetwork,
         seed_member: Optional[int] = None,
+        scores=None,
     ) -> Team:
-        """Form a team for ``query``; ``seed_member`` pins the main member."""
+        """Form a team for ``query``; ``seed_member`` pins the main member.
+
+        ``scores`` optionally carries a precomputed per-person relevance
+        array from the former's associated ranker, so callers that already
+        ranked the query (e.g. ``MembershipTarget.decide_with_order``) don't
+        pay a second scoring pass.  Formers without a ranker ignore it.
+        """
 
     @property
     def name(self) -> str:

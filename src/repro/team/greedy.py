@@ -45,12 +45,15 @@ class CoverTeamFormer(TeamFormationSystem):
         query: Iterable[str],
         network: CollaborationNetwork,
         seed_member: Optional[int] = None,
+        scores: Optional[np.ndarray] = None,
     ) -> Team:
         query = as_query(query)
         if network.n_people == 0:
             return Team(frozenset(), None, frozenset(), frozenset(query))
 
-        scores = np.asarray(self.ranker.scores(query, network), dtype=np.float64)
+        if scores is None:
+            scores = self.ranker.scores(query, network)
+        scores = np.asarray(scores, dtype=np.float64)
         if seed_member is None:
             seed_member = int(np.lexsort((np.arange(len(scores)), -scores))[0])
 

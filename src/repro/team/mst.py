@@ -29,6 +29,7 @@ class MstTeamFormer(TeamFormationSystem):
         query: Iterable[str],
         network: CollaborationNetwork,
         seed_member: Optional[int] = None,
+        scores=None,  # ranker-free former: precomputed scores are irrelevant
     ) -> Team:
         query = as_query(query)
         members: Set[int] = set()

@@ -1,0 +1,165 @@
+"""NetworkOverlay: copy-on-write semantics and base-network equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import toy_network
+from repro.graph import CollaborationNetwork, NetworkOverlay
+from repro.graph.perturbations import (
+    AddEdge,
+    AddSkill,
+    RemoveEdge,
+    RemoveSkill,
+    apply_perturbations,
+)
+
+
+@pytest.fixture
+def net():
+    return toy_network(n_people=10, seed=3)
+
+
+def _assert_view_matches(overlay: NetworkOverlay, reference: CollaborationNetwork):
+    """Every delta-aware read must agree with the materialized network."""
+    assert overlay.n_people == reference.n_people
+    assert overlay.n_edges == reference.n_edges
+    assert sorted(overlay.edges()) == sorted(reference.edges())
+    assert overlay.skill_universe() == reference.skill_universe()
+    assert overlay.total_skill_assignments() == reference.total_skill_assignments()
+    for p in reference.people():
+        assert overlay.skills(p) == reference.skills(p)
+        assert overlay.neighbors(p) == reference.neighbors(p)
+        assert overlay.degree(p) == reference.degree(p)
+        assert overlay.incident_edges(p) == reference.incident_edges(p)
+        assert overlay.neighborhood(p, 1) == reference.neighborhood(p, 1)
+    for s in reference.skill_universe() | overlay.base.skill_universe():
+        assert overlay.people_with_skill(s) == reference.people_with_skill(s)
+
+
+class TestOverlayBasics:
+    def test_fresh_overlay_mirrors_base(self, net):
+        _assert_view_matches(NetworkOverlay(net), net)
+
+    def test_mutations_stay_in_overlay(self, net):
+        ov = NetworkOverlay(net)
+        skill = sorted(net.skills(0))[0]
+        assert ov.remove_skill(0, skill)
+        assert ov.add_skill(1, "brand-new")
+        u, v = sorted(net.edges())[0]
+        assert ov.remove_edge(u, v)
+        assert not net.has_skill(1, "brand-new")
+        assert net.has_skill(0, skill)
+        assert net.has_edge(u, v)
+
+    def test_view_matches_materialized_after_flips(self, net):
+        ov = NetworkOverlay(net)
+        skill = sorted(net.skills(2))[0]
+        ov.remove_skill(2, skill)
+        ov.add_skill(5, "quantum")
+        u, v = sorted(net.edges())[0]
+        ov.remove_edge(u, v)
+        if not net.has_edge(0, 7):
+            ov.add_edge(0, 7)
+        _assert_view_matches(ov, ov.materialize())
+
+    def test_cancelling_flips_annihilate(self, net):
+        ov = NetworkOverlay(net)
+        ov.add_skill(0, "quantum")
+        ov.remove_skill(0, "quantum")
+        u, v = sorted(net.edges())[0]
+        ov.remove_edge(u, v)
+        ov.add_edge(u, v)
+        assert ov.flips() == frozenset()
+        assert ov.n_flips == 0
+
+    def test_noop_mutations_return_false(self, net):
+        ov = NetworkOverlay(net)
+        skill = sorted(net.skills(0))[0]
+        assert not ov.add_skill(0, skill)
+        assert not ov.remove_skill(0, "ghost")
+        u, v = sorted(net.edges())[0]
+        assert not ov.add_edge(u, v)
+        assert ov.flips() == frozenset()
+
+    def test_flips_canonical_form(self, net):
+        ov = NetworkOverlay(net)
+        ov.add_skill(3, "quantum")
+        u, v = sorted(net.edges())[0]
+        ov.remove_edge(u, v)
+        assert ov.flips() == frozenset(
+            {("s", 3, "quantum", True), ("e", u, v, False)}
+        )
+
+    def test_add_person_rejected(self, net):
+        with pytest.raises(NotImplementedError):
+            NetworkOverlay(net).add_person("new")
+
+    def test_copy_is_real_network(self, net):
+        ov = NetworkOverlay(net)
+        ov.add_skill(0, "quantum")
+        clone = ov.copy()
+        assert isinstance(clone, CollaborationNetwork)
+        assert clone.has_skill(0, "quantum")
+        clone.add_skill(1, "later")  # independent of the overlay
+        assert not ov.has_skill(1, "later")
+
+    def test_chained_overlay_flattens(self, net):
+        ov1 = NetworkOverlay(net)
+        ov1.add_skill(0, "quantum")
+        ov2 = NetworkOverlay(ov1)
+        ov2.remove_skill(0, "quantum")
+        assert ov2.base is net
+        assert ov2.flips() == frozenset()
+        assert ov1.has_skill(0, "quantum")  # branch point unaffected
+
+    def test_materialize_fallback_for_exotic_methods(self, net):
+        ov = NetworkOverlay(net)
+        u, v = sorted(net.edges())[0]
+        ov.remove_edge(u, v)
+        ov.validate()
+        assert ov.adjacency_csr().shape == (net.n_people, net.n_people)
+
+    def test_frozen_base_enforced(self, net):
+        ov = NetworkOverlay(net)
+        net.add_skill(0, "mutation-after-overlay")
+        with pytest.raises(RuntimeError, match="base network mutated"):
+            ov.skills(0)
+
+
+class TestApplyPerturbationsOverlay:
+    def test_returns_overlay_for_network_edits(self, net):
+        out, _ = apply_perturbations(net, [], [AddSkill(0, "quantum")])
+        assert isinstance(out, NetworkOverlay)
+        assert out.base is net
+
+    def test_full_rebuild_returns_real_copy(self, net):
+        out, _ = apply_perturbations(
+            net, [], [AddSkill(0, "quantum")], full_rebuild=True
+        )
+        assert isinstance(out, CollaborationNetwork)
+        assert out.has_skill(0, "quantum")
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_overlay_equals_full_rebuild(self, seed):
+        import numpy as np
+
+        net = toy_network(n_people=10, seed=1)
+        rng = np.random.default_rng(seed)
+        perts = []
+        edges = sorted(net.edges())
+        u, v = edges[rng.integers(0, len(edges))]
+        perts.append(RemoveEdge(u, v))
+        p = int(rng.integers(0, net.n_people))
+        if not net.has_skill(p, "zeta"):
+            perts.append(AddSkill(p, "zeta"))
+        a, b = int(rng.integers(0, 5)), int(rng.integers(5, 10))
+        if not net.has_edge(a, b):
+            perts.append(AddEdge(a, b))
+        own = sorted(net.skills(p))
+        if own:
+            perts.append(RemoveSkill(p, own[0]))
+        fast, _ = apply_perturbations(net, [], perts)
+        slow, _ = apply_perturbations(net, [], perts, full_rebuild=True)
+        _assert_view_matches(fast, slow)

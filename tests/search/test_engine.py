@@ -1,0 +1,294 @@
+"""The incremental probe engine: exact parity, cache invalidation, memo.
+
+The engine's contract (ISSUE 1) is that incremental scores match
+full-rebuild scores to 1e-9 on arbitrary perturbation sequences, that its
+caches are version-stamped against base-network mutation, and that probe
+memoization is observable through ``CounterfactualExplanation.n_probes``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.explain import BeamConfig, RelevanceTarget, beam_search_counterfactuals
+from repro.explain.candidates import link_removal_candidates
+from repro.graph import NetworkOverlay
+from repro.graph.perturbations import (
+    AddEdge,
+    AddSkill,
+    RemoveEdge,
+    RemoveSkill,
+    apply_perturbations,
+)
+from repro.search import ProbeEngine, ProbeSession
+
+
+def _random_perturbations(net, rng, n):
+    """A mixed, applicable skill/edge flip sequence against ``net``."""
+    skills = sorted(net.skill_universe())
+    edges = sorted(net.edges())
+    perts = []
+    state = NetworkOverlay(net)
+    for _ in range(n):
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            p = int(rng.integers(0, net.n_people))
+            s = skills[int(rng.integers(0, len(skills)))]
+            pert = AddSkill(p, s) if not state.has_skill(p, s) else RemoveSkill(p, s)
+        elif kind == 1:
+            p = int(rng.integers(0, net.n_people))
+            own = sorted(state.skills(p))
+            if not own:
+                continue
+            pert = RemoveSkill(p, own[int(rng.integers(0, len(own)))])
+        elif kind == 2:
+            u, v = edges[int(rng.integers(0, len(edges)))]
+            if not state.has_edge(u, v):
+                continue
+            pert = RemoveEdge(u, v)
+        else:
+            u = int(rng.integers(0, net.n_people))
+            v = int(rng.integers(0, net.n_people))
+            if u == v or state.has_edge(u, v):
+                continue
+            pert = AddEdge(u, v)
+        pert.apply(state, frozenset())
+        perts.append(pert)
+    return perts
+
+
+class TestDeltaScoringParity:
+    """Engine scores == full-rebuild scores to 1e-9 (the exact-parity
+    contract), across random mixed skill/edge perturbation sequences."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_sequences(self, small_gcn_ranker, small_dataset, small_query, seed):
+        net = small_dataset.network
+        rng = np.random.default_rng(seed)
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            pytest.skip("degenerate draw")
+        query = frozenset(small_query)
+        overlay, q2 = apply_perturbations(net, query, perts)
+        assert isinstance(overlay, NetworkOverlay)
+        fast = small_gcn_ranker.scores(q2, overlay)
+        rebuilt, q3 = apply_perturbations(net, query, perts, full_rebuild=True)
+        assert q3 == q2
+        slow = small_gcn_ranker.scores(q3, rebuilt)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_skill_only_flips(self, small_gcn_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(
+            net, small_query, [RemoveSkill(0, skill), AddSkill(3, "never-seen")]
+        )
+        fast = small_gcn_ranker.scores(q, overlay)
+        slow = small_gcn_ranker.scores(q, overlay.materialize())
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_edge_only_flips(self, small_gcn_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        u, v = sorted(net.edges())[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveEdge(u, v)])
+        fast = small_gcn_ranker.scores(q, overlay)
+        slow = small_gcn_ranker.scores(q, overlay.materialize())
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_all_skills_removed_stays_exact(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        """Removing every skill a person holds zeroes their centroid; the
+        delta path must produce an *exact* zero row, not incremental
+        subtraction residue amplified by the sim normalization (a repro of
+        a confirmed ~1e-5 parity violation)."""
+        net = small_dataset.network
+        person = max(net.people(), key=lambda p: -len(net.skills(p)))
+        perts = [RemoveSkill(person, s) for s in sorted(net.skills(person))]
+        overlay, q = apply_perturbations(net, small_query, perts)
+        fast = small_gcn_ranker.scores(q, overlay)
+        rebuilt, _ = apply_perturbations(net, small_query, perts, full_rebuild=True)
+        slow = small_gcn_ranker.scores(q, rebuilt)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_full_rebuild_escape_hatch(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        fast = small_gcn_ranker.scores(q, overlay)
+        small_gcn_ranker.full_rebuild = True
+        try:
+            slow = small_gcn_ranker.scores(q, overlay)
+        finally:
+            small_gcn_ranker.full_rebuild = False
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+
+class TestSessionInvalidation:
+    """ProbeSession and ProbeEngine caches are version-stamped."""
+
+    def test_session_rebuilt_on_base_mutation(self, small_embedding, small_dataset):
+        from repro.search import GcnExpertRanker, GcnRankerConfig
+
+        net = small_dataset.network.copy()
+        ranker = GcnExpertRanker(
+            small_embedding, GcnRankerConfig(epochs=2, n_train_queries=4, seed=0)
+        ).fit(net)
+        query = frozenset(sorted(net.skill_universe())[:2])
+        skill = sorted(net.skills(1))[0]
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(1, skill)])
+        ranker.scores(q, overlay)
+        first_session = ranker._session
+        assert isinstance(first_session, ProbeSession)
+        assert first_session.valid_for(net)
+
+        # Mutate the base: outstanding sessions must be invalidated and the
+        # next overlay probe must rebuild against the new version.
+        net.add_skill(2, "post-mutation-skill")
+        assert not first_session.valid_for(net)
+        overlay2, q2 = apply_perturbations(net, query, [AddSkill(0, "another")])
+        fast = ranker.scores(q2, overlay2)
+        slow = ranker.scores(q2, overlay2.materialize())
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+        assert ranker._session is not first_session
+
+    def test_stale_overlay_probe_raises(self, small_embedding, small_dataset):
+        """An edge-only overlay whose base mutated must raise, not feed a
+        corrupted adjacency delta into the GCN silently."""
+        from repro.search import GcnExpertRanker, GcnRankerConfig
+
+        net = small_dataset.network.copy()
+        ranker = GcnExpertRanker(
+            small_embedding, GcnRankerConfig(epochs=1, n_train_queries=2, seed=0)
+        ).fit(net)
+        query = frozenset(sorted(net.skill_universe())[:2])
+        u, v = sorted(net.edges())[0]
+        overlay, q = apply_perturbations(net, query, [RemoveEdge(u, v)])
+        ranker.scores(q, overlay)  # fresh overlay: fine
+        net.remove_edge(u, v)  # base drifts underneath the overlay
+        with pytest.raises(RuntimeError, match="base network mutated"):
+            ranker.scores(q, overlay)
+
+    def test_engine_memo_cleared_on_base_mutation(self, small_dataset):
+        from repro.search import CoverageExpertRanker
+
+        net = small_dataset.network.copy()
+        target = RelevanceTarget(CoverageExpertRanker(), k=5)
+        engine = ProbeEngine(target, net)
+        query = frozenset(sorted(net.skill_universe())[:2])
+        engine.probe(0, query)
+        engine.probe(0, query)
+        assert (engine.hits, engine.misses) == (1, 1)
+        net.add_skill(0, "memo-buster")
+        engine.probe(0, query)  # stale memo must not answer this
+        assert (engine.hits, engine.misses) == (1, 2)  # a miss, counters cumulative
+        assert engine.base_version == net.version
+
+
+class TestProbeMemoization:
+    """Identical probe states are scored once; n_probes counts unique
+    system evaluations."""
+
+    @pytest.fixture
+    def setup(self, small_dataset):
+        from repro.search import CoverageExpertRanker
+
+        net = small_dataset.network
+        target = RelevanceTarget(CoverageExpertRanker(), k=5)
+        query = sorted(net.skill_universe())[:3]
+        return net, target, query
+
+    def test_repeat_search_hits_memo(self, setup):
+        net, target, query = setup
+        engine = ProbeEngine(target, net)
+        skill = sorted(net.skills(0))[0]
+        candidates = [RemoveSkill(0, skill), AddSkill(1, "fresh-skill")]
+        config = BeamConfig(beam_size=4, n_candidates=2, max_size=2)
+
+        first = beam_search_counterfactuals(
+            target, 0, query, net, candidates, config, "skill_removal", engine=engine
+        )
+        assert first.n_probes > 0
+        assert engine.hits == 0  # fresh engine: nothing to hit yet
+
+        second = beam_search_counterfactuals(
+            target, 0, query, net, candidates, config, "skill_removal", engine=engine
+        )
+        assert engine.hits > 0
+        assert second.n_probes == 0  # every probe answered from memory
+        assert [c.perturbations for c in second.counterfactuals] == [
+            c.perturbations for c in first.counterfactuals
+        ]
+
+    def test_link_removal_candidates_shared_with_beam(self, setup):
+        net, target, query = setup
+        engine = ProbeEngine(target, net)
+        person = 0
+        candidates, probes = link_removal_candidates(
+            person, frozenset(query), net, target, t=4, radius=1, engine=engine
+        )
+        if not candidates:
+            pytest.skip("no removable edges around this person")
+        assert probes == engine.misses
+        # Beam round one re-probes exactly these single-removal states:
+        # with the shared engine they are all memo hits.
+        hits_before = engine.hits
+        beam_search_counterfactuals(
+            target, person, query, net, candidates,
+            BeamConfig(beam_size=4, n_candidates=4, max_size=1),
+            "link_removal", engine=engine,
+        )
+        assert engine.hits >= hits_before + len(candidates)
+
+    def test_unmemoized_engine_never_hits(self, setup):
+        net, target, query = setup
+        engine = ProbeEngine(target, net, memoize=False)
+        engine.probe(0, query)
+        engine.probe(0, query)
+        assert engine.hits == 0
+        assert engine.misses == 2
+
+    def test_full_rebuild_engine_matches(self, setup):
+        net, target, query = setup
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(0, skill)])
+        fast_engine = ProbeEngine(target, net)
+        slow_engine = ProbeEngine(target, net, memoize=False, full_rebuild=True)
+        assert fast_engine.probe(0, q, overlay) == slow_engine.probe(0, q, overlay)
+
+    def test_foreign_network_not_memoized(self, setup):
+        net, target, query = setup
+        engine = ProbeEngine(target, net)
+        other = net.copy()
+        engine.probe(0, query, other)
+        engine.probe(0, query, other)
+        assert engine.hits == 0  # foreign base: served, but never cached
+
+    def test_engine_binds_to_overlay_base(self, setup):
+        """Explaining *on* a perturbed network (an overlay) must work:
+        the engine binds to the overlay's base, and states derived from
+        the overlay flatten onto that base with complete flip sets."""
+        net, target, query = setup
+        skill = sorted(net.skills(2))[0]
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(2, skill)])
+        engine = ProbeEngine(target, overlay)
+        assert engine.base is net
+        assert engine.accepts(overlay)
+        first = engine.probe(0, q, overlay)
+        assert engine.probe(0, q, overlay) == first
+        assert engine.hits == 1  # the overlay state itself is memoizable
+
+    def test_explainer_accepts_overlay_network(self, setup, small_dataset):
+        """End-to-end: beam search over a network that is itself an
+        overlay (e.g. robustness probes on perturbed inputs)."""
+        net, target, query = setup
+        skill = sorted(net.skills(1))[0]
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(1, skill)])
+        result = beam_search_counterfactuals(
+            target, 0, q, overlay,
+            [RemoveSkill(0, sorted(net.skills(0))[0])],
+            BeamConfig(beam_size=2, n_candidates=1, max_size=1),
+            "skill_removal",
+        )
+        assert result.n_probes >= 2
