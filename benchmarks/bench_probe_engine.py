@@ -1,19 +1,29 @@
-"""Probe-engine benchmark: counterfactual + factual suites, engine on/off.
+"""Probe-engine benchmark: per-ranker delta matrix + explanation suites.
 
-Times the Table 8/10-style counterfactual workload (three expert kinds,
-three non-expert kinds) and a factual suite with the incremental probe
-engine enabled vs. disabled (``full_rebuild`` escape hatch + memoization
-off — the seed code path), verifies that both modes produce identical
-explanations and 1e-9-identical scores, and writes ``BENCH_probe_engine.json``
-at the repo root so the perf trajectory is tracked across PRs.
+Three measurements, all written to ``BENCH_probe_engine.json`` at the repo
+root so the perf trajectory is tracked across PRs:
+
+* a **per-ranker probe matrix** — the same random overlay probe states
+  scored through each ranker's ``DeltaSession`` vs. its from-scratch
+  ``full_rebuild`` path (the seed behaviour: overlay materialization +
+  artifact rebuild per probe), with a 1e-9 parity assertion per ranker;
+* the Table 8/10-style **counterfactual suite** (three expert kinds, three
+  non-expert kinds), probe engine on vs. off;
+* a **factual (SHAP) suite**, probe engine on vs. off.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_probe_engine.py
+
+``--smoke`` runs only the per-ranker matrix on a tiny network (no GAE, a
+briefly-trained GCN) and writes ``BENCH_probe_engine.smoke.json`` — the CI
+job uses it to fail parity/perf-path regressions before the next full
+bench run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -27,10 +37,18 @@ import numpy as np
 
 from repro import ExES
 from repro.datasets import dblp_like
+from repro.embeddings import train_ppmi_embedding
 from repro.eval import random_queries, sample_search_subjects
 from repro.explain import BeamConfig, CounterfactualExplainer, FactualConfig, FactualExplainer
 from repro.graph.perturbations import apply_perturbations
-from repro.search import GcnRankerConfig, ProbeEngine
+from repro.search import (
+    DocumentExpertRanker,
+    GcnExpertRanker,
+    GcnRankerConfig,
+    HitsExpertRanker,
+    PageRankExpertRanker,
+    ProbeEngine,
+)
 
 K = 10
 N_QUERIES = 3
@@ -179,6 +197,110 @@ def _cf_signature(results):
     ]
 
 
+def _probe_states(net, n_states: int, seed: int):
+    """Random (query, overlay) probe states with 1–5 mixed flips each."""
+    rng = np.random.default_rng(seed)
+    skills = sorted(net.skill_universe())
+    states = []
+    while len(states) < n_states:
+        query = frozenset(
+            skills[i] for i in rng.choice(len(skills), size=3, replace=False)
+        )
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            continue
+        overlay, q2 = apply_perturbations(net, query, perts)
+        states.append((q2, overlay))
+    return states
+
+
+def run_ranker_matrix(rankers: dict, net, n_states: int = 60, seed: int = 5) -> dict:
+    """Delta-session vs. from-scratch timings + parity, per ranker.
+
+    The delta pass runs first (it must never trigger ``materialize()``);
+    the full pass then pays the seed cost — overlay materialization plus
+    from-scratch artifact rebuilds — on the same states.
+    """
+    matrix = {}
+    for name, ranker in rankers.items():
+        states = _probe_states(net, n_states, seed)  # same draw per ranker
+        ranker.full_rebuild = False
+        warm_q, warm_ov = states[0]
+        ranker.scores(warm_q, warm_ov)  # warm the session/base caches
+
+        start = time.perf_counter()
+        fast = [ranker.scores(q, ov) for q, ov in states]
+        delta_s = time.perf_counter() - start
+        assert all(ov._mat is None for _, ov in states), (
+            f"{name}: delta path materialized an overlay"
+        )
+
+        ranker.full_rebuild = True
+        try:
+            start = time.perf_counter()
+            slow = [ranker.scores(q, ov) for q, ov in states]
+            full_s = time.perf_counter() - start
+        finally:
+            ranker.full_rebuild = False
+
+        parity = max(
+            float(np.abs(f - s).max()) for f, s in zip(fast, slow)
+        )
+        assert parity < 1e-9, f"{name}: parity violated ({parity})"
+        matrix[name] = {
+            "n_states": len(states),
+            "delta_seconds": delta_s,
+            "full_rebuild_seconds": full_s,
+            "speedup": full_s / delta_s,
+            "parity_max_abs_diff": parity,
+        }
+        print(
+            f"  {name:>9}: {full_s:.3f}s full -> {delta_s:.3f}s delta "
+            f"({full_s / delta_s:.1f}x, parity {parity:.1e})",
+            flush=True,
+        )
+    return matrix
+
+
+def baseline_rankers() -> dict:
+    return {
+        "pagerank": PageRankExpertRanker(),
+        "hits": HitsExpertRanker(),
+        "tfidf": DocumentExpertRanker(),
+    }
+
+
+def run_smoke() -> dict:
+    """Tiny-network per-ranker matrix: parity gate + JSON artifact for CI."""
+    print("smoke: building tiny stack (brief GCN, no GAE) ...", flush=True)
+    dataset = dblp_like(scale=0.006, seed=13)
+    net = dataset.network
+    embedding = train_ppmi_embedding(dataset.corpus.token_lists(), dim=16, seed=1)
+    gcn = GcnExpertRanker(
+        embedding, GcnRankerConfig(epochs=4, n_train_queries=6, seed=1)
+    ).fit(net)
+    rankers = {"gcn": gcn, **baseline_rankers()}
+    print(
+        f"network: {net.n_people} people, {net.n_edges} edges, "
+        f"{len(net.skill_universe())} skills",
+        flush=True,
+    )
+    matrix = run_ranker_matrix(rankers, net, n_states=25, seed=5)
+    report = {
+        "mode": "smoke",
+        "network": {
+            "n_people": net.n_people,
+            "n_edges": net.n_edges,
+            "n_skills": len(net.skill_universe()),
+        },
+        "rankers": matrix,
+    }
+    out = REPO_ROOT / "BENCH_probe_engine.smoke.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}", flush=True)
+    return report
+
+
 def main() -> dict:
     print("building stack (train ranker + GAE) ...", flush=True)
     exes, net, experts, nonexperts = build_stack()
@@ -192,6 +314,11 @@ def main() -> dict:
     print("parity check ...", flush=True)
     max_diff = parity_check(exes, net)
     assert max_diff < 1e-9, f"parity violated: {max_diff}"
+
+    print("per-ranker probe matrix (delta vs full rebuild) ...", flush=True)
+    ranker_matrix = run_ranker_matrix(
+        {"gcn": exes.ranker, **baseline_rankers()}, net
+    )
 
     print("counterfactual suite, engine OFF (seed path) ...", flush=True)
     off_s, off_probes, off_results = run_counterfactual_suite(
@@ -231,6 +358,7 @@ def main() -> dict:
             "n_explanations": BEAM.n_explanations,
         },
         "parity_max_abs_diff": max_diff,
+        "rankers": ranker_matrix,
         "counterfactual": {
             "engine_off_seconds": off_s,
             "engine_on_seconds": on_s,
@@ -260,4 +388,12 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny-network per-ranker parity gate (CI); writes "
+        "BENCH_probe_engine.smoke.json instead of the full report",
+    )
+    args = parser.parse_args()
+    run_smoke() if args.smoke else main()

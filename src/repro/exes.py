@@ -70,14 +70,23 @@ class ExES:
         factual_config: Optional[FactualConfig] = None,
         beam_config: Optional[BeamConfig] = None,
         seed: int = 0,
+        ranker: Optional[ExpertSearchSystem] = None,
     ) -> "ExES":
-        """Assemble and train the full paper stack on a dataset bundle."""
+        """Assemble and train the full paper stack on a dataset bundle.
+
+        ``ranker=`` swaps the system under explanation: pass any
+        :class:`ExpertSearchSystem` (e.g. the PageRank/HITS/TF-IDF
+        baselines of Table 1) instead of training the default GCN.  All
+        four shipped rankers carry delta-scoring sessions, so the probe
+        engine explains any of them without materializing overlays.
+        """
         embedding = train_ppmi_embedding(
             dataset.corpus.token_lists(), dim=embedding_dim, seed=seed
         )
-        ranker = GcnExpertRanker(
-            embedding, ranker_config or GcnRankerConfig(seed=seed)
-        ).fit(dataset.network)
+        if ranker is None:
+            ranker = GcnExpertRanker(
+                embedding, ranker_config or GcnRankerConfig(seed=seed)
+            ).fit(dataset.network)
         link_predictor = train_gae(
             dataset.network, gae_config or GaeConfig(seed=seed)
         )
@@ -109,7 +118,12 @@ class ExES:
     def probe_engine(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> ProbeEngine:
-        """The shared, memoizing probe engine for the chosen target."""
+        """The shared, memoizing probe engine for the chosen target.
+
+        Overlay probes that miss the memo reach the ranker as overlays,
+        so any ranker with a :class:`~repro.search.engine.DeltaSession`
+        (all four shipped systems) serves them in O(Δ), never through
+        ``materialize()``."""
         key = (team, seed_member)
         engine = self._engines.get(key)
         if engine is None or engine.base is not self.network:

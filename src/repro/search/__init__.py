@@ -12,11 +12,24 @@ package ships four interchangeable systems behind one interface:
 * :class:`DocumentExpertRanker` — profile-centric TF-IDF retrieval [3];
 * :class:`HitsExpertRanker` — HITS authority scores on the query-induced
   subgraph [31].
+
+All four carry a :class:`DeltaSession` (``repro.search.engine``), so
+explanation search probes perturbed overlays in O(Δ) without rebuilding
+the network's derived artifacts; :class:`ProbeEngine` adds cross-explainer
+probe memoization on top.
 """
 
 from repro.search.base import ExpertSearchSystem, RankedResults, RelevanceJudge
 from repro.search.coverage import CoverageExpertRanker
-from repro.search.engine import ProbeEngine, ProbeSession
+from repro.search.engine import (
+    DeltaSession,
+    GcnDeltaSession,
+    HitsDeltaSession,
+    PageRankDeltaSession,
+    ProbeEngine,
+    ProbeSession,
+    TfidfDeltaSession,
+)
 from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
 from repro.search.pagerank import PageRankExpertRanker
 from repro.search.docrank import DocumentExpertRanker
@@ -24,14 +37,19 @@ from repro.search.hits import HitsExpertRanker
 
 __all__ = [
     "CoverageExpertRanker",
+    "DeltaSession",
     "DocumentExpertRanker",
     "ExpertSearchSystem",
+    "GcnDeltaSession",
     "GcnExpertRanker",
     "GcnRankerConfig",
+    "HitsDeltaSession",
     "HitsExpertRanker",
+    "PageRankDeltaSession",
     "PageRankExpertRanker",
     "ProbeEngine",
     "ProbeSession",
     "RankedResults",
     "RelevanceJudge",
+    "TfidfDeltaSession",
 ]

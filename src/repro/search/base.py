@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
 
 
@@ -53,11 +54,51 @@ class RankedResults:
 
 
 class ExpertSearchSystem(abc.ABC):
-    """Base class for rankers; subclasses implement :meth:`scores`."""
+    """Base class for rankers; subclasses implement :meth:`scores`.
+
+    Systems with a delta-scoring path additionally override
+    :meth:`delta_session`; :meth:`_try_delta_scores` then routes
+    :class:`~repro.graph.overlay.NetworkOverlay` inputs through the cached
+    :class:`~repro.search.engine.DeltaSession` instead of the from-scratch
+    path, so explanation search probes overlays in O(Δ).  Setting
+    ``full_rebuild = True`` on an instance forces the from-scratch path
+    even for overlays — the parity-testing reference and the engine-off
+    benchmark mode.
+    """
+
+    # Escape hatch: True forces the from-scratch scoring path even for
+    # NetworkOverlay inputs (parity reference, engine-off benchmarks).
+    full_rebuild: bool = False
 
     @abc.abstractmethod
     def scores(self, query: Iterable[str], network: CollaborationNetwork) -> np.ndarray:
         """Relevance score per person id (higher = more relevant)."""
+
+    def delta_session(self, base: CollaborationNetwork):
+        """Factory for this system's delta-scoring session over a frozen
+        ``base`` network; None when the system has no delta path (overlays
+        then score through the plain path, which may materialize)."""
+        return None
+
+    def _session_for(self, base: CollaborationNetwork):
+        """The cached delta session for ``base``, rebuilt on version drift."""
+        session = getattr(self, "_session", None)
+        if session is None or not session.valid_for(base):
+            session = self.delta_session(base)
+            self._session = session
+        return session
+
+    def _try_delta_scores(
+        self, query: Query, network: CollaborationNetwork
+    ) -> Optional[np.ndarray]:
+        """Delta-scored overlay result, or None when the plain path must
+        run (non-overlay input, ``full_rebuild`` set, or no delta path)."""
+        if self.full_rebuild or not isinstance(network, NetworkOverlay):
+            return None
+        session = self._session_for(network.base)
+        if session is None:
+            return None
+        return session.scores(query, network)
 
     @property
     def name(self) -> str:

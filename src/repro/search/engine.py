@@ -1,21 +1,41 @@
-"""The incremental probe engine: delta scoring + probe memoization.
+"""The incremental probe engine: multi-ranker delta scoring + probe memoization.
 
 ExES's explanation search is throughput-bound on probes — thousands of
 ``decide(person, q', G')`` calls against the ranker, where each ``(q', G')``
 differs from the base inputs by 1–5 flips.  The seed implementation paid a
-full network deep copy plus a from-scratch rebuild of the skill incidence
-matrix, node features, and normalized adjacency for every single probe.
-This module makes probes O(Δ):
+full network deep copy plus a from-scratch rebuild of every derived artifact
+(skill incidence, node features, adjacency, idf statistics) for every single
+probe.  This module makes probes O(Δ) for **all four shipped rankers**:
 
-* :class:`ProbeSession` — a per-(ranker, base-network-version) cache of the
-  base feature matrix, skill incidence sums, and the GCN propagation
-  operator ``D^-1/2 (A+I) D^-1/2``.  A probe against a
-  :class:`~repro.graph.overlay.NetworkOverlay` applies *delta updates*: a
-  skill flip touches one incidence count / one centroid row / one match
-  entry, an edge flip re-normalizes only through a sparse delta on the
-  cached ``A+I``.  The GCN forward then runs on the patched inputs.
-  Contract: session scores match full-rebuild scores to 1e-9 (verified in
-  ``tests/search/test_engine.py``).
+* :class:`DeltaSession` — the per-(ranker, base-network-version) protocol.
+  A session caches the base network's derived artifacts once and serves
+  every :class:`~repro.graph.overlay.NetworkOverlay` over that base with
+  delta patches instead of rebuilds.  Rankers open sessions through
+  :meth:`~repro.search.base.ExpertSearchSystem.delta_session`; dispatch
+  happens inside ``scores`` so overlays are delta-scored wherever they
+  appear — beam search, SHAP value functions, candidate generation, and
+  anything routed through ``ExES.probe_engine``.
+
+  Per-ranker implementations:
+
+  - :class:`GcnDeltaSession` (alias ``ProbeSession``) — cached base feature
+    matrix + the GCN propagation operator ``D^-1/2 (A+I) D^-1/2``; a skill
+    flip re-derives one feature row, an edge flip re-normalizes through a
+    sparse delta on the cached ``A+I``.
+  - :class:`PageRankDeltaSession` — cached transition operator (adjacency +
+    out-degrees) and, per query, the restart counts and base solution; a
+    probe patches the restart vector / degrees in O(Δ) and warm-starts
+    power iteration from the base solution.
+  - :class:`HitsDeltaSession` — cached root-set indicator and base-set
+    support counts per query; skill and edge flips update both in O(Δ),
+    and the restricted base-set adjacency is sliced *sparse* from the
+    cached global CSR (never the seed's dense m×m allocation).
+  - :class:`TfidfDeltaSession` — idf statistics fit once per base-network
+    version (never on perturbed profiles), the base profile matrix and
+    per-query score vector cached; a skill flip re-scores one profile row.
+
+  Contract: session scores match the ranker's from-scratch ``full_rebuild``
+  scores to 1e-9 (verified per ranker in ``tests/search/test_engine.py``).
 
 * :class:`ProbeEngine` — cross-explainer memoization of decision probes,
   keyed on ``(person, query, frozenset(flips))``.  Beam search, SHAP value
@@ -23,15 +43,24 @@ This module makes probes O(Δ):
   states (e.g. every single-edge-removal probed during candidate selection
   is re-probed in beam round one); the engine answers repeats from memory.
   ``full_rebuild=True`` is the escape hatch: overlays are materialized into
-  real networks before probing, restoring the seed code path exactly.
+  real networks before probing, restoring the seed code path exactly —
+  including seed *behaviour* quirks like the TF-IDF ranker's per-call idf
+  refit on the perturbed profiles.  The 1e-9 parity reference for a delta
+  session is therefore ``full_rebuild=True`` on the *ranker*, which keeps
+  the overlay (and its base-pinned statistics) visible to the plain path.
 
-Both caches are version-stamped: if the base network mutates, the session
-is rebuilt and the memo is cleared on the next probe.
+All bounded caches here evict one least-recently-used entry at capacity
+(:class:`_LruCache`) — the PR-1 wholesale ``.clear()`` caused a cold-cache
+cliff mid-search.  Sessions and memos are version-stamped: if the base
+network mutates, the session is rebuilt and the memo is cleared on the next
+probe.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import abc
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -40,8 +69,52 @@ from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
 
-_MAX_QUERY_CACHE = 512  # per-session distinct base-feature queries
+_MAX_QUERY_CACHE = 512  # per-session distinct base-query states
 _MAX_MEMO = 200_000  # per-engine memoized probe outcomes
+
+
+class _LruCache:
+    """Bounded mapping with least-recently-used single-entry eviction.
+
+    The PR-1 caches evicted by wholesale ``.clear()`` at capacity, so the
+    probe that tipped a cache over made every state the search was still
+    actively revisiting pay a cold rebuild.  Overflow now evicts exactly
+    one entry — the least recently touched — and hot keys survive.
+    """
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return None
+        data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        elif len(data) >= self.capacity:
+            data.popitem(last=False)
+        data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 def _normalize(a_hat: sp.csr_matrix, deg: np.ndarray) -> sp.csr_matrix:
@@ -52,7 +125,51 @@ def _normalize(a_hat: sp.csr_matrix, deg: np.ndarray) -> sp.csr_matrix:
     return (d_inv @ a_hat @ d_inv).tocsr()
 
 
-class ProbeSession:
+def _edge_flip_delta(
+    edge_flips: Dict[Tuple[int, int], bool], n: int
+) -> sp.csr_matrix:
+    """Symmetric ±1 sparse delta matrix for a set of edge flips."""
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for (u, v), added in edge_flips.items():
+        w = 1.0 if added else -1.0
+        rows.extend((u, v))
+        cols.extend((v, u))
+        data.extend((w, w))
+    return sp.csr_matrix(
+        (np.asarray(data), (rows, cols)), shape=(n, n), dtype=np.float64
+    )
+
+
+class DeltaSession(abc.ABC):
+    """Per-(ranker, frozen base network) delta-scoring cache.
+
+    Opened once per base-network version through the ranker's
+    :meth:`~repro.search.base.ExpertSearchSystem.delta_session` factory,
+    then serves every overlay over that base.  ``scores(query, overlay)``
+    must equal the ranker's from-scratch ``full_rebuild`` scores on the
+    same overlay to 1e-9 — the parity contract every implementation is
+    tested against.
+    """
+
+    def __init__(self, ranker, base: CollaborationNetwork) -> None:
+        self.ranker = ranker
+        self.base = base
+        self.base_version = base.version
+
+    def valid_for(self, base: CollaborationNetwork) -> bool:
+        """Is this session still usable for ``base``?  False once the base
+        mutates (version drift)."""
+        return base is self.base and base.version == self.base_version
+
+    @abc.abstractmethod
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        """Scores for the overlaid network, patched from the base caches
+        in O(Δ) — never through ``overlay.materialize()``."""
+
+
+class GcnDeltaSession(DeltaSession):
     """Cached probe inputs for one (GCN ranker, frozen base network) pair.
 
     Built once per base-network version; serves every overlay over that
@@ -64,9 +181,7 @@ class ProbeSession:
         fm = ranker._feature_matrix
         if vocab is None or fm is None:
             raise RuntimeError("ranker must be fitted before opening a ProbeSession")
-        self.ranker = ranker
-        self.base = base
-        self.base_version = base.version
+        super().__init__(ranker, base)
         self._vocab: Dict[str, int] = vocab
         self._fm: np.ndarray = fm
         n = base.n_people
@@ -74,20 +189,19 @@ class ProbeSession:
         self._deg = np.asarray(self._a_hat.sum(axis=1)).ravel()
         self._adj_norm = _normalize(self._a_hat, self._deg)
         # query -> (base feature matrix, normalized query vector)
-        self._feat_cache: Dict[Query, Tuple[np.ndarray, np.ndarray]] = {}
+        self._feat_cache = _LruCache(_MAX_QUERY_CACHE)
 
     def valid_for(self, base: CollaborationNetwork) -> bool:
-        """Is this session still usable for ``base``?  False once the base
-        mutates (version drift) or the ranker was refit (new vocabulary)."""
-        return (
-            base is self.base
-            and base.version == self.base_version
-            and self.ranker._feature_vocab is self._vocab
-        )
+        """Also invalid once the ranker was refit (new vocabulary)."""
+        return super().valid_for(base) and self.ranker._feature_vocab is self._vocab
 
     # ------------------------------------------------------------------
-    # probe inputs
+    # probing
     # ------------------------------------------------------------------
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        feats, adj_norm = self.probe_inputs(query, overlay)
+        return self.ranker._scorer.forward(feats, adj_norm).numpy().copy()
+
     def probe_inputs(
         self, query: Query, overlay: NetworkOverlay
     ) -> Tuple[np.ndarray, sp.spmatrix]:
@@ -104,12 +218,10 @@ class ProbeSession:
     def _base_features(self, query: Query) -> Tuple[np.ndarray, np.ndarray]:
         hit = self._feat_cache.get(query)
         if hit is None:
-            if len(self._feat_cache) >= _MAX_QUERY_CACHE:
-                self._feat_cache.clear()
             feats = self.ranker._node_features(query, self.base)
             q_vec = self.ranker._query_vector(query)
             hit = (feats, q_vec)
-            self._feat_cache[query] = hit
+            self._feat_cache.put(query, hit)
         return hit
 
     def _patched_features(
@@ -157,18 +269,229 @@ class ProbeSession:
     ) -> sp.spmatrix:
         n = self.base.n_people
         deg = self._deg.copy()
-        rows, cols, data = [], [], []
         for (u, v), added in edge_flips.items():
             w = 1.0 if added else -1.0
-            rows.extend((u, v))
-            cols.extend((v, u))
-            data.extend((w, w))
             deg[u] += w
             deg[v] += w
-        delta = sp.csr_matrix(
-            (np.asarray(data), (rows, cols)), shape=(n, n), dtype=np.float64
-        )
+        delta = _edge_flip_delta(edge_flips, n)
         return _normalize(self._a_hat + delta, deg)
+
+
+#: Backwards-compatible name from PR 1, when the GCN ranker was the only
+#: system with a delta path.
+ProbeSession = GcnDeltaSession
+
+
+class PageRankDeltaSession(DeltaSession):
+    """O(Δ) probes for :class:`~repro.search.pagerank.PageRankExpertRanker`.
+
+    The transition operator (base adjacency CSR + out-degrees) is cached
+    once; per query the raw restart counts and the base solution are
+    cached.  A probe patches the restart counts per query-term skill flip
+    (exact integer arithmetic, so the normalized restart vector matches a
+    from-scratch build bit-for-bit), applies a sparse ±1 delta to the
+    adjacency/degrees per edge flip, and warm-starts power iteration from
+    the base solution.  If the base solve hit the iteration cap without
+    converging, the probe falls back to a cold start so it keeps parity
+    with the cold-started reference path.
+    """
+
+    def __init__(self, ranker, base: CollaborationNetwork) -> None:
+        super().__init__(ranker, base)
+        self._adj = base.adjacency_csr()
+        self._out_degree = np.asarray(self._adj.sum(axis=1)).ravel()
+        # query -> (restart counts, base solution or None, converged)
+        self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+
+    @staticmethod
+    def _restart_from_counts(
+        counts: np.ndarray, n_terms: int
+    ) -> Optional[np.ndarray]:
+        """Normalized restart distribution, or None when nobody matches —
+        the same two-step division the ranker's plain path performs."""
+        if n_terms == 0:
+            return None
+        restart = counts / float(n_terms)
+        total = restart.sum()
+        if total == 0:
+            return None
+        return restart / total
+
+    def _base_state(self, query: Query):
+        hit = self._query_cache.get(query)
+        if hit is None:
+            counts = np.zeros(self.base.n_people)
+            for term in query:
+                for p in self.base.people_with_skill(term):
+                    counts[p] += 1.0
+            restart = self._restart_from_counts(counts, len(query))
+            if restart is None:
+                hit = (counts, None, True)
+            else:
+                solution, converged = self.ranker._power_iteration(
+                    restart, self._adj, self._out_degree
+                )
+                hit = (counts, solution, converged)
+            self._query_cache.put(query, hit)
+        return hit
+
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        n = self.base.n_people
+        if n == 0:
+            return np.zeros(0)
+        counts, base_solution, base_converged = self._base_state(query)
+        skill_flips = overlay.skill_flips()
+        relevant = [
+            (p, added) for (p, s), added in skill_flips.items() if s in query
+        ]
+        if relevant:
+            counts = counts.copy()
+            for p, added in relevant:
+                counts[p] += 1.0 if added else -1.0
+        restart = self._restart_from_counts(counts, len(query))
+        if restart is None:
+            return np.zeros(n)
+        edge_flips = overlay.edge_flips()
+        if not edge_flips:
+            if not relevant and base_solution is not None:
+                return base_solution.copy()
+            adj, out_degree = self._adj, self._out_degree
+        else:
+            delta = _edge_flip_delta(edge_flips, n)
+            adj = (self._adj + delta).tocsr()
+            out_degree = self._out_degree.copy()
+            for (u, v), added in edge_flips.items():
+                w = 1.0 if added else -1.0
+                out_degree[u] += w
+                out_degree[v] += w
+        warm = base_solution if base_converged else None
+        return self.ranker._power_iteration(
+            restart, adj, out_degree, warm_start=warm
+        )[0]
+
+
+class HitsDeltaSession(DeltaSession):
+    """O(Δ) probes for :class:`~repro.search.hits.HitsExpertRanker`.
+
+    Per query the session caches the root-set indicator, the base-set
+    *support* counts ``support[v] = [v in root] + |N(v) ∩ root|`` (so
+    ``support > 0`` is exactly base-set membership), and the per-person
+    query-term match counts.  Skill flips on query terms update the
+    indicator/support through the cached adjacency rows; edge flips update
+    support through the ±1 delta — both O(Δ·deg).  The restricted base-set
+    adjacency is then sliced sparse from the (patched) global CSR and the
+    standard authority iteration runs on it.
+    """
+
+    def __init__(self, ranker, base: CollaborationNetwork) -> None:
+        super().__init__(ranker, base)
+        self._adj = base.adjacency_csr()
+        # query -> (root indicator, support counts, match counts)
+        self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+
+    def _base_state(self, query: Query):
+        hit = self._query_cache.get(query)
+        if hit is None:
+            match_counts = np.zeros(self.base.n_people)
+            for term in query:
+                for p in self.base.people_with_skill(term):
+                    match_counts[p] += 1.0
+            ind = (match_counts > 0).astype(np.float64)
+            support = ind + np.asarray(self._adj @ ind).ravel()
+            hit = (ind, support, match_counts)
+            self._query_cache.put(query, hit)
+        return hit
+
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        n = self.base.n_people
+        out = np.zeros(n)
+        if n == 0 or not query:
+            return out
+        ind, support, match_counts = self._base_state(query)
+        skill_flips = overlay.skill_flips()
+        edge_flips = overlay.edge_flips()
+
+        relevant = [
+            (p, added) for (p, s), added in skill_flips.items() if s in query
+        ]
+        if relevant:
+            match_counts = match_counts.copy()
+            for p, added in relevant:
+                match_counts[p] += 1.0 if added else -1.0
+        # Root membership changes: only people whose query-term holdings
+        # flipped can enter or leave the root set.
+        delta_ind: Dict[int, float] = {}
+        for p in {p for p, _ in relevant}:
+            now = 1.0 if match_counts[p] > 0 else 0.0
+            if now != ind[p]:
+                delta_ind[p] = now - ind[p]
+
+        if delta_ind or edge_flips:
+            # support' = support + Δind + A·Δind + ΔA·ind'   (all counts are
+            # small integers in float, so every update below is exact).
+            support = support.copy()
+            indptr, indices = self._adj.indptr, self._adj.indices
+            for p, d in delta_ind.items():
+                support[p] += d
+                support[indices[indptr[p] : indptr[p + 1]]] += d
+            for (u, v), added in edge_flips.items():
+                w = 1.0 if added else -1.0
+                support[u] += w * (ind[v] + delta_ind.get(v, 0.0))
+                support[v] += w * (ind[u] + delta_ind.get(u, 0.0))
+
+        members = np.flatnonzero(support > 0.5)
+        if members.size == 0:
+            return out
+        if edge_flips:
+            adj = (self._adj + _edge_flip_delta(edge_flips, n)).tocsr()
+        else:
+            adj = self._adj
+        sub = adj[members][:, members]
+        authority = self.ranker._authority_scores(sub, members.size)
+        match = match_counts[members] / float(len(query))
+        out[members] = authority + self.ranker.match_bonus * match
+        return out
+
+
+class TfidfDeltaSession(DeltaSession):
+    """O(Δ) probes for :class:`~repro.search.docrank.DocumentExpertRanker`.
+
+    idf statistics are fit once per base-network version (through the
+    ranker's per-version model cache — never on perturbed profiles, which
+    was the seed defect that let one person's skill flip shift everyone
+    else's scores).  The base profile matrix is built once; per query the
+    query vector and base score vector are cached.  A probe re-scores only
+    the rows of people with skill flips; edge flips are free because the
+    document ranker carries no graph signal.
+    """
+
+    def __init__(self, ranker, base: CollaborationNetwork) -> None:
+        super().__init__(ranker, base)
+        self._model = ranker._profile_model_for(base)
+        self._matrix = self._model.matrix(
+            [sorted(base.skills(p)) for p in base.people()]
+        )
+        # query -> (query vector, base score vector)
+        self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+
+    def _base_state(self, query: Query):
+        hit = self._query_cache.get(query)
+        if hit is None:
+            q_vec = self._model.vector(sorted(query))
+            base_scores = np.asarray(self._matrix @ q_vec).ravel()
+            hit = (q_vec, base_scores)
+            self._query_cache.put(query, hit)
+        return hit
+
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        q_vec, base_scores = self._base_state(query)
+        if not np.any(q_vec):
+            return np.zeros(self.base.n_people)
+        out = base_scores.copy()
+        for p in {p for (p, _) in overlay.skill_flips()}:
+            cols, vals = self._model.row(sorted(overlay.skills(p)))
+            out[p] = float(vals @ q_vec[cols]) if cols.size else 0.0
+        return out
 
 
 class ProbeEngine:
@@ -177,7 +500,9 @@ class ProbeEngine:
     Wraps one :class:`~repro.explain.targets.DecisionTarget` bound to one
     base network.  ``probe`` answers ``(decision, ordering key)`` — the two
     values Algorithm 1 needs per candidate state — from memory when the
-    same ``(person, query, flips)`` state was scored before.
+    same ``(person, query, flips)`` state was scored before.  Overlay
+    probes that miss the memo reach the ranker as overlays, so every
+    delta-scoring ranker serves them through its :class:`DeltaSession`.
     """
 
     def __init__(
@@ -199,7 +524,7 @@ class ProbeEngine:
         self.full_rebuild = full_rebuild
         self.hits = 0
         self.misses = 0
-        self._memo: Dict[Tuple, Tuple[bool, float]] = {}
+        self._memo = _LruCache(_MAX_MEMO)
 
     # ------------------------------------------------------------------
     # probing
@@ -224,9 +549,7 @@ class ProbeEngine:
         result = self.target.decide_with_order(person, query, network)
         self.misses += 1
         if key is not None:
-            if len(self._memo) >= _MAX_MEMO:
-                self._memo.clear()
-            self._memo[key] = result
+            self._memo.put(key, result)
         return result
 
     def decide(

@@ -30,7 +30,6 @@ import numpy as np
 
 from repro.embeddings.similarity import SkillEmbedding
 from repro.graph.network import CollaborationNetwork
-from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
 from repro.search.engine import ProbeSession
 from repro.nn.autograd import Tensor
@@ -84,10 +83,12 @@ class GcnExpertRanker(ExpertSearchSystem):
         self._scorer: Optional[_GcnScorer] = None
         self._feature_vocab: Optional[Dict[str, int]] = None
         self._feature_matrix: Optional[np.ndarray] = None
-        # Escape hatch: True forces the from-scratch probe path even for
-        # NetworkOverlay inputs (parity testing, engine-off benchmarks).
-        self.full_rebuild: bool = False
-        self._session: Optional[ProbeSession] = None
+        # full_rebuild (escape hatch) and the _session cache come from
+        # ExpertSearchSystem.
+
+    def delta_session(self, base: CollaborationNetwork) -> ProbeSession:
+        """The GCN delta-scoring session (see ``repro.search.engine``)."""
+        return ProbeSession(self, base)
 
     # ------------------------------------------------------------------
     # feature space
@@ -264,18 +265,9 @@ class GcnExpertRanker(ExpertSearchSystem):
         query = as_query(query)
         if not query:
             return np.zeros(network.n_people)
-        if not self.full_rebuild and isinstance(network, NetworkOverlay):
-            session = self._session_for(network.base)
-            features, adj_norm = session.probe_inputs(query, network)
-        else:
-            features = self._node_features(query, network)
-            adj_norm = network.normalized_adjacency()
+        delta = self._try_delta_scores(query, network)
+        if delta is not None:
+            return delta
+        features = self._node_features(query, network)
+        adj_norm = network.normalized_adjacency()
         return self._scorer.forward(features, adj_norm).numpy().copy()
-
-    def _session_for(self, base: CollaborationNetwork) -> ProbeSession:
-        """The delta-scoring cache for ``base``, rebuilt on version drift."""
-        session = self._session
-        if session is None or not session.valid_for(base):
-            session = ProbeSession(self, base)
-            self._session = session
-        return session

@@ -4,6 +4,13 @@ Kleinberg's HITS run on the subgraph induced by query-relevant nodes: the
 root set is everyone holding at least one query term, expanded by one hop
 (the classic base-set construction).  Authority scores rank the experts;
 nodes outside the base set score zero.
+
+The base-set adjacency is held sparse (sliced from the network's cached
+CSR) — the seed allocated a dense m×m matrix, O(m²) memory around
+hub-dense query terms.  Overlay probes are delta-scored through
+:class:`~repro.search.engine.HitsDeltaSession` (incremental root/base-set
+updates under skill and edge flips); ``full_rebuild = True`` forces the
+from-scratch path below.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import numpy as np
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import as_query
 from repro.search.base import ExpertSearchSystem
+from repro.search.engine import HitsDeltaSession
 
 
 @dataclass
@@ -27,8 +35,14 @@ class HitsExpertRanker(ExpertSearchSystem):
     # Small lexical prior so root-set members outrank pure connectors.
     match_bonus: float = 0.05
 
+    def delta_session(self, base: CollaborationNetwork) -> HitsDeltaSession:
+        return HitsDeltaSession(self, base)
+
     def scores(self, query: Iterable[str], network: CollaborationNetwork) -> np.ndarray:
         query = as_query(query)
+        delta = self._try_delta_scores(query, network)
+        if delta is not None:
+            return delta
         n = network.n_people
         out = np.zeros(n)
         if n == 0 or not query:
@@ -42,17 +56,23 @@ class HitsExpertRanker(ExpertSearchSystem):
         base = set(root)
         for p in root:
             base |= network.neighbors(p)
-        base_list = sorted(base)
-        index = {p: i for i, p in enumerate(base_list)}
-        m = len(base_list)
+        members = np.asarray(sorted(base), dtype=np.int64)
+        m = members.size
 
-        # Adjacency restricted to the base set (undirected -> symmetric).
-        adj = np.zeros((m, m))
-        for p in base_list:
-            for v in network.neighbors(p):
-                if v in index:
-                    adj[index[p], index[v]] = 1.0
+        # Adjacency restricted to the base set, sliced sparse from the
+        # cached global CSR (undirected -> symmetric submatrix).
+        adj = network.adjacency_csr()[members][:, members]
+        authority = self._authority_scores(adj, m)
 
+        match = np.zeros(m)
+        for i, p in enumerate(members):
+            match[i] = len(network.skills(int(p)) & query) / len(query)
+        out[members] = authority + self.match_bonus * match
+        return out
+
+    def _authority_scores(self, adj, m: int) -> np.ndarray:
+        """Normalized hub/authority iteration over a (sparse) base-set
+        adjacency — shared by the plain path and the delta session."""
         authority = np.ones(m) / m
         for _ in range(self.max_iterations):
             hub = adj @ authority
@@ -65,11 +85,4 @@ class HitsExpertRanker(ExpertSearchSystem):
                 authority = new_authority
                 break
             authority = new_authority
-
-        match = np.zeros(m)
-        for i, p in enumerate(base_list):
-            match[i] = len(network.skills(p) & query) / len(query)
-        combined = authority + self.match_bonus * match
-        for p, i in index.items():
-            out[p] = combined[i]
-        return out
+        return authority

@@ -3,18 +3,24 @@
 The restart distribution concentrates on individuals whose own skills match
 the query; the random walk then spreads relevance along collaboration
 edges, so well-connected collaborators of matching experts also rank.
+
+Overlay probes are delta-scored through
+:class:`~repro.search.engine.PageRankDeltaSession` (cached transition
+operator, O(Δ) restart/degree patches, warm-started power iteration);
+``full_rebuild = True`` forces the from-scratch path below.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import as_query
 from repro.search.base import ExpertSearchSystem, query_match_vector
+from repro.search.engine import PageRankDeltaSession
 
 
 @dataclass
@@ -35,8 +41,14 @@ class PageRankExpertRanker(ExpertSearchSystem):
         if not (0.0 < self.damping < 1.0):
             raise ValueError(f"damping must be in (0, 1), got {self.damping}")
 
+    def delta_session(self, base: CollaborationNetwork) -> PageRankDeltaSession:
+        return PageRankDeltaSession(self, base)
+
     def scores(self, query: Iterable[str], network: CollaborationNetwork) -> np.ndarray:
         query = as_query(query)
+        delta = self._try_delta_scores(query, network)
+        if delta is not None:
+            return delta
         n = network.n_people
         if n == 0:
             return np.zeros(0)
@@ -48,11 +60,24 @@ class PageRankExpertRanker(ExpertSearchSystem):
 
         adj = network.adjacency_csr()
         out_degree = np.asarray(adj.sum(axis=1)).ravel()
+        return self._power_iteration(restart, adj, out_degree)[0]
+
+    def _power_iteration(
+        self,
+        restart: np.ndarray,
+        adj,
+        out_degree: np.ndarray,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, bool]:
+        """(solution, converged) of the personalized walk.  A delta session
+        warm-starts from the base solution; the plain path starts from the
+        restart distribution."""
         # Column-stochastic transition; dangling nodes teleport.
         inv_deg = np.divide(
             1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
         )
-        scores = restart.copy()
+        scores = (restart if warm_start is None else warm_start).copy()
+        converged = False
         for _ in range(self.max_iterations):
             spread = adj.T @ (scores * inv_deg)
             dangling = scores[out_degree == 0].sum()
@@ -61,6 +86,7 @@ class PageRankExpertRanker(ExpertSearchSystem):
             )
             if np.abs(new - scores).sum() < self.tolerance:
                 scores = new
+                converged = True
                 break
             scores = new
-        return scores
+        return scores, converged

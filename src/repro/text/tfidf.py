@@ -65,15 +65,31 @@ class TfidfModel:
             t: (c / total) * self.idf[self.vocabulary[t]] for t, c in counts.items()
         }
 
+    def row(
+        self, tokens: Sequence[str], normalize: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse tf-idf row of one token bag: (sorted column indices,
+        values).  The single scoring kernel behind :meth:`vector`,
+        :meth:`matrix`, and the probe engine's per-row profile patches —
+        one code path means patched rows match built rows bit-for-bit.
+        """
+        scores = self.term_scores(tokens)
+        if not scores:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        pairs = sorted((self.vocabulary[t], s) for t, s in scores.items())
+        cols = np.fromiter((c for c, _ in pairs), dtype=np.int64, count=len(pairs))
+        vals = np.fromiter((v for _, v in pairs), dtype=np.float64, count=len(pairs))
+        if normalize:
+            norm = math.sqrt(float(vals @ vals))
+            if norm > 0:
+                vals = vals / norm
+        return cols, vals
+
     def vector(self, tokens: Sequence[str], normalize: bool = True) -> np.ndarray:
         """Dense tf-idf vector of one token bag (L2-normalized by default)."""
         vec = np.zeros(self.n_terms, dtype=np.float64)
-        for t, score in self.term_scores(tokens).items():
-            vec[self.vocabulary[t]] = score
-        if normalize:
-            norm = np.linalg.norm(vec)
-            if norm > 0:
-                vec /= norm
+        cols, vals = self.row(tokens, normalize=normalize)
+        vec[cols] = vals
         return vec
 
     def matrix(
@@ -84,15 +100,10 @@ class TfidfModel:
         cols: List[int] = []
         data: List[float] = []
         for i, tokens in enumerate(documents):
-            scores = self.term_scores(tokens)
-            if normalize and scores:
-                norm = math.sqrt(sum(v * v for v in scores.values()))
-            else:
-                norm = 1.0
-            for t, score in scores.items():
-                rows.append(i)
-                cols.append(self.vocabulary[t])
-                data.append(score / norm if norm > 0 else 0.0)
+            c, v = self.row(tokens, normalize=normalize)
+            rows.extend([i] * c.size)
+            cols.extend(c.tolist())
+            data.extend(v.tolist())
         return sp.csr_matrix(
             (data, (rows, cols)), shape=(len(documents), self.n_terms)
         )

@@ -163,3 +163,38 @@ class TestApplyPerturbationsOverlay:
         fast, _ = apply_perturbations(net, [], perts)
         slow, _ = apply_perturbations(net, [], perts, full_rebuild=True)
         _assert_view_matches(fast, slow)
+
+
+class TestChainedFlipEquivalence:
+    """branch() chains and cancelling edits must be invisible in the
+    canonical delta — the probe engine uses flips() as a memo key, so a
+    chained-and-annihilated overlay must key (and read) identically to the
+    equivalent flat overlay."""
+
+    def test_branch_chain_with_annihilation_matches_flat(self, net):
+        s0 = sorted(net.skills(0))[0]
+        u, v = sorted(net.edges())[0]
+        flat = NetworkOverlay(net)
+        flat.remove_skill(0, s0)
+        flat.remove_edge(u, v)
+
+        ov1 = NetworkOverlay(net)
+        ov1.remove_skill(0, s0)
+        ov2 = ov1.branch()
+        ov2.add_skill(4, "transient")
+        ov2.remove_edge(u, v)
+        ov3 = ov2.branch()
+        ov3.remove_skill(4, "transient")  # annihilates the branch's add
+
+        assert ov3.flips() == flat.flips()
+        assert ov3.n_flips == flat.n_flips
+        _assert_view_matches(ov3, flat.materialize())
+
+    def test_cancelled_edge_flip_across_branches(self, net):
+        u, v = sorted(net.edges())[0]
+        ov1 = NetworkOverlay(net)
+        ov1.remove_edge(u, v)
+        ov2 = ov1.branch()
+        ov2.add_edge(u, v)  # cancels the inherited removal
+        assert ov2.flips() == frozenset()
+        _assert_view_matches(ov2, net)

@@ -1,8 +1,10 @@
 """The incremental probe engine: exact parity, cache invalidation, memo.
 
-The engine's contract (ISSUE 1) is that incremental scores match
-full-rebuild scores to 1e-9 on arbitrary perturbation sequences, that its
-caches are version-stamped against base-network mutation, and that probe
+The engine's contract (ISSUE 1, extended to every ranker in ISSUE 2) is
+that incremental scores match full-rebuild scores to 1e-9 on arbitrary
+perturbation sequences — for the GCN ranker and the PageRank/HITS/TF-IDF
+baselines alike — that its caches are version-stamped against base-network
+mutation and evict LRU-style (no cold-cache cliff), and that probe
 memoization is observable through ``CounterfactualExplanation.n_probes``.
 """
 
@@ -19,7 +21,13 @@ from repro.graph.perturbations import (
     RemoveSkill,
     apply_perturbations,
 )
-from repro.search import ProbeEngine, ProbeSession
+from repro.search import (
+    DocumentExpertRanker,
+    HitsExpertRanker,
+    PageRankExpertRanker,
+    ProbeEngine,
+    ProbeSession,
+)
 
 
 def _random_perturbations(net, rng, n):
@@ -292,3 +300,210 @@ class TestProbeMemoization:
             "skill_removal",
         )
         assert result.n_probes >= 2
+
+
+@pytest.fixture(params=["gcn", "pagerank", "hits", "tfidf"])
+def any_ranker(request, small_gcn_ranker):
+    """One instance of each delta-scoring ranker.  The GCN comes from the
+    shared session fixture (training is expensive); the baselines are
+    training-free and built fresh per test."""
+    if request.param == "gcn":
+        return small_gcn_ranker
+    return {
+        "pagerank": PageRankExpertRanker,
+        "hits": HitsExpertRanker,
+        "tfidf": DocumentExpertRanker,
+    }[request.param]()
+
+
+class TestMultiRankerParity:
+    """Every ranker's DeltaSession matches its from-scratch full_rebuild
+    scores to 1e-9 — and never materializes the overlay to get there."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_sequences(self, any_ranker, small_dataset, small_query, seed):
+        net = small_dataset.network
+        rng = np.random.default_rng(1000 + seed)
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            pytest.skip("degenerate draw")
+        overlay, q2 = apply_perturbations(net, frozenset(small_query), perts)
+        fast = any_ranker.scores(q2, overlay)
+        assert overlay._mat is None, "delta path materialized the overlay"
+        any_ranker.full_rebuild = True
+        try:
+            slow = any_ranker.scores(q2, overlay)
+        finally:
+            any_ranker.full_rebuild = False
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_skill_only_flips(self, any_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(
+            net, small_query, [RemoveSkill(0, skill), AddSkill(3, "never-seen")]
+        )
+        fast = any_ranker.scores(q, overlay)
+        assert overlay._mat is None
+        any_ranker.full_rebuild = True
+        try:
+            slow = any_ranker.scores(q, overlay)
+        finally:
+            any_ranker.full_rebuild = False
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_edge_only_flips(self, any_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        u, v = sorted(net.edges())[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveEdge(u, v)])
+        fast = any_ranker.scores(q, overlay)
+        assert overlay._mat is None
+        any_ranker.full_rebuild = True
+        try:
+            slow = any_ranker.scores(q, overlay)
+        finally:
+            any_ranker.full_rebuild = False
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_query_term_skill_flip(self, any_ranker, small_dataset, small_query):
+        """Flipping a *query-term* skill moves the restart/root/profile
+        state every delta path special-cases; parity must survive it."""
+        net = small_dataset.network
+        term = sorted(small_query)[0]
+        holder = sorted(net.people_with_skill(term))
+        perts = []
+        if holder:
+            perts.append(RemoveSkill(holder[0], term))
+        non_holder = next(p for p in net.people() if not net.has_skill(p, term))
+        perts.append(AddSkill(non_holder, term))
+        overlay, q = apply_perturbations(net, small_query, perts)
+        fast = any_ranker.scores(q, overlay)
+        assert overlay._mat is None
+        any_ranker.full_rebuild = True
+        try:
+            slow = any_ranker.scores(q, overlay)
+        finally:
+            any_ranker.full_rebuild = False
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+
+    def test_session_reused_across_probes(self, any_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        skill = sorted(net.skills(0))[0]
+        ov1, q1 = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        any_ranker.scores(q1, ov1)
+        first = any_ranker._session
+        assert first is not None
+        ov2, q2 = apply_perturbations(net, small_query, [AddSkill(1, "xyz-skill")])
+        any_ranker.scores(q2, ov2)
+        assert any_ranker._session is first  # same base version: cache reused
+
+    def test_engine_probe_never_materializes(
+        self, any_ranker, small_dataset, small_query
+    ):
+        """ExES.probe_engine's hot path — probe an overlay through a
+        RelevanceTarget — stays materialization-free for every ranker."""
+        net = small_dataset.network
+        engine = ProbeEngine(RelevanceTarget(any_ranker, k=10), net)
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        engine.probe(0, q, overlay)
+        assert overlay._mat is None
+        assert engine.misses == 1
+
+
+class TestOverlayChainingAcrossRankers:
+    """branch() chaining and add-then-remove annihilation must be
+    invisible: identical flips() memo keys and identical probe results as
+    the equivalent flat overlay, for every ranker."""
+
+    def test_chained_and_cancelled_flips_match_flat(
+        self, any_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        q = frozenset(small_query)
+        s0 = sorted(net.skills(0))[0]
+        u, v = sorted(net.edges())[0]
+
+        flat, qf = apply_perturbations(net, q, [RemoveSkill(0, s0), RemoveEdge(u, v)])
+
+        ov1, _ = apply_perturbations(net, q, [RemoveSkill(0, s0)])
+        chained = ov1.branch()
+        chained.add_skill(3, "transient-skill")
+        chained.remove_edge(u, v)
+        chained.remove_skill(3, "transient-skill")  # annihilates the add
+        assert chained.flips() == flat.flips()
+
+        engine = ProbeEngine(RelevanceTarget(any_ranker, k=10), net)
+        first = engine.probe(0, qf, flat)
+        assert engine.probe(0, qf, chained) == first
+        assert engine.hits == 1  # identical memo key: answered from memory
+
+        np.testing.assert_allclose(
+            any_ranker.scores(qf, chained),
+            any_ranker.scores(qf, flat),
+            rtol=0,
+            atol=1e-9,
+        )
+
+
+class TestLruEviction:
+    """Bounded caches evict one least-recently-used entry at capacity —
+    the PR-1 wholesale .clear() caused a cold-cache cliff mid-search."""
+
+    def test_lru_cache_hot_key_survives(self):
+        from repro.search.engine import _LruCache
+
+        cache = _LruCache(3)
+        cache.put("hot", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("hot") == 1  # refreshes recency
+        cache.put("d", 4)  # evicts exactly one entry: the LRU ("b")
+        assert cache.get("hot") == 1
+        assert cache.get("b") is None
+        assert len(cache) == 3
+
+    def test_lru_cache_overwrite_does_not_evict(self):
+        from repro.search.engine import _LruCache
+
+        cache = _LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite at capacity must not evict "b"
+        assert cache.get("b") == 2
+        assert cache.get("a") == 10
+
+    def test_engine_memo_hot_key_survives_overflow(self, small_dataset, monkeypatch):
+        import repro.search.engine as engine_mod
+        from repro.search import CoverageExpertRanker
+
+        monkeypatch.setattr(engine_mod, "_MAX_MEMO", 4)
+        net = small_dataset.network
+        engine = ProbeEngine(RelevanceTarget(CoverageExpertRanker(), k=5), net)
+        queries = [frozenset({s}) for s in sorted(net.skill_universe())[:8]]
+        hot = queries[0]
+        engine.probe(0, hot)
+        for q in queries[1:]:
+            engine.probe(0, q)  # repeatedly overflows the capacity-4 memo
+            engine.probe(0, hot)  # the hot key stays recent
+        hits = engine.hits
+        engine.probe(0, hot)
+        assert engine.hits == hits + 1  # still memoized after every overflow
+
+    def test_feat_cache_hot_query_survives(
+        self, small_gcn_ranker, small_dataset, monkeypatch
+    ):
+        import repro.search.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "_MAX_QUERY_CACHE", 2)
+        net = small_dataset.network
+        session = ProbeSession(small_gcn_ranker, net)
+        overlay = NetworkOverlay(net)
+        skills = sorted(net.skill_universe())
+        hot, qa, qb = (frozenset({s}) for s in skills[:3])
+        session.probe_inputs(hot, overlay)
+        session.probe_inputs(qa, overlay)  # cache now at capacity 2
+        session.probe_inputs(hot, overlay)  # refresh the hot query
+        session.probe_inputs(qb, overlay)  # evicts qa, not the hot query
+        assert hot in session._feat_cache
+        assert qa not in session._feat_cache
