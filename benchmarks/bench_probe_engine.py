@@ -1,12 +1,19 @@
 """Probe-engine benchmark: per-ranker delta matrix + explanation suites.
 
-Three measurements, all written to ``BENCH_probe_engine.json`` at the repo
+Five measurements, all written to ``BENCH_probe_engine.json`` at the repo
 root so the perf trajectory is tracked across PRs:
 
 * a **per-ranker probe matrix** — the same random overlay probe states
   scored through each ranker's ``DeltaSession`` vs. its from-scratch
   ``full_rebuild`` path (the seed behaviour: overlay materialization +
   artifact rebuild per probe), with a 1e-9 parity assertion per ranker;
+* a **team-formation probe row** — ``MembershipTarget`` probes through the
+  ``TeamDeltaSession`` (cached base run + overlay re-formation) vs. the
+  full path (materialize + ranker rebuild + greedy re-formation), with an
+  exact-team parity assertion;
+* a **batched-GCN row** — the same overlay probe states through
+  ``scores_batch`` (stacked multi-probe forwards) vs. per-probe delta
+  scoring, with a 1e-9 parity assertion;
 * the Table 8/10-style **counterfactual suite** (three expert kinds, three
   non-expert kinds), probe engine on vs. off;
 * a **factual (SHAP) suite**, probe engine on vs. off.
@@ -15,10 +22,10 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_probe_engine.py
 
-``--smoke`` runs only the per-ranker matrix on a tiny network (no GAE, a
-briefly-trained GCN) and writes ``BENCH_probe_engine.smoke.json`` — the CI
-job uses it to fail parity/perf-path regressions before the next full
-bench run.
+``--smoke`` runs the per-ranker matrix, the team-formation parity row and
+the batched-GCN row on a tiny network (no GAE, a briefly-trained GCN) and
+writes ``BENCH_probe_engine.smoke.json`` — the CI job uses it to fail
+parity/perf-path regressions before the next full bench run.
 """
 
 from __future__ import annotations
@@ -39,7 +46,13 @@ from repro import ExES
 from repro.datasets import dblp_like
 from repro.embeddings import train_ppmi_embedding
 from repro.eval import random_queries, sample_search_subjects
-from repro.explain import BeamConfig, CounterfactualExplainer, FactualConfig, FactualExplainer
+from repro.explain import (
+    BeamConfig,
+    CounterfactualExplainer,
+    FactualConfig,
+    FactualExplainer,
+    MembershipTarget,
+)
 from repro.graph.perturbations import apply_perturbations
 from repro.search import (
     DocumentExpertRanker,
@@ -49,6 +62,7 @@ from repro.search import (
     PageRankExpertRanker,
     ProbeEngine,
 )
+from repro.team import CoverTeamFormer
 
 K = 10
 N_QUERIES = 3
@@ -92,7 +106,7 @@ def _engine(exes, engine_on: bool) -> ProbeEngine:
 
 def run_counterfactual_suite(exes, net, experts, nonexperts, engine_on: bool):
     """One full Table 8/10-style pass; returns (elapsed, probes, results)."""
-    exes.ranker.full_rebuild = not engine_on
+    exes.set_full_rebuild(not engine_on)
     engine = _engine(exes, engine_on)
     explainer = CounterfactualExplainer(
         engine.target, exes.embedding, exes.link_predictor, BEAM, engine=engine
@@ -111,12 +125,12 @@ def run_counterfactual_suite(exes, net, experts, nonexperts, engine_on: bool):
             probes += res.n_probes
             results.append(res)
     elapsed = time.perf_counter() - start
-    exes.ranker.full_rebuild = False
+    exes.set_full_rebuild(False)
     return elapsed, probes, results
 
 
 def run_factual_suite(exes, net, experts, nonexperts, engine_on: bool):
-    exes.ranker.full_rebuild = not engine_on
+    exes.set_full_rebuild(not engine_on)
     engine = _engine(exes, engine_on)
     explainer = FactualExplainer(engine.target, FACTUAL, engine=engine)
     results = []
@@ -128,7 +142,7 @@ def run_factual_suite(exes, net, experts, nonexperts, engine_on: bool):
             evaluations += res.n_evaluations
             results.append(res)
     elapsed = time.perf_counter() - start
-    exes.ranker.full_rebuild = False
+    exes.set_full_rebuild(False)
     return elapsed, evaluations, results
 
 
@@ -262,6 +276,154 @@ def run_ranker_matrix(rankers: dict, net, n_states: int = 60, seed: int = 5) -> 
     return matrix
 
 
+def run_team_matrix(former, net, n_states: int = 40, seed: int = 9) -> dict:
+    """Team-formation membership probes: delta vs. full path.
+
+    The delta pass serves each probe through the ``TeamDeltaSession``
+    (cached base run where the flips miss its support, greedy re-formation
+    on the overlay otherwise) with delta-session ranker scores — never
+    ``materialize()``.  The full pass pays the seed cost on the same
+    states: full-rebuild ranker scoring (which materializes the overlay)
+    plus greedy re-formation per probe.  Team parity must be exact —
+    member for member — not just score-level.
+    """
+    ranker = former.ranker
+    # A few fixed queries shared across the probe states — explanation
+    # search probes one query with thousands of perturbed networks, so the
+    # per-query base run amortizes exactly as it does in production.
+    rng = np.random.default_rng(seed)
+    skills = sorted(net.skill_universe())
+    queries = [
+        frozenset(skills[i] for i in rng.choice(len(skills), size=3, replace=False))
+        for _ in range(3)
+    ]
+    states = []
+    while len(states) < n_states:
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            continue
+        query = queries[len(states) % len(queries)]
+        overlay, q2 = apply_perturbations(net, query, perts)
+        states.append((q2, overlay))
+    subjects = [int(rng.integers(0, net.n_people)) for _ in states]
+    target = MembershipTarget(former)
+
+    former.full_rebuild = ranker.full_rebuild = False
+    warm_q, warm_ov = states[0]
+    target.decide_with_order(subjects[0], warm_q, warm_ov)  # warm the sessions
+    session = former._session
+    hits_before, reforms_before = session.fast_hits, session.reforms
+    start = time.perf_counter()
+    fast = [
+        target.decide_with_order(p, q, ov) for p, (q, ov) in zip(subjects, states)
+    ]
+    delta_s = time.perf_counter() - start
+    # Snapshot before the (untimed) parity re-formations below, so the
+    # cached/re-formed split describes exactly the timed delta pass.
+    fast_hits = session.fast_hits - hits_before
+    reforms = session.reforms - reforms_before
+    assert all(ov._mat is None for _, ov in states), (
+        "team delta path materialized an overlay"
+    )
+    fast_teams = [former.form(q, ov) for q, ov in states]
+
+    former.full_rebuild = ranker.full_rebuild = True
+    try:
+        start = time.perf_counter()
+        slow = [
+            target.decide_with_order(p, q, ov)
+            for p, (q, ov) in zip(subjects, states)
+        ]
+        full_s = time.perf_counter() - start
+        slow_teams = [former.form(q, ov) for q, ov in states]
+    finally:
+        former.full_rebuild = ranker.full_rebuild = False
+
+    assert [d for d, _ in fast] == [d for d, _ in slow], (
+        "team probe decisions diverged between delta and full paths"
+    )
+    exact_teams = all(
+        a.members == b.members and a.build_order == b.build_order
+        for a, b in zip(fast_teams, slow_teams)
+    )
+    assert exact_teams, "team delta path formed a different team"
+    row = {
+        "n_states": len(states),
+        "delta_seconds": delta_s,
+        "full_rebuild_seconds": full_s,
+        "speedup": full_s / delta_s,
+        "exact_team_parity": exact_teams,
+        "cached_run_fast_hits": fast_hits,
+        "overlay_reforms": reforms,
+    }
+    print(
+        f"  {'team':>9}: {full_s:.3f}s full -> {delta_s:.3f}s delta "
+        f"({row['speedup']:.1f}x, {fast_hits} cached / {reforms} re-formed, "
+        f"exact teams: {exact_teams})",
+        flush=True,
+    )
+    return row
+
+
+def run_gcn_batch_row(gcn, net, n_states: int = 48, seed: int = 21, group: int = 8) -> dict:
+    """Batched multi-probe GCN forwards vs. the per-probe delta path.
+
+    One query, ``n_states`` random overlays: the batched pass stacks each
+    ``group`` of probe feature matrices into a single ``(k·n, d)`` forward
+    through the scorer (block-diagonal propagation operator); the
+    per-probe pass scores the same overlays one forward at a time through
+    the same session.  Parity to 1e-9 on every probe.
+    """
+    rng = np.random.default_rng(seed)
+    skills = sorted(net.skill_universe())
+    query = frozenset(
+        skills[i] for i in rng.choice(len(skills), size=3, replace=False)
+    )
+    states = []
+    while len(states) < n_states:
+        perts = _random_perturbations(net, rng, int(rng.integers(1, 6)))
+        if not perts:
+            continue
+        overlay, q2 = apply_perturbations(net, query, perts)
+        states.append((q2, overlay))
+
+    gcn.full_rebuild = False
+    warm_q, warm_ov = states[0]
+    gcn.scores(warm_q, warm_ov)
+    session = gcn._session
+
+    start = time.perf_counter()
+    per_probe = [session.scores(q, ov) for q, ov in states]
+    per_probe_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = []
+    for i in range(0, len(states), group):
+        chunk = states[i : i + group]
+        chunk_query = chunk[0][0]
+        assert all(q == chunk_query for q, _ in chunk)  # one query per flush
+        batched += session.scores_batch(chunk_query, [ov for _, ov in chunk])
+    batched_s = time.perf_counter() - start
+    assert all(ov._mat is None for _, ov in states)
+
+    parity = max(float(np.abs(a - b).max()) for a, b in zip(per_probe, batched))
+    assert parity < 1e-9, f"gcn batched: parity violated ({parity})"
+    row = {
+        "n_states": len(states),
+        "group_size": group,
+        "per_probe_seconds": per_probe_s,
+        "batched_seconds": batched_s,
+        "speedup": per_probe_s / batched_s,
+        "parity_max_abs_diff": parity,
+    }
+    print(
+        f"  {'gcn-batch':>9}: {per_probe_s:.3f}s per-probe -> {batched_s:.3f}s "
+        f"batched x{group} ({row['speedup']:.1f}x, parity {parity:.1e})",
+        flush=True,
+    )
+    return row
+
+
 def baseline_rankers() -> dict:
     return {
         "pagerank": PageRankExpertRanker(),
@@ -286,6 +448,8 @@ def run_smoke() -> dict:
         flush=True,
     )
     matrix = run_ranker_matrix(rankers, net, n_states=25, seed=5)
+    team_row = run_team_matrix(CoverTeamFormer(gcn), net, n_states=15, seed=9)
+    batch_row = run_gcn_batch_row(gcn, net, n_states=24, seed=21)
     report = {
         "mode": "smoke",
         "network": {
@@ -294,6 +458,8 @@ def run_smoke() -> dict:
             "n_skills": len(net.skill_universe()),
         },
         "rankers": matrix,
+        "team_formation": team_row,
+        "gcn_batched": batch_row,
     }
     out = REPO_ROOT / "BENCH_probe_engine.smoke.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -319,6 +485,12 @@ def main() -> dict:
     ranker_matrix = run_ranker_matrix(
         {"gcn": exes.ranker, **baseline_rankers()}, net
     )
+
+    print("team-formation probe matrix (delta vs full path) ...", flush=True)
+    team_row = run_team_matrix(exes.former, net)
+
+    print("batched multi-probe GCN forwards (vs per-probe delta) ...", flush=True)
+    batch_row = run_gcn_batch_row(exes.ranker, net)
 
     print("counterfactual suite, engine OFF (seed path) ...", flush=True)
     off_s, off_probes, off_results = run_counterfactual_suite(
@@ -359,6 +531,8 @@ def main() -> dict:
         },
         "parity_max_abs_diff": max_diff,
         "rankers": ranker_matrix,
+        "team_formation": team_row,
+        "gcn_batched": batch_row,
         "counterfactual": {
             "engine_off_seconds": off_s,
             "engine_on_seconds": on_s,

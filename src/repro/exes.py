@@ -115,6 +115,19 @@ class ExES:
             raise ValueError("no team formation system was configured")
         return MembershipTarget(self.former, seed_member=seed_member)
 
+    def set_full_rebuild(self, flag: bool) -> None:
+        """Toggle the from-scratch escape hatch across the whole stack —
+        the ranker's delta sessions *and* the former's team delta session —
+        so parity tests and engine-off benchmarks flip one switch instead
+        of chasing every system that might serve an overlay.  The cached
+        probe engines are dropped too: their memos hold results computed
+        under the previous setting, and an "engine-off" measurement must
+        not be answered from a delta-path memo."""
+        self.ranker.full_rebuild = flag
+        if self.former is not None:
+            self.former.full_rebuild = flag
+        self._engines.clear()
+
     def probe_engine(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> ProbeEngine:
@@ -123,7 +136,12 @@ class ExES:
         Overlay probes that miss the memo reach the ranker as overlays,
         so any ranker with a :class:`~repro.search.engine.DeltaSession`
         (all four shipped systems) serves them in O(Δ), never through
-        ``materialize()``."""
+        ``materialize()`` — and team-membership probes additionally reach
+        the former's :class:`~repro.team.engine.TeamDeltaSession`, which
+        answers from the cached base formation run when the flips provably
+        cannot change it and re-forms greedily on the overlay otherwise.
+        Probe groups are flushed through the ranker's batched delta path
+        (:meth:`ProbeEngine.probe_batch`)."""
         key = (team, seed_member)
         engine = self._engines.get(key)
         if engine is None or engine.base is not self.network:

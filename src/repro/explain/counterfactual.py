@@ -38,6 +38,11 @@ from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import Perturbation, Query, apply_perturbations, as_query
 from repro.search.engine import ProbeEngine
 
+# Candidate states flushed per probe_batch call: big enough to fill two
+# batched GCN forwards, small enough to keep the found-cap and timeout
+# checks responsive between flushes.
+_FLUSH_CHUNK = 16
+
 
 @dataclass(frozen=True)
 class BeamConfig:
@@ -101,6 +106,13 @@ def beam_search_counterfactuals(
     while len(found) < config.n_explanations and queue and not timed_out:
         expanded: List[Tuple[float, Tuple[Perturbation, ...]]] = []
         seen_states: Set[FrozenSet[Perturbation]] = set()
+        # Generate the whole round's candidate states first, then flush
+        # them through the engine in groups: probe_batch answers memo hits
+        # from memory and scores the remaining overlays through the
+        # ranker's batched delta path (one stacked GCN forward per chunk).
+        round_states: List[
+            Tuple[Tuple[Perturbation, ...], FrozenSet[Perturbation], Query, CollaborationNetwork]
+        ] = []
         for state in queue:
             for feature in candidates:
                 if feature in state:
@@ -117,7 +129,20 @@ def beam_search_counterfactuals(
                     net2, q2 = apply_perturbations(network, query, new_state)
                 except ValueError:
                     continue  # contains a no-op (e.g. removing then re-adding)
-                decision, order = engine.probe(person, q2, net2)
+                round_states.append((new_state, key, q2, net2))
+                if deadline is not None and time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+            if timed_out:
+                break
+        if timed_out:
+            round_states = []  # the deadline passed mid-generation: stop probing
+        for flush_at in range(0, len(round_states), _FLUSH_CHUNK):
+            chunk = round_states[flush_at : flush_at + _FLUSH_CHUNK]
+            probes = engine.probe_batch(
+                [(person, q2, net2) for (_, _, q2, net2) in chunk]
+            )
+            for (new_state, key, _, _), (decision, order) in zip(chunk, probes):
                 if decision != initial_decision:
                     found.append(
                         Counterfactual(perturbations=new_state, new_order_key=order)
@@ -127,9 +152,8 @@ def beam_search_counterfactuals(
                         break
                 elif len(new_state) < config.max_size:
                     expanded.append((order, new_state))
-                if deadline is not None and time.perf_counter() > deadline:
-                    timed_out = True
-                    break
+            if deadline is not None and time.perf_counter() > deadline:
+                timed_out = True
             if timed_out or len(found) >= config.n_explanations:
                 break
         # selectTopK: keep the b states closest to flipping.  Evicting an

@@ -16,7 +16,7 @@ from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 from repro.graph.network import CollaborationNetwork
-from repro.search.base import ExpertSearchSystem
+from repro.search.base import ExpertSearchSystem, RankedResults
 from repro.team.base import TeamFormationSystem
 
 
@@ -50,6 +50,20 @@ class DecisionTarget(abc.ABC):
         """(label, ordering key) — lower ordering key means closer to the
         top of the ranking; beam search sorts candidate states with it."""
 
+    def decide_with_order_scored(
+        self,
+        person: int,
+        query: Iterable[str],
+        network: CollaborationNetwork,
+        scores,
+    ) -> Tuple[bool, float]:
+        """:meth:`decide_with_order` with the ranker's score vector for
+        this exact (query, network) state already in hand — the batched
+        probe path (``ProbeEngine.probe_batch``) scores a whole group of
+        overlays in one forward and decides each through here.  The
+        default ignores the hint and re-derives everything."""
+        return self.decide_with_order(person, query, network)
+
     @property
     @abc.abstractmethod
     def ranker(self) -> ExpertSearchSystem:
@@ -71,7 +85,14 @@ class RelevanceTarget(DecisionTarget):
         return self.system.evaluate(query, network).is_relevant(person, self.k)
 
     def decide_with_order(self, person, query, network) -> Tuple[bool, float]:
-        results = self.system.evaluate(query, network)
+        return self._decide(person, self.system.evaluate(query, network))
+
+    def decide_with_order_scored(self, person, query, network, scores):
+        return self._decide(person, RankedResults.from_scores(scores))
+
+    def _decide(self, person, results) -> Tuple[bool, float]:
+        # One body for the sequential and batched probe paths — they must
+        # never drift apart.
         rank = results.rank_of(person)
         return (rank <= self.k, float(rank))
 
@@ -101,7 +122,14 @@ class MembershipTarget(DecisionTarget):
         # Single system pass per probe: the ranking that orders the beam and
         # the scores the former consumes come from one evaluate() call
         # (previously this ran team formation AND a second full ranking).
-        results = self.ranker.evaluate(query, network)
+        return self._decide(person, query, network, self.ranker.evaluate(query, network))
+
+    def decide_with_order_scored(self, person, query, network, scores):
+        return self._decide(person, query, network, RankedResults.from_scores(scores))
+
+    def _decide(self, person, query, network, results) -> Tuple[bool, float]:
+        # One body for the sequential and batched probe paths — they must
+        # never drift apart.
         if _form_accepts_scores(type(self.former)):
             team = self.former.form(
                 query, network, seed_member=self.seed_member, scores=results.scores

@@ -40,6 +40,16 @@ class RankedResults:
         ranks[self.order] = np.arange(1, len(self.order) + 1)
         self.ranks = ranks
 
+    @classmethod
+    def from_scores(cls, scores: np.ndarray) -> "RankedResults":
+        """Rank a precomputed score vector with the canonical deterministic
+        ordering (score descending, then id ascending) — the single source
+        of truth shared by :meth:`ExpertSearchSystem.evaluate` and the
+        batched probe path, so both rank identically."""
+        raw = np.asarray(scores, dtype=np.float64)
+        order = np.lexsort((np.arange(len(raw)), -raw))
+        return cls(scores=raw, order=order)
+
     def rank_of(self, person: int) -> int:
         """1-based rank of ``person`` (1 = best)."""
         return int(self.ranks[person])
@@ -115,9 +125,7 @@ class ExpertSearchSystem(abc.ABC):
                 f"{self.name}.scores returned shape {raw.shape}, expected "
                 f"({network.n_people},)"
             )
-        # Stable, deterministic: score descending, then id ascending.
-        order = np.lexsort((np.arange(len(raw)), -raw))
-        return RankedResults(scores=raw, order=order)
+        return RankedResults.from_scores(raw)
 
     def rank(self, query: Iterable[str], network: CollaborationNetwork) -> List[int]:
         """Full ranking of person ids, best first."""

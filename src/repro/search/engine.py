@@ -71,6 +71,16 @@ from repro.graph.perturbations import Query, as_query
 
 _MAX_QUERY_CACHE = 512  # per-session distinct base-query states
 _MAX_MEMO = 200_000  # per-engine memoized probe outcomes
+_BATCH_GROUP = 8  # overlays per batched GCN forward (bounds block size)
+# Neighborhood-restricted GCN forwards only pay off while the receptive
+# field stays well below the whole graph; past this fraction the full
+# patched forward is cheaper than the slicing bookkeeping.
+_RESTRICT_MAX_FRACTION = 1 / 3
+# Inside a *batched* flush the alternative to the splice is a stacked
+# forward amortized over the group, which beats the splice's Python
+# bookkeeping on small graphs; only divert batch members to the splice
+# once the graph is big enough that a full forward clearly dominates.
+_BATCH_RESTRICT_MIN_N = 1024
 
 
 class _LruCache:
@@ -119,10 +129,37 @@ class _LruCache:
 
 def _normalize(a_hat: sp.csr_matrix, deg: np.ndarray) -> sp.csr_matrix:
     """``D^-1/2 (A+I) D^-1/2`` — same formula (and 1e-12 floor) as
-    :meth:`CollaborationNetwork.normalized_adjacency`."""
+    :meth:`CollaborationNetwork.normalized_adjacency`, applied by scaling
+    the CSR data directly: ``(a * inv_sqrt[row]) * inv_sqrt[col]`` is the
+    exact multiply order the reference's two diagonal matmuls perform, at
+    a fraction of their cost (no intermediate sparse products)."""
     inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
-    d_inv = sp.diags(inv_sqrt)
-    return (d_inv @ a_hat @ d_inv).tocsr()
+    a_hat = a_hat.tocsr()
+    row_scale = np.repeat(inv_sqrt, np.diff(a_hat.indptr))
+    data = (a_hat.data * row_scale) * inv_sqrt[a_hat.indices]
+    return sp.csr_matrix(
+        (data, a_hat.indices, a_hat.indptr), shape=a_hat.shape, copy=True
+    )
+
+
+def _block_diag_csr(mats: List[sp.csr_matrix]) -> sp.csr_matrix:
+    """Block-diagonal stack of equally-shaped square CSR operators — the
+    multi-probe propagation operator.  Hand-rolled index arithmetic; the
+    generic ``sp.block_diag`` round-trips through COO and costs more than
+    the batched forward it feeds."""
+    n = mats[0].shape[0]
+    nnz_offsets = np.cumsum([0] + [m.nnz for m in mats])
+    data = np.concatenate([m.data for m in mats])
+    indices = np.concatenate(
+        [m.indices + np.int64(i * n) for i, m in enumerate(mats)]
+    )
+    indptr = np.concatenate(
+        [mats[0].indptr]
+        + [m.indptr[1:] + nnz_offsets[i] for i, m in enumerate(mats) if i > 0]
+    )
+    return sp.csr_matrix(
+        (data, indices, indptr), shape=(len(mats) * n, len(mats) * n)
+    )
 
 
 def _edge_flip_delta(
@@ -168,6 +205,17 @@ class DeltaSession(abc.ABC):
         """Scores for the overlaid network, patched from the base caches
         in O(Δ) — never through ``overlay.materialize()``."""
 
+    def scores_batch(
+        self, query: Query, overlays: Iterable[NetworkOverlay]
+    ) -> List[np.ndarray]:
+        """Scores for a *group* of overlays over the same base and query.
+
+        The default just loops :meth:`scores`; sessions whose scorer
+        benefits from batching (the GCN's stacked multi-probe forward)
+        override this, and :meth:`ProbeEngine.probe_batch` flushes probe
+        groups through it."""
+        return [self.scores(query, overlay) for overlay in overlays]
+
 
 class GcnDeltaSession(DeltaSession):
     """Cached probe inputs for one (GCN ranker, frozen base network) pair.
@@ -190,6 +238,12 @@ class GcnDeltaSession(DeltaSession):
         self._adj_norm = _normalize(self._a_hat, self._deg)
         # query -> (base feature matrix, normalized query vector)
         self._feat_cache = _LruCache(_MAX_QUERY_CACHE)
+        # query -> (xw1, h1w2, base scores): the base forward's
+        # intermediates, kept so restricted probes splice instead of
+        # recomputing (see ``_restricted_scores``)
+        self._fwd_cache = _LruCache(_MAX_QUERY_CACHE)
+        self.restricted_probes = 0  # observability: neighborhood-restricted
+        self.full_forwards = 0  # ... vs full patched forwards served
 
     def valid_for(self, base: CollaborationNetwork) -> bool:
         """Also invalid once the ranker was refit (new vocabulary)."""
@@ -199,8 +253,175 @@ class GcnDeltaSession(DeltaSession):
     # probing
     # ------------------------------------------------------------------
     def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        if not overlay.skill_flips() and not overlay.edge_flips():
+            return self._base_forward(query)[2].copy()
+        restricted = self._try_restricted(query, overlay)
+        if restricted is not None:
+            return restricted
+        self.full_forwards += 1
         feats, adj_norm = self.probe_inputs(query, overlay)
         return self.ranker._scorer.forward(feats, adj_norm).numpy().copy()
+
+    def scores_batch(
+        self, query: Query, overlays: Iterable[NetworkOverlay]
+    ) -> List[np.ndarray]:
+        """Batched multi-probe forward: the probe feature matrices of the
+        group are stacked into one ``(k·n, d)`` matrix, their (patched)
+        propagation operators into one block-diagonal ``(k·n, k·n)``
+        sparse operator, and a single :class:`_GcnScorer` forward scores
+        every probe at once — amortizing the per-call dense/sparse kernel
+        overhead that dominates per-probe forwards."""
+        overlays = list(overlays)
+        if len(overlays) <= 1:
+            return [self.scores(query, ov) for ov in overlays]
+        # On large graphs, overlays whose receptive field qualifies for
+        # the restricted splice are cheaper than their share of a stacked
+        # forward (the splice touches O(|ball|) rows, the stack k·n); on
+        # small graphs the amortized stack wins, so everything with flips
+        # is batched into one block-diagonal forward.
+        splice_ok = self.base.n_people >= _BATCH_RESTRICT_MIN_N
+        results: List[Optional[np.ndarray]] = [None] * len(overlays)
+        stacked_idx: List[int] = []
+        for i, overlay in enumerate(overlays):
+            if not overlay.skill_flips() and not overlay.edge_flips():
+                results[i] = self._base_forward(query)[2].copy()
+                continue
+            if splice_ok:
+                restricted = self._try_restricted(query, overlay)
+                if restricted is not None:
+                    results[i] = restricted
+                    continue
+            stacked_idx.append(i)
+        if len(stacked_idx) == 1:
+            i = stacked_idx[0]
+            results[i] = self.scores(query, overlays[i])
+        elif stacked_idx:
+            blocks = [self.probe_inputs(query, overlays[i]) for i in stacked_idx]
+            stacked = np.concatenate([feats for feats, _ in blocks], axis=0)
+            adj = _block_diag_csr([a.tocsr() for _, a in blocks])
+            out = self.ranker._scorer.forward(stacked, adj).numpy()
+            n = self.base.n_people
+            for j, i in enumerate(stacked_idx):
+                results[i] = out[j * n : (j + 1) * n].copy()
+            self.full_forwards += len(stacked_idx)
+        return results  # type: ignore[return-value]
+
+    def _try_restricted(
+        self, query: Query, overlay: NetworkOverlay
+    ) -> Optional[np.ndarray]:
+        """The neighborhood-restricted splice for ``overlay``, or None when
+        its receptive field is too large for the splice to pay off."""
+        seeds = {p for (p, _) in overlay.skill_flips()}
+        for u, v in overlay.edge_flips():
+            seeds.add(u)
+            seeds.add(v)
+        ball1, ball2 = self._receptive_field(overlay, seeds)
+        n = self.base.n_people
+        if len(ball2) > max(_BATCH_GROUP, int(n * _RESTRICT_MAX_FRACTION)):
+            return None
+        self.restricted_probes += 1
+        return self._restricted_scores(query, overlay, ball1, ball2)
+
+    # ------------------------------------------------------------------
+    # neighborhood-restricted forwards
+    # ------------------------------------------------------------------
+    def _receptive_field(
+        self, overlay: NetworkOverlay, seeds
+    ) -> Tuple[List[int], List[int]]:
+        """(1-hop ball, 2-hop ball) of the flipped entries, expanded over
+        the *union* of base and overlay adjacency.
+
+        The union matters: a removed edge still couples its endpoints'
+        activations to the base values being spliced away from, and an
+        added edge couples them in the probe — both directions must be
+        inside the recomputed set.
+        """
+        base = self.base
+        ball1 = set(seeds)
+        for p in seeds:
+            ball1 |= base.neighbors(p)
+            ball1 |= overlay.neighbors(p)
+        ball2 = set(ball1)
+        for p in ball1:
+            ball2 |= base.neighbors(p)
+            ball2 |= overlay.neighbors(p)
+        return sorted(ball1), sorted(ball2)
+
+    def _base_forward(self, query: Query):
+        """(xw1, h1w2, scores) of the base network's forward pass for
+        ``query`` — the exact op sequence of :class:`_GcnScorer.forward`
+        (matmul, spmv, broadcast add, ``x * (x > 0)``) unrolled so each
+        intermediate can be cached and row-spliced."""
+        hit = self._fwd_cache.get(query)
+        if hit is None:
+            feats, _ = self._base_features(query)
+            scorer = self.ranker._scorer
+            adj = self._adj_norm
+            xw1 = feats @ scorer.conv1.weight.data
+            z1 = adj @ xw1
+            if scorer.conv1.bias is not None:
+                z1 = z1 + scorer.conv1.bias.data
+            h1 = z1 * (z1 > 0)
+            h1w2 = h1 @ scorer.conv2.weight.data
+            z2 = adj @ h1w2
+            if scorer.conv2.bias is not None:
+                z2 = z2 + scorer.conv2.bias.data
+            h2 = z2 * (z2 > 0)
+            out = h2 @ scorer.head.weight.data
+            if scorer.head.bias is not None:
+                out = out + scorer.head.bias.data
+            hit = (xw1, h1w2, out.reshape(-1))
+            self._fwd_cache.put(query, hit)
+        return hit
+
+    def _restricted_scores(
+        self,
+        query: Query,
+        overlay: NetworkOverlay,
+        ball1: List[int],
+        ball2: List[int],
+    ) -> np.ndarray:
+        """Probe scores recomputed only inside the flips' 2-hop receptive
+        field, splicing the cached base activations for every other row.
+
+        Rows outside ``ball2`` provably cannot change: a GCN output row
+        reads features within 2 hops and (patched) adjacency entries
+        within 1 hop, and all of those are base-identical out there.
+        """
+        base_xw1, base_h1w2, base_scores = self._base_forward(query)
+        scorer = self.ranker._scorer
+        skill_flips = overlay.skill_flips()
+        edge_flips = overlay.edge_flips()
+        adj = self._adj_norm if not edge_flips else self._patched_adjacency(edge_flips)
+
+        xw1 = base_xw1
+        if skill_flips:
+            feats, q_vec = self._base_features(query)
+            feats = self._patched_features(feats, q_vec, query, overlay, skill_flips)
+            touched = sorted({p for (p, _) in skill_flips})
+            xw1 = base_xw1.copy()
+            xw1[touched] = feats[touched] @ scorer.conv1.weight.data
+
+        rows1 = np.asarray(ball1, dtype=np.int64)
+        z1 = adj[rows1] @ xw1
+        if scorer.conv1.bias is not None:
+            z1 = z1 + scorer.conv1.bias.data
+        h1_rows = z1 * (z1 > 0)
+        h1w2 = base_h1w2.copy()
+        h1w2[rows1] = h1_rows @ scorer.conv2.weight.data
+
+        rows2 = np.asarray(ball2, dtype=np.int64)
+        z2 = adj[rows2] @ h1w2
+        if scorer.conv2.bias is not None:
+            z2 = z2 + scorer.conv2.bias.data
+        h2_rows = z2 * (z2 > 0)
+        out_rows = h2_rows @ scorer.head.weight.data
+        if scorer.head.bias is not None:
+            out_rows = out_rows + scorer.head.bias.data
+
+        out = base_scores.copy()
+        out[rows2] = out_rows.reshape(-1)
+        return out
 
     def probe_inputs(
         self, query: Query, overlay: NetworkOverlay
@@ -544,6 +765,11 @@ class ProbeEngine:
             if cached is not None:
                 self.hits += 1
                 return cached
+        return self._probe_uncached(person, query, network, key)
+
+    def _probe_uncached(
+        self, person: int, query: Query, network, key: Optional[Tuple]
+    ) -> Tuple[bool, float]:
         if self.full_rebuild and isinstance(network, NetworkOverlay):
             network = network.materialize()
         result = self.target.decide_with_order(person, query, network)
@@ -551,6 +777,78 @@ class ProbeEngine:
         if key is not None:
             self._memo.put(key, result)
         return result
+
+    def probe_batch(
+        self, states: Iterable[Tuple[int, Iterable[str], Optional[CollaborationNetwork]]]
+    ) -> List[Tuple[bool, float]]:
+        """Probe many ``(person, query, network)`` states at once.
+
+        Memo hits are answered first; the remaining overlay states are
+        grouped by query and flushed through the ranker's
+        :meth:`DeltaSession.scores_batch` in :data:`_BATCH_GROUP`-sized
+        chunks — for the GCN that is one stacked multi-probe forward per
+        chunk — and decided via
+        :meth:`~repro.explain.targets.DecisionTarget.decide_with_order_scored`
+        without a second scoring pass.  States the batch path cannot serve
+        (foreign networks, ``full_rebuild``, rankers without a session)
+        fall back to :meth:`probe` semantics one by one.
+        """
+        resolved = []
+        for person, query, network in states:
+            query = as_query(query)
+            resolved.append(
+                (person, query, self.base if network is None else network)
+            )
+        results: List[Optional[Tuple[bool, float]]] = [None] * len(resolved)
+        groups: Dict[Query, List[Tuple[int, int, Query, NetworkOverlay, Tuple]]] = {}
+        session = self._batch_session()
+        for i, (person, query, network) in enumerate(resolved):
+            key = self._key(person, query, network)
+            if key is not None:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    results[i] = cached
+                    continue
+            if (
+                session is not None
+                and isinstance(network, NetworkOverlay)
+                and network.base is self.base
+                and network.base_version == self.base_version
+            ):
+                groups.setdefault(query, []).append(
+                    (i, person, query, network, key)
+                )
+            else:
+                results[i] = self._probe_uncached(person, query, network, key)
+        for query, items in groups.items():
+            for start in range(0, len(items), _BATCH_GROUP):
+                chunk = items[start : start + _BATCH_GROUP]
+                score_list = session.scores_batch(
+                    query, [network for (_, _, _, network, _) in chunk]
+                )
+                for (i, person, _, network, key), scores in zip(chunk, score_list):
+                    result = self.target.decide_with_order_scored(
+                        person, query, network, scores
+                    )
+                    self.misses += 1
+                    if key is not None:
+                        self._memo.put(key, result)
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _batch_session(self):
+        """The target ranker's delta session over this engine's base, when
+        batched overlay scoring is usable at all."""
+        if self.full_rebuild:
+            return None
+        ranker = getattr(self.target, "ranker", None)
+        if ranker is None or getattr(ranker, "full_rebuild", False):
+            return None
+        try:
+            return ranker._session_for(self.base)
+        except AttributeError:
+            return None
 
     def decide(
         self,

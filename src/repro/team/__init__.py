@@ -9,12 +9,15 @@ connected through shortest paths).
 """
 
 from repro.team.base import Team, TeamFormationSystem
+from repro.team.engine import CoverTeamDeltaSession, TeamDeltaSession
 from repro.team.greedy import CoverTeamFormer
 from repro.team.mst import MstTeamFormer
 
 __all__ = [
+    "CoverTeamDeltaSession",
     "CoverTeamFormer",
     "MstTeamFormer",
     "Team",
+    "TeamDeltaSession",
     "TeamFormationSystem",
 ]

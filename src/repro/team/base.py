@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
 
 
@@ -37,7 +38,49 @@ class Team:
 
 
 class TeamFormationSystem(abc.ABC):
-    """Base class for team formers."""
+    """Base class for team formers.
+
+    Formers with a delta path additionally override :meth:`delta_session`;
+    :meth:`_try_delta_form` then routes :class:`NetworkOverlay` inputs
+    through the cached :class:`~repro.team.engine.TeamDeltaSession` —
+    mirroring how :class:`~repro.search.base.ExpertSearchSystem` dispatches
+    overlay scoring through its ``DeltaSession`` — so membership probes
+    never pay ``materialize()`` on the hot path.  ``full_rebuild = True``
+    is the escape hatch: overlays then take the plain formation path (the
+    parity reference and the engine-off benchmark mode).
+    """
+
+    # Escape hatch: True skips the delta session even for overlay inputs.
+    full_rebuild: bool = False
+
+    def delta_session(self, base: CollaborationNetwork):
+        """Factory for this former's delta-formation session over a frozen
+        ``base`` network; None when the former has no delta path."""
+        return None
+
+    def _session_for(self, base: CollaborationNetwork):
+        """The cached delta session for ``base``, rebuilt on version drift."""
+        session = getattr(self, "_session", None)
+        if session is None or not session.valid_for(base):
+            session = self.delta_session(base)
+            self._session = session
+        return session
+
+    def _try_delta_form(
+        self,
+        query: Query,
+        network: CollaborationNetwork,
+        seed_member: Optional[int] = None,
+        scores=None,
+    ) -> Optional["Team"]:
+        """Delta-formed overlay result, or None when the plain path must
+        run (non-overlay input, ``full_rebuild`` set, or no delta path)."""
+        if self.full_rebuild or not isinstance(network, NetworkOverlay):
+            return None
+        session = self._session_for(network.base)
+        if session is None:
+            return None
+        return session.form(query, network, seed_member=seed_member, scores=scores)
 
     @abc.abstractmethod
     def form(

@@ -11,6 +11,14 @@ ties by the associated ranker's score for the query, then by id.  If no
 frontier candidate covers anything new, the frontier is widened by the best
 connector (highest ranker score adjacent to the team) — this models teams
 that must recruit a broker to reach the missing skill — up to ``max_size``.
+
+Every choice the greedy makes is pinned deterministic — seed selection by
+(score desc, id asc), cover selection by (cover count desc, score desc,
+id asc), connector selection by (score desc, id asc) — so two runs fed the
+same scores produce the same team member-for-member.  That determinism is
+what lets :class:`~repro.team.engine.CoverTeamDeltaSession` answer
+membership probes from the cached base run whenever a perturbation provably
+cannot change any of those comparisons.
 """
 
 from __future__ import annotations
@@ -40,6 +48,12 @@ class CoverTeamFormer(TeamFormationSystem):
         self.max_size = max_size
         self.max_connectors = max_connectors
 
+    def delta_session(self, base: CollaborationNetwork):
+        """The team delta-formation session (see ``repro.team.engine``)."""
+        from repro.team.engine import CoverTeamDeltaSession
+
+        return CoverTeamDeltaSession(self, base)
+
     def form(
         self,
         query: Iterable[str],
@@ -50,20 +64,47 @@ class CoverTeamFormer(TeamFormationSystem):
         query = as_query(query)
         if network.n_people == 0:
             return Team(frozenset(), None, frozenset(), frozenset(query))
+        delta = self._try_delta_form(
+            query, network, seed_member=seed_member, scores=scores
+        )
+        if delta is not None:
+            return delta
+        return self._form_impl(query, network, seed_member=seed_member, scores=scores)
 
+    def _form_impl(
+        self,
+        query,
+        network: CollaborationNetwork,
+        seed_member: Optional[int] = None,
+        scores: Optional[np.ndarray] = None,
+        witness: Optional[Set[int]] = None,
+    ) -> Team:
+        """The greedy run itself — shared verbatim by the plain path and
+        the delta session's base/re-formation runs, so the two can never
+        drift apart.
+
+        ``witness``, when given, collects every person whose skills or
+        score the run consulted (the seed, every frontier examined, and
+        thus every member): the exact support set a perturbation must miss
+        for the cached base team to stay valid.
+        """
         if scores is None:
             scores = self.ranker.scores(query, network)
         scores = np.asarray(scores, dtype=np.float64)
         if seed_member is None:
-            seed_member = int(np.lexsort((np.arange(len(scores)), -scores))[0])
+            seed_member = self._seed_choice(scores)
 
         members: Set[int] = {seed_member}
         build_order: List[int] = [seed_member]
         uncovered: Set[str] = set(query - network.skills(seed_member))
         connectors_used = 0
+        if witness is not None:
+            witness.add(seed_member)
 
         while uncovered and len(members) < self.max_size:
             frontier = self._frontier(network, members)
+            if witness is not None:
+                witness |= frontier
             if not frontier:
                 break
             best = self._best_cover(frontier, uncovered, scores, network)
@@ -92,6 +133,13 @@ class CoverTeamFormer(TeamFormationSystem):
         )
 
     @staticmethod
+    def _seed_choice(scores: np.ndarray) -> int:
+        """The auto-selected main member: score descending, id ascending —
+        one rule shared by the greedy run and the delta session's seed
+        re-derivation check, so the two can never drift."""
+        return int(np.lexsort((np.arange(len(scores)), -scores))[0])
+
+    @staticmethod
     def _frontier(network: CollaborationNetwork, members: Set[int]) -> Set[int]:
         frontier: Set[int] = set()
         for m in members:
@@ -105,7 +153,11 @@ class CoverTeamFormer(TeamFormationSystem):
         scores: np.ndarray,
         network: CollaborationNetwork,
     ) -> Optional[Tuple[int, Set[str]]]:
-        """The frontier node covering the most uncovered terms, or None."""
+        """The frontier node covering the most uncovered terms, or None.
+
+        The key (cover count, score, -id) is unique per person, so the
+        winner is independent of frontier iteration order.
+        """
         best_person: Optional[int] = None
         best_cover: Set[str] = set()
         best_key: Tuple[int, float, int] = (0, -np.inf, 0)

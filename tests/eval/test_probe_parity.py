@@ -1,0 +1,140 @@
+"""The eval harness under the probe-engine parity contract.
+
+``full_rebuild`` is the escape hatch that bypasses every delta session and
+re-scores/re-forms from scratch.  The robustness and sensitivity harnesses
+must produce *identical* tables either way — if they diverge, the eval
+layer is silently measuring the probe engine instead of the explainers.
+"""
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.eval import (
+    measure_robustness,
+    similar_pairs,
+    sweep_beam_size,
+    sweep_tau,
+)
+from repro.eval.harness import Case
+from repro.explain import (
+    BeamConfig,
+    CounterfactualExplainer,
+    ExhaustiveConfig,
+    FactualConfig,
+    FactualExplainer,
+    MembershipTarget,
+    RelevanceTarget,
+)
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import DocumentExpertRanker
+from repro.team import CoverTeamFormer
+
+BEAM = BeamConfig(beam_size=4, n_candidates=3, n_explanations=2, max_size=2)
+FACTUAL = FactualConfig(n_samples=32, max_samples=64, selection_samples=16)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    net = toy_network(n_people=14, seed=6)
+    ranker = DocumentExpertRanker()  # training-free, delta-sessioned
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+    embedding = train_ppmi_embedding(profiles, dim=4, min_count=1)
+    predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+    query = sorted(net.skill_universe())[:3]
+    return net, ranker, embedding, predictor, query
+
+
+def _robustness_report(net, target, embedding, predictor, query, pairs):
+    factual = FactualExplainer(target, FACTUAL)
+    counterfactual = CounterfactualExplainer(target, embedding, predictor, BEAM)
+    return measure_robustness(factual, counterfactual, net, query, pairs)
+
+
+class TestRobustnessParity:
+    def test_relevance_tables_identical(self, stack):
+        net, ranker, embedding, predictor, query = stack
+        target = RelevanceTarget(ranker, k=4)
+        pairs = similar_pairs(net, min_similarity=0.1, max_pairs=3, seed=0)
+        assert pairs, "fixture must yield at least one similar pair"
+
+        ranker.full_rebuild = False
+        engine_on = _robustness_report(net, target, embedding, predictor, query, pairs)
+        ranker.full_rebuild = True
+        try:
+            engine_off = _robustness_report(
+                net, target, embedding, predictor, query, pairs
+            )
+        finally:
+            ranker.full_rebuild = False
+        assert engine_on == engine_off
+
+    def test_membership_tables_identical(self, stack):
+        net, ranker, embedding, predictor, query = stack
+        former = CoverTeamFormer(ranker)
+        target = MembershipTarget(former)
+        pairs = similar_pairs(net, min_similarity=0.1, max_pairs=2, seed=1)
+        assert pairs
+
+        former.full_rebuild = ranker.full_rebuild = False
+        engine_on = _robustness_report(net, target, embedding, predictor, query, pairs)
+        former.full_rebuild = ranker.full_rebuild = True
+        try:
+            engine_off = _robustness_report(
+                net, target, embedding, predictor, query, pairs
+            )
+        finally:
+            former.full_rebuild = ranker.full_rebuild = False
+        assert engine_on == engine_off
+
+
+def _sweep_signature(points):
+    """Everything a sweep measures except wall-clock latency."""
+    return [
+        (p.parameter, p.precision, p.n_explanations, p.size) for p in points
+    ]
+
+
+class TestSensitivityParity:
+    @pytest.fixture(scope="class")
+    def cases(self, stack):
+        net, ranker, _, _, query = stack
+        target = RelevanceTarget(ranker, k=4)
+        results = ranker.evaluate(query, net)
+        return [
+            Case(results.top_k(4)[-1], tuple(query), target, "expert"),
+            Case(results.top_k(4)[0], tuple(query), target, "expert"),
+        ]
+
+    def test_beam_sweep_identical(self, stack, cases):
+        net, ranker, embedding, predictor, _ = stack
+        excfg = ExhaustiveConfig(timeout_seconds=3, n_explanations=2, max_size=2)
+
+        ranker.full_rebuild = False
+        engine_on = sweep_beam_size(
+            cases, net, embedding, predictor, values=(2, 4),
+            base_config=BEAM, exhaustive_config=excfg,
+        )
+        ranker.full_rebuild = True
+        try:
+            engine_off = sweep_beam_size(
+                cases, net, embedding, predictor, values=(2, 4),
+                base_config=BEAM, exhaustive_config=excfg,
+            )
+        finally:
+            ranker.full_rebuild = False
+        assert _sweep_signature(engine_on) == _sweep_signature(engine_off)
+
+    def test_tau_sweep_identical(self, stack, cases):
+        net, ranker, _, _, _ = stack
+
+        ranker.full_rebuild = False
+        engine_on = sweep_tau(cases, net, values=(0.05, 0.1), base_config=FACTUAL)
+        ranker.full_rebuild = True
+        try:
+            engine_off = sweep_tau(
+                cases, net, values=(0.05, 0.1), base_config=FACTUAL
+            )
+        finally:
+            ranker.full_rebuild = False
+        assert _sweep_signature(engine_on) == _sweep_signature(engine_off)

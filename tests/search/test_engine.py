@@ -446,6 +446,157 @@ class TestOverlayChainingAcrossRankers:
         )
 
 
+class TestBatchedProbes:
+    """probe_batch: memo-consistent, chunked through scores_batch, and
+    falling back cleanly when batching cannot serve a state."""
+
+    def test_batch_populates_memo_for_later_probes(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        engine = ProbeEngine(RelevanceTarget(small_gcn_ranker, k=10), net)
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        (batched,) = engine.probe_batch([(0, q, overlay)])
+        assert engine.misses == 1
+        assert engine.probe(0, q, overlay) == batched  # answered from memo
+        assert engine.hits == 1
+
+    def test_batch_answers_repeats_from_memo(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        engine = ProbeEngine(RelevanceTarget(small_gcn_ranker, k=10), net)
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        first = engine.probe(0, q, overlay)
+        results = engine.probe_batch([(0, q, overlay), (1, q, overlay)])
+        assert results[0] == first
+        assert engine.hits == 1  # the repeat state cost no evaluation
+        assert engine.misses == 2
+
+    def test_large_group_chunked_through_scores_batch(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        """A group bigger than _BATCH_GROUP flushes in chunks and every
+        decision matches the sequential path."""
+        net = small_dataset.network
+        target = RelevanceTarget(small_gcn_ranker, k=10)
+        states = []
+        for p in range(12):
+            skill = sorted(net.skills(p))[0] if net.skills(p) else None
+            if skill is None:
+                continue
+            overlay, q = apply_perturbations(
+                net, small_query, [RemoveSkill(p, skill)]
+            )
+            states.append((p, q, overlay))
+        batched = ProbeEngine(target, net).probe_batch(states)
+        seq_engine = ProbeEngine(target, net, memoize=False)
+        assert batched == [seq_engine.probe(*s) for s in states]
+        assert all(ov._mat is None for _, _, ov in states)
+
+    def test_full_rebuild_engine_falls_back_per_state(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        target = RelevanceTarget(small_gcn_ranker, k=10)
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        fast = ProbeEngine(target, net).probe_batch([(0, q, overlay)])
+        slow_engine = ProbeEngine(target, net, memoize=False, full_rebuild=True)
+        assert slow_engine.probe_batch([(0, q, overlay)]) == fast
+
+    def test_sessionless_ranker_falls_back(self, small_dataset, small_query):
+        from repro.search import CoverageExpertRanker
+
+        net = small_dataset.network
+        target = RelevanceTarget(CoverageExpertRanker(), k=10)
+        engine = ProbeEngine(target, net)
+        skill = sorted(net.skills(0))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        results = engine.probe_batch([(0, q, overlay), (0, q, None)])
+        assert engine.misses == 2
+        assert results[0] == engine.probe(0, q, overlay)  # memoized
+
+
+class TestGcnBatchedSession:
+    """scores_batch == per-probe scores == full rebuild, through both the
+    session and the ranker-level dispatch."""
+
+    def test_session_batch_parity(self, small_gcn_ranker, small_dataset, small_query):
+        net = small_dataset.network
+        overlays = []
+        for p in range(6):
+            perts = [AddSkill(p, f"batch-skill-{p}")]
+            u, v = sorted(net.edges())[p]
+            perts.append(RemoveEdge(u, v))
+            overlay, q = apply_perturbations(net, small_query, perts)
+            overlays.append(overlay)
+        small_gcn_ranker.scores(q, overlays[0])  # open the session
+        session = small_gcn_ranker._session
+        batched = session.scores_batch(q, overlays)
+        for overlay, scores in zip(overlays, batched):
+            np.testing.assert_allclose(
+                scores, session.scores(q, overlay), rtol=0, atol=1e-9
+            )
+            assert overlay._mat is None
+        small_gcn_ranker.full_rebuild = True
+        try:
+            for overlay, scores in zip(overlays, batched):
+                np.testing.assert_allclose(
+                    scores,
+                    small_gcn_ranker.scores(q, overlay),
+                    rtol=0,
+                    atol=1e-9,
+                )
+        finally:
+            small_gcn_ranker.full_rebuild = False
+
+    def test_ranker_scores_batch_dispatch(
+        self, small_gcn_ranker, small_dataset, small_query
+    ):
+        net = small_dataset.network
+        skill = sorted(net.skills(0))[0]
+        ov1, q = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
+        ov2, _ = apply_perturbations(net, small_query, [AddSkill(1, "zz")])
+        batched = small_gcn_ranker.scores_batch(q, [ov1, ov2])
+        np.testing.assert_allclose(
+            batched[0], small_gcn_ranker.scores(q, ov1), rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            batched[1], small_gcn_ranker.scores(q, ov2), rtol=0, atol=1e-9
+        )
+        # Plain networks fall back to per-network scoring.
+        plain = small_gcn_ranker.scores_batch(q, [net])
+        np.testing.assert_allclose(
+            plain[0], small_gcn_ranker.scores(q, net), rtol=0, atol=1e-9
+        )
+
+    def test_restricted_forward_counts(self, small_gcn_ranker, small_dataset, small_query, monkeypatch):
+        """With the threshold wide open the session serves restricted
+        forwards; with it closed it serves full forwards — both exact."""
+        import repro.search.engine as engine_mod
+
+        net = small_dataset.network
+        skill = sorted(net.skills(3))[0]
+        overlay, q = apply_perturbations(net, small_query, [RemoveSkill(3, skill)])
+        reference = None
+        small_gcn_ranker.full_rebuild = True
+        try:
+            reference = small_gcn_ranker.scores(q, overlay)
+        finally:
+            small_gcn_ranker.full_rebuild = False
+        for fraction, attr in ((1.0, "restricted_probes"), (0.0, "full_forwards")):
+            monkeypatch.setattr(engine_mod, "_RESTRICT_MAX_FRACTION", fraction)
+            monkeypatch.setattr(engine_mod, "_BATCH_GROUP", 0)
+            session = small_gcn_ranker.delta_session(net)
+            np.testing.assert_allclose(
+                session.scores(q, overlay), reference, rtol=0, atol=1e-9
+            )
+            assert getattr(session, attr) == 1
+
+
 class TestLruEviction:
     """Bounded caches evict one least-recently-used entry at capacity —
     the PR-1 wholesale .clear() caused a cold-cache cliff mid-search."""

@@ -1,0 +1,332 @@
+"""Randomized parity fuzzing: every delta path vs. the full-rebuild reference.
+
+Decorte et al. (*On the Biased Assessment of Expert Finding Systems*) argue
+expert-finding systems need systematic adversarial evaluation, not a
+handful of hand-picked cases.  This suite is that evaluation for the probe
+engine: a seeded RNG generates random networks and random perturbation
+chains — skill add/remove, edge add/remove, chained through ``branch()``
+and including annihilating add-then-remove pairs — and asserts
+
+* delta-session scores == full-rebuild scores to 1e-9 for **all four
+  rankers** (PageRank / HITS / TF-IDF on fresh random networks, the
+  trained GCN on the shared session network),
+* the team delta path returns the **exact same team** (members, seed,
+  build order, coverage) as greedy re-formation on the materialized
+  overlay, and the same membership decisions through ``MembershipTarget``,
+* batched probe flushes decide identically to sequential probes.
+
+Every case is pinned to a deterministic seed, so green stays green.  The
+default run executes a quick subset; the full sweep (500+ chains across
+the parametrization grid) is marked ``slow`` and run in CI with
+``-m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy_network
+from repro.explain import MembershipTarget, RelevanceTarget
+from repro.graph import NetworkOverlay
+from repro.search import (
+    DocumentExpertRanker,
+    HitsExpertRanker,
+    PageRankExpertRanker,
+    ProbeEngine,
+)
+from repro.team import CoverTeamFormer
+
+ATOL = 1e-9
+
+QUICK_SEEDS = range(3)
+SLOW_SEEDS = range(3, 25)
+CHAIN_LENGTHS = (1, 3, 6)
+
+RANKERS = {
+    "pagerank": PageRankExpertRanker,
+    "hits": HitsExpertRanker,
+    "tfidf": DocumentExpertRanker,
+}
+
+
+# ----------------------------------------------------------------------
+# chain generation
+# ----------------------------------------------------------------------
+def _random_chain(net, rng, length):
+    """Apply a random applicable flip chain to a fresh overlay over
+    ``net``; returns the overlay.  Chains mix skill and edge flips, are
+    split across ``branch()`` stages (so flattening is exercised), and
+    sometimes append annihilating add-then-remove pairs."""
+    skills = sorted(net.skill_universe())
+    overlay = NetworkOverlay(net)
+    applied = 0
+    stages = 0
+    while applied < length and stages < 4 * length:
+        stages += 1
+        if rng.random() < 0.3:
+            overlay = overlay.branch()  # chained overlay-over-overlay
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            p = int(rng.integers(0, net.n_people))
+            s = skills[int(rng.integers(0, len(skills)))]
+            done = (
+                overlay.add_skill(p, s)
+                if not overlay.has_skill(p, s)
+                else overlay.remove_skill(p, s)
+            )
+        elif kind == 1:
+            p = int(rng.integers(0, net.n_people))
+            own = sorted(overlay.skills(p))
+            if not own:
+                continue
+            done = overlay.remove_skill(p, own[int(rng.integers(0, len(own)))])
+        elif kind == 2:
+            u = int(rng.integers(0, net.n_people))
+            v = int(rng.integers(0, net.n_people))
+            if u == v:
+                continue
+            done = (
+                overlay.add_edge(u, v)
+                if not overlay.has_edge(u, v)
+                else overlay.remove_edge(u, v)
+            )
+        else:
+            # Annihilating pair: a flip immediately undone; must leave the
+            # delta (and every delta-scored result) untouched.
+            p = int(rng.integers(0, net.n_people))
+            s = f"transient-{stages}"
+            overlay.add_skill(p, s)
+            overlay.remove_skill(p, s)
+            done = True
+        if done:
+            applied += 1
+    return overlay
+
+
+def _random_query(net, rng, n_terms=3):
+    skills = sorted(net.skill_universe())
+    n_terms = min(n_terms, len(skills))
+    picks = rng.choice(len(skills), size=n_terms, replace=False)
+    return frozenset(skills[int(i)] for i in picks)
+
+
+def _reference_scores(ranker, query, overlay):
+    """The from-scratch full-rebuild scores for an overlay state."""
+    ranker.full_rebuild = True
+    try:
+        return ranker.scores(query, overlay)
+    finally:
+        ranker.full_rebuild = False
+
+
+# ----------------------------------------------------------------------
+# ranker score parity
+# ----------------------------------------------------------------------
+class TestRankerScoreFuzz:
+    """Delta scores == full-rebuild scores to 1e-9 on random networks and
+    random chains, for the training-free rankers."""
+
+    @staticmethod
+    def _run_chain(ranker_name, chain_length, seed):
+        rng = np.random.default_rng(10_000 * chain_length + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        ranker = RANKERS[ranker_name]()
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, chain_length)
+        fast = ranker.scores(query, overlay)
+        assert overlay._mat is None, "delta path materialized the overlay"
+        slow = _reference_scores(ranker, query, overlay)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, chain_length, seed):
+        self._run_chain(ranker_name, chain_length, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, chain_length, seed):
+        self._run_chain(ranker_name, chain_length, seed)
+
+
+class TestGcnScoreFuzz:
+    """The trained GCN's delta session (including the batched and the
+    neighborhood-restricted forward) against full rebuild, on random
+    chains over the shared session network."""
+
+    @staticmethod
+    def _run_chain(small_gcn_ranker, net, chain_length, seed):
+        rng = np.random.default_rng(77_000 * chain_length + seed)
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, chain_length)
+        fast = small_gcn_ranker.scores(query, overlay)
+        assert overlay._mat is None
+        slow = _reference_scores(small_gcn_ranker, query, overlay)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+        # The batched multi-probe forward must agree with both.
+        session = small_gcn_ranker._session
+        (batched,) = session.scores_batch(query, [overlay])
+        np.testing.assert_allclose(batched, slow, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, small_gcn_ranker, small_dataset, chain_length, seed):
+        self._run_chain(small_gcn_ranker, small_dataset.network, chain_length, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, small_gcn_ranker, small_dataset, chain_length, seed):
+        self._run_chain(small_gcn_ranker, small_dataset.network, chain_length, seed)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_restricted_forward_forced(
+        self, small_gcn_ranker, small_dataset, seed, monkeypatch
+    ):
+        """With the restriction threshold forced wide open, every flip
+        chain takes the spliced 2-hop path — parity must survive it."""
+        import repro.search.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "_RESTRICT_MAX_FRACTION", 1.0)
+        net = small_dataset.network
+        rng = np.random.default_rng(555 + seed)
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, 3)
+        # A fresh session so the forced threshold is what serves the probe.
+        session = small_gcn_ranker.delta_session(net)
+        fast = session.scores(query, overlay)
+        if overlay.n_flips:
+            assert session.restricted_probes > 0
+        slow = _reference_scores(small_gcn_ranker, query, overlay)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+
+
+# ----------------------------------------------------------------------
+# team-formation delta parity (exact teams, not just scores)
+# ----------------------------------------------------------------------
+class TestTeamFormationFuzz:
+    """The team delta path (cached base run + overlay re-formation) must
+    return the exact team the plain path forms on the materialized
+    overlay, and identical membership decisions."""
+
+    @staticmethod
+    def _run_chain(ranker_name, chain_length, seed):
+        rng = np.random.default_rng(31_000 * chain_length + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        former = CoverTeamFormer(RANKERS[ranker_name]())
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, chain_length)
+        seed_member = (
+            None if rng.random() < 0.5 else int(rng.integers(0, net.n_people))
+        )
+
+        fast = former.form(query, overlay, seed_member=seed_member)
+        assert overlay._mat is None, "team delta path materialized the overlay"
+        # The canonical reference: full_rebuild on former AND ranker, with
+        # the overlay still visible — exactly the score-parity convention,
+        # so base-pinned ranker statistics (TF-IDF idf) stay pinned.
+        former.full_rebuild = True
+        former.ranker.full_rebuild = True
+        try:
+            slow = former.form(query, overlay, seed_member=seed_member)
+        finally:
+            former.full_rebuild = False
+            former.ranker.full_rebuild = False
+
+        assert fast.members == slow.members
+        assert fast.seed == slow.seed
+        assert fast.build_order == slow.build_order
+        assert fast.covered_terms == slow.covered_terms
+        assert fast.uncovered_terms == slow.uncovered_terms
+
+        # Membership probes through the decision target agree too.
+        target = MembershipTarget(former, seed_member=seed_member)
+        person = int(rng.integers(0, net.n_people))
+        fast_decision = target.decide(person, query, overlay)
+        assert fast_decision == (person in slow)
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, chain_length, seed):
+        self._run_chain(ranker_name, chain_length, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, chain_length, seed):
+        self._run_chain(ranker_name, chain_length, seed)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_team_chain(self, small_gcn_ranker, small_dataset, seed):
+        """The paper's actual stack: team formation over the trained GCN."""
+        net = small_dataset.network
+        former = CoverTeamFormer(small_gcn_ranker)
+        rng = np.random.default_rng(909 + seed)
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, 3)
+        fast = former.form(query, overlay, seed_member=None)
+        assert overlay._mat is None
+        former.full_rebuild = True
+        small_gcn_ranker.full_rebuild = True
+        try:
+            slow = former.form(query, overlay, seed_member=None)
+        finally:
+            former.full_rebuild = False
+            small_gcn_ranker.full_rebuild = False
+        assert fast.members == slow.members
+        assert fast.build_order == slow.build_order
+
+
+# ----------------------------------------------------------------------
+# batched probe flushes
+# ----------------------------------------------------------------------
+class TestBatchedProbeFuzz:
+    """``ProbeEngine.probe_batch`` must decide exactly as sequential
+    ``probe`` calls — for relevance and membership targets alike."""
+
+    @staticmethod
+    def _states(net, rng, n_states):
+        out = []
+        for _ in range(n_states):
+            query = _random_query(net, rng)
+            overlay = _random_chain(net, rng, int(rng.integers(1, 5)))
+            person = int(rng.integers(0, net.n_people))
+            out.append((person, query, overlay))
+        return out
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_relevance_batch_matches_sequential(
+        self, small_gcn_ranker, small_dataset, seed
+    ):
+        net = small_dataset.network
+        rng = np.random.default_rng(4242 + seed)
+        states = self._states(net, rng, 12)
+        target = RelevanceTarget(small_gcn_ranker, k=10)
+        batch_engine = ProbeEngine(target, net)
+        seq_engine = ProbeEngine(target, net, memoize=False)
+        batched = batch_engine.probe_batch(states)
+        sequential = [seq_engine.probe(*state) for state in states]
+        assert batched == sequential
+        assert all(ov._mat is None for _, _, ov in states)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_team_membership_batch_matches_sequential(
+        self, small_gcn_ranker, small_dataset, seed
+    ):
+        net = small_dataset.network
+        former = CoverTeamFormer(small_gcn_ranker)
+        rng = np.random.default_rng(8484 + seed)
+        states = self._states(net, rng, 8)
+        target = MembershipTarget(former)
+        batch_engine = ProbeEngine(target, net)
+        seq_engine = ProbeEngine(target, net, memoize=False)
+        batched = batch_engine.probe_batch(states)
+        sequential = [seq_engine.probe(*state) for state in states]
+        assert batched == sequential
+        assert all(ov._mat is None for _, _, ov in states)

@@ -1,0 +1,247 @@
+"""The team-formation delta session: exact team parity, cached-run reuse,
+tie-break pinning, and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.explain import MembershipTarget
+from repro.graph import CollaborationNetwork
+from repro.graph.perturbations import (
+    AddEdge,
+    AddSkill,
+    RemoveEdge,
+    RemoveSkill,
+    apply_perturbations,
+)
+from repro.search import CoverageExpertRanker, ProbeEngine
+from repro.team import CoverTeamDeltaSession, CoverTeamFormer
+
+
+@pytest.fixture
+def net():
+    """A hub-and-spokes network with room for frontier choices: seed 0 is
+    connected to 1..4; 5 hangs off 4; skills are spread so multi-step
+    growth happens."""
+    net = CollaborationNetwork()
+    net.add_person("seed", {"graph"})
+    net.add_person("m1", {"mining"})
+    net.add_person("m2", {"vision"})
+    net.add_person("m3", {"privacy"})
+    net.add_person("m4", {"systems"})
+    net.add_person("far", {"quantum"})
+    for v in (1, 2, 3, 4):
+        net.add_edge(0, v)
+    net.add_edge(4, 5)
+    return net
+
+
+@pytest.fixture
+def former():
+    return CoverTeamFormer(CoverageExpertRanker())
+
+
+def _reference(former, query, overlay, seed_member=None):
+    former.full_rebuild = True
+    former.ranker.full_rebuild = True
+    try:
+        return former.form(query, overlay, seed_member=seed_member)
+    finally:
+        former.full_rebuild = False
+        former.ranker.full_rebuild = False
+
+
+class TestDeltaDispatch:
+    def test_overlay_forms_without_materializing(self, net, former):
+        query = ["graph", "mining", "quantum"]
+        overlay, q = apply_perturbations(net, query, [AddSkill(2, "extra")])
+        team = former.form(q, overlay, seed_member=0)
+        assert overlay._mat is None
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+        assert team.build_order == ref.build_order
+
+    def test_session_cached_and_versioned(self, net, former):
+        query = frozenset(["graph", "mining"])
+        overlay, q = apply_perturbations(net, query, [AddSkill(2, "x")])
+        former.form(q, overlay, seed_member=0)
+        session = former._session
+        assert isinstance(session, CoverTeamDeltaSession)
+        assert session.valid_for(net)
+        overlay2, q2 = apply_perturbations(net, query, [AddSkill(3, "y")])
+        former.form(q2, overlay2, seed_member=0)
+        assert former._session is session  # same base version: reused
+
+        net.add_skill(5, "post-mutation")
+        assert not session.valid_for(net)
+        overlay3, q3 = apply_perturbations(net, query, [AddSkill(1, "z")])
+        former.form(q3, overlay3, seed_member=0)
+        assert former._session is not session  # version drift: rebuilt
+
+    def test_full_rebuild_escape_hatch_skips_session(self, net, former):
+        query = frozenset(["graph", "mining"])
+        overlay, q = apply_perturbations(net, query, [AddSkill(2, "x")])
+        former.full_rebuild = True
+        try:
+            former.form(q, overlay, seed_member=0)
+        finally:
+            former.full_rebuild = False
+        assert getattr(former, "_session", None) is None
+
+    def test_plain_network_skips_session(self, net, former):
+        former.form(["graph", "mining"], net, seed_member=0)
+        assert getattr(former, "_session", None) is None
+
+
+class TestCachedRunFastPath:
+    """Flips that provably miss the base run's support are answered with
+    the cached team; everything else re-forms on the overlay."""
+
+    def test_irrelevant_flip_hits_fast_path(self, net, former):
+        query = frozenset(["graph", "mining"])  # base team: {0, 1}
+        # Flip a non-member's skill far from the run's witnesses' reads:
+        # person 5 is never a frontier of {0, 1}... it *is* reachable only
+        # through 4, which IS a frontier — so flip a non-query skill
+        # influence-free for coverage but visible to scores?  Coverage
+        # ranker scores only move with query-term coverage, so a non-query
+        # skill flip on a frontier person keeps every witness score equal.
+        overlay, q = apply_perturbations(net, query, [AddSkill(5, "irrelevant")])
+        team = former.form(q, overlay, seed_member=0)
+        session = former._session
+        assert session.fast_hits == 1 and session.reforms == 0
+        assert team.members == {0, 1}
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+
+    def test_query_skill_flip_on_witness_reforms(self, net, former):
+        query = frozenset(["graph", "mining"])
+        # Person 2 is in the frontier of the base run: giving them a query
+        # term must re-form (they now cover "mining" too).
+        overlay, q = apply_perturbations(net, query, [AddSkill(2, "mining")])
+        team = former.form(q, overlay, seed_member=0)
+        session = former._session
+        assert session.reforms == 1
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+        assert team.build_order == ref.build_order
+
+    def test_edge_flip_on_member_reforms(self, net, former):
+        query = frozenset(["graph", "quantum"])
+        overlay, q = apply_perturbations(net, query, [AddEdge(0, 5)])
+        team = former.form(q, overlay, seed_member=0)
+        session = former._session
+        assert session.reforms == 1
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+        assert 5 in team.members  # the new edge made quantum reachable
+
+    def test_edge_flip_between_nonmembers_fast_paths(self, net, former):
+        query = frozenset(["graph", "mining"])  # team {0, 1}; 2-3 outside
+        overlay, q = apply_perturbations(net, query, [AddEdge(2, 3)])
+        team = former.form(q, overlay, seed_member=0)
+        session = former._session
+        assert session.fast_hits == 1
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+
+    def test_auto_seed_change_reforms(self, net, former):
+        """Without a pinned seed, a flip that changes the top-ranked person
+        must abandon the cached run."""
+        query = frozenset(["graph", "mining"])
+        # Make person 3 the clear top scorer by handing them both terms.
+        overlay, q = apply_perturbations(
+            net, query, [AddSkill(3, "graph"), AddSkill(3, "mining")]
+        )
+        team = former.form(q, overlay)  # seed_member=None
+        session = former._session
+        assert session.reforms >= 1
+        ref = _reference(former, q, overlay)
+        assert team.seed == ref.seed == 3
+        assert team.members == ref.members
+
+    def test_membership_target_uses_delta_path(self, net, former):
+        query = frozenset(["graph", "mining"])
+        target = MembershipTarget(former, seed_member=0)
+        engine = ProbeEngine(target, net)
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(1, "mining")])
+        decision, _ = engine.probe(1, q, overlay)
+        assert overlay._mat is None, "membership probe materialized the overlay"
+        assert decision == (1 in _reference(former, q, overlay, seed_member=0))
+
+
+class TestTieBreakPinning:
+    """Two candidates covering equally with equal scores: the greedy must
+    pick the lower id on every path — delta, re-formed, and reference —
+    so team parity is exact, not merely score-parity."""
+
+    @pytest.fixture
+    def tie_net(self):
+        net = CollaborationNetwork()
+        net.add_person("seed", {"anchor"})
+        net.add_person("low", {"target"})   # id 1
+        net.add_person("high", {"target"})  # id 2: same cover, same score
+        net.add_person("spare", set())
+        net.add_edge(0, 1)
+        net.add_edge(0, 2)
+        net.add_edge(0, 3)
+        return net
+
+    def test_equal_cover_equal_score_picks_lower_id(self, tie_net, former):
+        team = former.form(["anchor", "target"], tie_net, seed_member=0)
+        assert team.members == {0, 1}
+        assert team.build_order == (0, 1)
+
+    def test_tie_break_identical_on_delta_and_reference_paths(
+        self, tie_net, former
+    ):
+        query = frozenset(["anchor", "target"])
+        # An irrelevant flip keeps the tie intact; both paths must still
+        # resolve it to the lower id.
+        overlay, q = apply_perturbations(tie_net, query, [AddSkill(3, "noise")])
+        fast = former.form(q, overlay, seed_member=0)
+        assert overlay._mat is None
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert fast.members == ref.members == {0, 1}
+        assert fast.build_order == ref.build_order == (0, 1)
+
+    def test_tie_break_after_reform_matches_reference(self, tie_net, former):
+        query = frozenset(["anchor", "target"])
+        # Remove the chosen tied candidate's term: the re-formed run must
+        # now pick the other, identically on both paths.
+        overlay, q = apply_perturbations(tie_net, query, [RemoveSkill(1, "target")])
+        fast = former.form(q, overlay, seed_member=0)
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert fast.members == ref.members == {0, 2}
+        assert fast.build_order == ref.build_order == (0, 2)
+
+
+class TestWitnessSoundness:
+    """Chains of flips that interact with the run's support must never be
+    fast-pathed into a stale team."""
+
+    def test_removing_covering_members_skill(self, net, former):
+        query = frozenset(["graph", "mining"])
+        overlay, q = apply_perturbations(net, query, [RemoveSkill(1, "mining")])
+        team = former.form(q, overlay, seed_member=0)
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+        assert team.uncovered_terms == ref.uncovered_terms
+
+    def test_edge_removal_disconnecting_member(self, net, former):
+        query = frozenset(["graph", "mining"])
+        overlay, q = apply_perturbations(net, query, [RemoveEdge(0, 1)])
+        team = former.form(q, overlay, seed_member=0)
+        ref = _reference(former, q, overlay, seed_member=0)
+        assert team.members == ref.members
+        assert 1 not in team.members
+
+    def test_chained_flips_flattened_once(self, net, former):
+        query = frozenset(["graph", "mining", "vision"])
+        overlay, q = apply_perturbations(net, query, [AddSkill(1, "vision")])
+        branched = overlay.branch()
+        branched.add_skill(2, "transient")
+        branched.remove_skill(2, "transient")  # annihilates
+        team = former.form(q, branched, seed_member=0)
+        flat_team = former.form(q, overlay, seed_member=0)
+        assert team.members == flat_team.members
+        ref = _reference(former, q, branched, seed_member=0)
+        assert team.members == ref.members

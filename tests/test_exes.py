@@ -34,6 +34,31 @@ class TestSystemPassthroughs:
         team = exes.form_team(small_query, seed_member=seed)
         assert seed in team.members
 
+    def test_set_full_rebuild_flips_stack_and_drops_engines(
+        self, exes, small_query
+    ):
+        """The escape-hatch toggle must reach ranker AND former, and must
+        drop cached probe engines — an engine-off run may not be answered
+        from a delta-path memo."""
+        from repro.graph.perturbations import RemoveSkill, apply_perturbations
+
+        engine = exes.probe_engine()
+        skill = sorted(exes.network.skills(0))[0]
+        overlay, q = apply_perturbations(
+            exes.network, small_query, [RemoveSkill(0, skill)]
+        )
+        engine.probe(0, q, overlay)  # populates the delta-path memo
+        try:
+            exes.set_full_rebuild(True)
+            assert exes.ranker.full_rebuild and exes.former.full_rebuild
+            fresh = exes.probe_engine()
+            assert fresh is not engine  # caches dropped with the toggle
+            fresh.probe(0, q, overlay)
+            assert fresh.hits == 0  # evaluated, not answered from memory
+        finally:
+            exes.set_full_rebuild(False)
+        assert not exes.ranker.full_rebuild and not exes.former.full_rebuild
+
 
 class TestFactualFacade:
     def test_explain_skills(self, exes, small_query):
