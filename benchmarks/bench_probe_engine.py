@@ -1,6 +1,6 @@
 """Probe-engine benchmark: per-ranker delta matrix + explanation suites.
 
-Five measurements, all written to ``BENCH_probe_engine.json`` at the repo
+Seven measurements, all written to ``BENCH_probe_engine.json`` at the repo
 root so the perf trajectory is tracked across PRs:
 
 * a **per-ranker probe matrix** — the same random overlay probe states
@@ -11,9 +11,15 @@ root so the perf trajectory is tracked across PRs:
   ``TeamDeltaSession`` (cached base run + overlay re-formation) vs. the
   full path (materialize + ranker rebuild + greedy re-formation), with an
   exact-team parity assertion;
-* a **batched-GCN row** — the same overlay probe states through
-  ``scores_batch`` (stacked multi-probe forwards) vs. per-probe delta
-  scoring, with a 1e-9 parity assertion;
+* a **per-ranker batched matrix** — the same overlay probe states through
+  every ranker's ``scores_batch`` (the GCN's stacked multi-probe
+  forwards, PageRank's stacked power iterations, HITS's vectorized
+  base-set updates, TF-IDF's multi-row sparse gathers) vs. per-probe
+  delta scoring, with a 1e-9 parity assertion per ranker;
+* a **SHAP multi-query row** — factual query explanations through the
+  shared multi-query probe sessions (``SharedProbeContext`` + the
+  two-level score memo) vs. one sequential probe per coalition, with a
+  KernelSHAP == exact-Shapley exactness assertion;
 * the Table 8/10-style **counterfactual suite** (three expert kinds, three
   non-expert kinds), probe engine on vs. off;
 * a **factual (SHAP) suite**, probe engine on vs. off.
@@ -22,9 +28,10 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_probe_engine.py
 
-``--smoke`` runs the per-ranker matrix, the team-formation parity row and
-the batched-GCN row on a tiny network (no GAE, a briefly-trained GCN) and
-writes ``BENCH_probe_engine.smoke.json`` — the CI job uses it to fail
+``--smoke`` runs the per-ranker matrix, the team-formation parity row,
+the per-ranker batched matrix and the SHAP multi-query exactness row on a
+tiny network (no GAE, a briefly-trained GCN) and writes
+``BENCH_probe_engine.smoke.json`` — the CI job uses it to fail
 parity/perf-path regressions before the next full bench run.
 """
 
@@ -365,14 +372,18 @@ def run_team_matrix(former, net, n_states: int = 40, seed: int = 9) -> dict:
     return row
 
 
-def run_gcn_batch_row(gcn, net, n_states: int = 48, seed: int = 21, group: int = 8) -> dict:
-    """Batched multi-probe GCN forwards vs. the per-probe delta path.
+def run_batch_matrix(
+    rankers: dict, net, n_states: int = 48, seed: int = 21, group: int = 8
+) -> dict:
+    """Batched delta forwards vs. the per-probe delta path, per ranker.
 
-    One query, ``n_states`` random overlays: the batched pass stacks each
-    ``group`` of probe feature matrices into a single ``(k·n, d)`` forward
-    through the scorer (block-diagonal propagation operator); the
-    per-probe pass scores the same overlays one forward at a time through
-    the same session.  Parity to 1e-9 on every probe.
+    One query, ``n_states`` random overlays: the batched pass flushes each
+    ``group`` through ``DeltaSession.scores_batch`` (the GCN's stacked
+    block-diagonal forward, PageRank's stacked power iterations, HITS's
+    vectorized base-set updates, TF-IDF's multi-row sparse gathers); the
+    per-probe pass scores the same overlays one at a time.  Each pass runs
+    on a *fresh* session so neither is answered from the other's caches.
+    Parity to 1e-9 on every probe.
     """
     rng = np.random.default_rng(seed)
     skills = sorted(net.skill_universe())
@@ -386,39 +397,146 @@ def run_gcn_batch_row(gcn, net, n_states: int = 48, seed: int = 21, group: int =
             continue
         overlay, q2 = apply_perturbations(net, query, perts)
         states.append((q2, overlay))
+    matrix = {}
+    for name, ranker in rankers.items():
+        ranker.full_rebuild = False
+        warm_q, warm_ov = states[0]
 
-    gcn.full_rebuild = False
-    warm_q, warm_ov = states[0]
-    gcn.scores(warm_q, warm_ov)
-    session = gcn._session
+        session = ranker.delta_session(net)
+        session.scores(warm_q, warm_ov)
+        start = time.perf_counter()
+        per_probe = [session.scores(q, ov) for q, ov in states]
+        per_probe_s = time.perf_counter() - start
 
+        session = ranker.delta_session(net)
+        session.scores(warm_q, warm_ov)
+        start = time.perf_counter()
+        batched = []
+        for i in range(0, len(states), group):
+            chunk = states[i : i + group]
+            chunk_query = chunk[0][0]
+            assert all(q == chunk_query for q, _ in chunk)  # one query per flush
+            batched += session.scores_batch(chunk_query, [ov for _, ov in chunk])
+        batched_s = time.perf_counter() - start
+        assert all(ov._mat is None for _, ov in states)
+
+        parity = max(
+            float(np.abs(a - b).max()) for a, b in zip(per_probe, batched)
+        )
+        assert parity < 1e-9, f"{name} batched: parity violated ({parity})"
+        matrix[name] = {
+            "n_states": len(states),
+            "group_size": group,
+            "per_probe_seconds": per_probe_s,
+            "batched_seconds": batched_s,
+            "speedup": per_probe_s / batched_s,
+            "parity_max_abs_diff": parity,
+        }
+        print(
+            f"  {name + '-batch':>13}: {per_probe_s:.3f}s per-probe -> "
+            f"{batched_s:.3f}s batched x{group} "
+            f"({matrix[name]['speedup']:.1f}x, parity {parity:.1e})",
+            flush=True,
+        )
+    return matrix
+
+
+def run_shap_multi_query_row(
+    ranker, net, k: int = 10, n_persons: int = 4, seed: int = 33
+) -> dict:
+    """Factual SHAP through the shared multi-query probe sessions.
+
+    ``explain_query`` sweeps coalition masks that are *query subsets* over
+    a fixed network — the exact shape ``SharedProbeContext`` serves: one
+    pinned (empty) overlay, many queries, patches computed once, score
+    vectors memoized across persons.  The shared pass explains
+    ``n_persons`` people through one engine; the per-probe pass gives
+    each person a *fresh* engine and strips the bulk (prefetch) path, so
+    every coalition resolves as one sequential probe — no shared flushes
+    and no cross-person reuse.  (Within one person's sweep the decision
+    memo still dedupes repeated coalitions, exactly as PR 3's engine did;
+    the query-factual workload never re-scores a state the decision memo
+    would not already have caught, so this is an honest stand-in for the
+    pre-shared-session path.)  Exactness gate: KernelSHAP with a
+    full-enumeration budget equals exhaustive Shapley enumeration through
+    the shared machinery.
+    """
+    from repro.explain import FactualExplainer, RelevanceTarget
+    from repro.explain.factual import FactualConfig as _FactualConfig
+    from repro.explain.features import QueryTermFeature
+    from repro.explain.shap import exact_shap, kernel_shap
+
+    rng = np.random.default_rng(seed)
+    skills = sorted(net.skill_universe())
+    query = frozenset(
+        skills[i] for i in rng.choice(len(skills), size=4, replace=False)
+    )
+    target = RelevanceTarget(ranker, k=k)
+    persons = [int(p) for p in ranker.rank(query, net)[: 2 * n_persons : 2]]
+    config = _FactualConfig(n_samples=96, max_samples=192)
+
+    class _NoPrefetch:
+        """Strips the bulk path, forcing one sequential probe per mask."""
+
+        def __init__(self, fn):
+            self._fn = fn
+
+        def __call__(self, mask):
+            return self._fn(mask)
+
+    # Per-probe pass (PR-3 semantics): fresh engine per person, no flushes.
     start = time.perf_counter()
-    per_probe = [session.scores(q, ov) for q, ov in states]
+    per_probe_results = []
+    for person in persons:
+        engine = ProbeEngine(target, net)
+        explainer = FactualExplainer(target, config, engine=engine)
+        features = [QueryTermFeature(t) for t in sorted(query)]
+        fn = _NoPrefetch(explainer._value_function(person, query, net, features))
+        per_probe_results.append(explainer._shap.explain(fn, len(features)))
     per_probe_s = time.perf_counter() - start
 
+    # Shared pass: one engine, multi-query flushes + two-level score memo.
+    shared_engine = ProbeEngine(target, net)
+    shared_explainer = FactualExplainer(target, config, engine=shared_engine)
     start = time.perf_counter()
-    batched = []
-    for i in range(0, len(states), group):
-        chunk = states[i : i + group]
-        chunk_query = chunk[0][0]
-        assert all(q == chunk_query for q, _ in chunk)  # one query per flush
-        batched += session.scores_batch(chunk_query, [ov for _, ov in chunk])
-    batched_s = time.perf_counter() - start
-    assert all(ov._mat is None for _, ov in states)
+    shared_results = [
+        shared_explainer.explain_query(person, query, net) for person in persons
+    ]
+    shared_s = time.perf_counter() - start
 
-    parity = max(float(np.abs(a - b).max()) for a, b in zip(per_probe, batched))
-    assert parity < 1e-9, f"gcn batched: parity violated ({parity})"
+    shap_parity = max(
+        float(np.abs(np.array([a.value for a in shared.attributions]) - pp.values).max())
+        for shared, pp in zip(shared_results, per_probe_results)
+    )
+    assert shap_parity < 1e-9, f"shared SHAP drifted from per-probe ({shap_parity})"
+
+    # Exactness: kernel == exact through the shared context (full budget,
+    # no L1 sparsification).
+    features = [QueryTermFeature(t) for t in sorted(query)]
+    fn = shared_explainer._value_function(persons[0], query, net, features)
+    m = len(features)
+    exact = exact_shap(fn, m)
+    kernel = kernel_shap(fn, m, n_samples=2 ** m + 2 * m, l1_regularization=None)
+    kernel_exact = float(np.abs(kernel.values - exact.values).max())
+    assert kernel_exact < 1e-6, f"kernel != exact through shared context ({kernel_exact})"
+    assert exact.check_efficiency() and kernel.check_efficiency()
+
     row = {
-        "n_states": len(states),
-        "group_size": group,
+        "n_persons": len(persons),
+        "n_features": m,
         "per_probe_seconds": per_probe_s,
-        "batched_seconds": batched_s,
-        "speedup": per_probe_s / batched_s,
-        "parity_max_abs_diff": parity,
+        "shared_seconds": shared_s,
+        "speedup": per_probe_s / shared_s,
+        "multi_flushes": shared_engine.multi_flushes,
+        "score_memo_hits": shared_engine.score_hits,
+        "shap_parity_max_abs_diff": shap_parity,
+        "kernel_exact_max_abs_diff": kernel_exact,
     }
     print(
-        f"  {'gcn-batch':>9}: {per_probe_s:.3f}s per-probe -> {batched_s:.3f}s "
-        f"batched x{group} ({row['speedup']:.1f}x, parity {parity:.1e})",
+        f"  {'shap-multi':>13}: {per_probe_s:.3f}s per-probe -> {shared_s:.3f}s "
+        f"shared ({row['speedup']:.1f}x, {row['multi_flushes']} multi flushes, "
+        f"{row['score_memo_hits']} score-memo hits, kernel==exact to "
+        f"{kernel_exact:.1e})",
         flush=True,
     )
     return row
@@ -449,7 +567,8 @@ def run_smoke() -> dict:
     )
     matrix = run_ranker_matrix(rankers, net, n_states=25, seed=5)
     team_row = run_team_matrix(CoverTeamFormer(gcn), net, n_states=15, seed=9)
-    batch_row = run_gcn_batch_row(gcn, net, n_states=24, seed=21)
+    batch_matrix = run_batch_matrix(rankers, net, n_states=24, seed=21)
+    shap_row = run_shap_multi_query_row(gcn, net, n_persons=2)
     report = {
         "mode": "smoke",
         "network": {
@@ -459,7 +578,9 @@ def run_smoke() -> dict:
         },
         "rankers": matrix,
         "team_formation": team_row,
-        "gcn_batched": batch_row,
+        "batched": batch_matrix,
+        "gcn_batched": batch_matrix["gcn"],
+        "shap_multi_query": shap_row,
     }
     out = REPO_ROOT / "BENCH_probe_engine.smoke.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -489,8 +610,11 @@ def main() -> dict:
     print("team-formation probe matrix (delta vs full path) ...", flush=True)
     team_row = run_team_matrix(exes.former, net)
 
-    print("batched multi-probe GCN forwards (vs per-probe delta) ...", flush=True)
-    batch_row = run_gcn_batch_row(exes.ranker, net)
+    print("batched delta forwards, all rankers (vs per-probe delta) ...", flush=True)
+    batch_matrix = run_batch_matrix({"gcn": exes.ranker, **baseline_rankers()}, net)
+
+    print("shared multi-query SHAP sessions (vs per-probe sweeps) ...", flush=True)
+    shap_row = run_shap_multi_query_row(exes.ranker, net)
 
     print("counterfactual suite, engine OFF (seed path) ...", flush=True)
     off_s, off_probes, off_results = run_counterfactual_suite(
@@ -532,7 +656,9 @@ def main() -> dict:
         "parity_max_abs_diff": max_diff,
         "rankers": ranker_matrix,
         "team_formation": team_row,
-        "gcn_batched": batch_row,
+        "batched": batch_matrix,
+        "gcn_batched": batch_matrix["gcn"],
+        "shap_multi_query": shap_row,
         "counterfactual": {
             "engine_off_seconds": off_s,
             "engine_on_seconds": on_s,

@@ -133,15 +133,22 @@ class ExES:
     ) -> ProbeEngine:
         """The shared, memoizing probe engine for the chosen target.
 
-        Overlay probes that miss the memo reach the ranker as overlays,
-        so any ranker with a :class:`~repro.search.engine.DeltaSession`
-        (all four shipped systems) serves them in O(Δ), never through
-        ``materialize()`` — and team-membership probes additionally reach
-        the former's :class:`~repro.team.engine.TeamDeltaSession`, which
-        answers from the cached base formation run when the flips provably
-        cannot change it and re-forms greedily on the overlay otherwise.
-        Probe groups are flushed through the ranker's batched delta path
-        (:meth:`ProbeEngine.probe_batch`)."""
+        Overlay probes that miss the two-level memo (decisions keyed per
+        person, score vectors keyed per ``(query, flips)`` so sibling
+        explainers and other people's SHAP sweeps reuse each other's
+        forwards) reach the ranker as overlays, so any ranker with a
+        :class:`~repro.search.engine.DeltaSession` (all four shipped
+        systems) serves them in O(Δ), never through ``materialize()`` —
+        and team-membership probes additionally reach the former's
+        :class:`~repro.team.engine.TeamDeltaSession`, which answers from
+        the cached base formation run when the flips provably cannot
+        change it and re-forms greedily on the overlay otherwise.  Probe
+        groups are flushed through the ranker's batched delta paths
+        (:meth:`ProbeEngine.probe_batch`): same-query groups through
+        :meth:`~repro.search.engine.DeltaSession.scores_batch`, and
+        same-overlay multi-query sweeps (SHAP coalition masks) through
+        one :class:`~repro.search.engine.SharedProbeContext` with the
+        overlay's patches computed once."""
         key = (team, seed_member)
         engine = self._engines.get(key)
         if engine is None or engine.base is not self.network:

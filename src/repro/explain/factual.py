@@ -56,6 +56,56 @@ class FactualConfig:
             raise ValueError(f"tau must be non-negative, got {self.tau}")
 
 
+class _SharedMaskValueFunction:
+    """The ExES value function: mask -> decision bit, probe-engine backed.
+
+    Every coalition resolves to a probe state ``(person, q', G')`` via
+    :func:`~repro.explain.features.masked_inputs` and is decided through
+    one shared :class:`~repro.search.engine.ProbeEngine`, so identical
+    masked states — across coalitions, selection vs. final SHAP stages, or
+    sibling explainers sharing the engine — are scored once.  ``prefetch``
+    flushes a whole mask set through :meth:`ProbeEngine.probe_batch`,
+    which routes same-overlay/many-query sweeps through the ranker's
+    :class:`~repro.search.engine.SharedProbeContext` and same-query/many-
+    overlay sweeps through its batched delta forwards.
+    """
+
+    __slots__ = ("_engine", "_person", "_query", "_network", "_features")
+
+    def __init__(self, engine, person, query, network, features) -> None:
+        self._engine = engine
+        self._person = person
+        self._query = query
+        self._network = network
+        self._features = features
+
+    def _state(self, mask: np.ndarray):
+        net2, q2 = masked_inputs(self._features, mask, self._query, self._network)
+        return q2, net2
+
+    def __call__(self, mask: np.ndarray) -> float:
+        q2, net2 = self._state(mask)
+        return 1.0 if self._engine.decide(self._person, q2, net2) else 0.0
+
+    def prefetch(self, masks) -> None:
+        """Evaluate many coalitions through one batched probe flush; the
+        results land in the engine's memos, so the per-mask ``__call__``
+        that follows is answered from memory.
+
+        A no-op when the engine cannot memoize (``memoize=False`` or the
+        ``full_rebuild`` reference path): without a memo to land in, a
+        bulk pass would just evaluate every coalition twice.
+        """
+        if not self._engine.memoize or self._engine.full_rebuild:
+            return
+        self._engine.probe_batch(
+            [
+                (self._person, q2, net2)
+                for q2, net2 in (self._state(mask) for mask in masks)
+            ]
+        )
+
+
 class FactualExplainer:
     """SHAP-based factual explanations of one decision target."""
 
@@ -105,14 +155,18 @@ class FactualExplainer:
         network: CollaborationNetwork,
         features: Sequence[Feature],
     ):
-        """f(mask) = the decision bit with masked-off features removed."""
-        engine = self._engine_for(network)
+        """f(mask) = the decision bit with masked-off features removed.
 
-        def fn(mask: np.ndarray) -> float:
-            net2, q2 = masked_inputs(features, mask, query, network)
-            return 1.0 if engine.decide(person, q2, net2) else 0.0
-
-        return fn
+        The returned callable carries a ``prefetch`` bulk path: the SHAP
+        estimators announce their whole coalition sweep up front, and the
+        engine answers it through shared multi-query probe sessions
+        (query-term masks sweep many query subsets over one pinned
+        overlay) and batched delta forwards (skill/edge masks sweep many
+        overlays under one query) instead of one probe per coalition.
+        """
+        return _SharedMaskValueFunction(
+            self._engine_for(network), person, query, network, features
+        )
 
     def _run_shap(
         self,

@@ -63,7 +63,16 @@ class ShapResult:
 
 
 class _CachingValueFunction:
-    """Memoizes f(mask) by mask bytes and counts unique evaluations."""
+    """Memoizes f(mask) by an immutable mask digest; counts unique evals.
+
+    The digest is taken from a *private copy* of the caller's mask, and
+    that same copy is what reaches the wrapped function — estimators reuse
+    and mutate one mask buffer across coalitions (``exact_shap`` flips a
+    bit in place between the with/without evaluations), so handing the
+    caller's live array to a value function that retains it (the shared
+    probe-context prefetch path does) would let a later in-place edit
+    silently poison every retained reference.
+    """
 
     def __init__(self, fn: ValueFunction, n_features: int) -> None:
         self._fn = fn
@@ -71,9 +80,14 @@ class _CachingValueFunction:
         self._cache: Dict[bytes, float] = {}
         self.n_evaluations = 0
 
+    @staticmethod
+    def _frozen(mask: np.ndarray) -> Tuple[bytes, np.ndarray]:
+        """(immutable digest, detached copy) of one mask."""
+        arr = np.array(mask, dtype=bool, copy=True)
+        return arr.tobytes(), arr
+
     def __call__(self, mask: np.ndarray) -> float:
-        arr = np.asarray(mask, dtype=bool)
-        key = arr.tobytes()
+        key, arr = self._frozen(mask)
         cached = self._cache.get(key)
         if cached is None:
             cached = float(self._fn(arr))
@@ -81,12 +95,38 @@ class _CachingValueFunction:
             self.n_evaluations += 1
         return cached
 
+    def prefetch(self, masks) -> None:
+        """Hand the not-yet-cached masks to the wrapped function's bulk
+        path (when it has one), so a whole coalition sweep is evaluated
+        through batched/multi-query probe flushes instead of one probe per
+        ``__call__``.  A no-op for plain value functions."""
+        bulk = getattr(self._fn, "prefetch", None)
+        if bulk is None:
+            return
+        fresh = []
+        seen = set()
+        for mask in masks:
+            key, arr = self._frozen(mask)
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                fresh.append(arr)
+        if fresh:
+            bulk(fresh)
+
 
 def exact_shap(fn: ValueFunction, n_features: int) -> ShapResult:
     """Exact Shapley values by coalition enumeration (O(2^M) evaluations)."""
     if n_features < 1:
         raise ValueError("need at least one feature")
     f = _CachingValueFunction(fn, n_features)
+    if n_features <= 12:
+        # Exact enumeration touches every coalition anyway; announcing the
+        # full 2^M sweep up front lets a shared-session value function
+        # answer it with batched/multi-query probe flushes.
+        f.prefetch(
+            np.array(bits, dtype=bool)
+            for bits in itertools.product((False, True), repeat=n_features)
+        )
     base = f(np.zeros(n_features, dtype=bool))
     full = f(np.ones(n_features, dtype=bool))
     values = np.zeros(n_features)
@@ -311,6 +351,7 @@ def kernel_shap(
 
     z = np.asarray(masks, dtype=np.float64)
     w = np.asarray(weights, dtype=np.float64)
+    f.prefetch(masks)  # whole coalition set in batched probe flushes
     y = np.array([f(mask) for mask in masks]) - base
     delta = full - base
 

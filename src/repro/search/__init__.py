@@ -28,6 +28,7 @@ from repro.search.engine import (
     PageRankDeltaSession,
     ProbeEngine,
     ProbeSession,
+    SharedProbeContext,
     TfidfDeltaSession,
 )
 from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
@@ -51,5 +52,6 @@ __all__ = [
     "ProbeSession",
     "RankedResults",
     "RelevanceJudge",
+    "SharedProbeContext",
     "TfidfDeltaSession",
 ]

@@ -37,11 +37,28 @@ probe.  This module makes probes O(Δ) for **all four shipped rankers**:
   Contract: session scores match the ranker's from-scratch ``full_rebuild``
   scores to 1e-9 (verified per ranker in ``tests/search/test_engine.py``).
 
+* :class:`SharedProbeContext` — one overlay's patches pinned against a
+  session, answering ``scores`` for *many queries*.  SHAP value functions
+  evaluate the same perturbed network under hundreds of query subsets
+  (factual query explanations mask query terms while the network stays
+  fixed), so the overlay-side work — patched propagation operators,
+  transition matrices, profile rows — is computed once per flip set and
+  shared across every query probed against it.  Sessions back this with
+  per-flip-set patch caches and ``scores_multi`` (the multi-query
+  counterpart of ``scores_batch``): the GCN stacks per-query feature
+  matrices over *one* patched operator, PageRank advances stacked
+  warm-started power iterations through shared ``(n, k)`` spmm kernels,
+  HITS reuses patched adjacency and memoized authority runs, and TF-IDF
+  multiplies its patched profile rows by all query vectors in one sparse
+  product.
+
 * :class:`ProbeEngine` — cross-explainer memoization of decision probes,
-  keyed on ``(person, query, frozenset(flips))``.  Beam search, SHAP value
-  functions, and ``link_removal_candidates`` repeatedly score identical
-  states (e.g. every single-edge-removal probed during candidate selection
-  is re-probed in beam round one); the engine answers repeats from memory.
+  keyed on ``(person, query, frozenset(flips))``, plus a second score-level
+  memo keyed on ``(query, flips, base version)``: the ranker's score
+  vector for a probed state is person-independent, so once any explainer
+  scores a ``(query subset, overlay)`` state, every other explainer (or
+  another person's SHAP sweep over the same masks) reuses the vector and
+  pays only the O(n log n) decision, never the forward.
   ``full_rebuild=True`` is the escape hatch: overlays are materialized into
   real networks before probing, restoring the seed code path exactly —
   including seed *behaviour* quirks like the TF-IDF ranker's per-call idf
@@ -60,7 +77,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -71,6 +88,9 @@ from repro.graph.perturbations import Query, as_query
 
 _MAX_QUERY_CACHE = 512  # per-session distinct base-query states
 _MAX_MEMO = 200_000  # per-engine memoized probe outcomes
+_MAX_SCORE_MEMO = 2_048  # per-engine memoized score *vectors* (n floats each)
+_MAX_PATCH_CACHE = 128  # per-session patched operators, keyed by flip set
+_MAX_SEMANTIC_CACHE = 4_096  # per-session solved subproblems (rows/solutions)
 _BATCH_GROUP = 8  # overlays per batched GCN forward (bounds block size)
 # Neighborhood-restricted GCN forwards only pay off while the receptive
 # field stays well below the whole graph; past this fraction the full
@@ -179,6 +199,12 @@ def _edge_flip_delta(
     )
 
 
+def _edge_key(edge_flips: Dict[Tuple[int, int], bool]) -> FrozenSet:
+    """Hashable identity of an overlay's edge-flip set — the cache key for
+    every adjacency-side patch a session computes."""
+    return frozenset(edge_flips.items())
+
+
 class DeltaSession(abc.ABC):
     """Per-(ranker, frozen base network) delta-scoring cache.
 
@@ -211,10 +237,65 @@ class DeltaSession(abc.ABC):
         """Scores for a *group* of overlays over the same base and query.
 
         The default just loops :meth:`scores`; sessions whose scorer
-        benefits from batching (the GCN's stacked multi-probe forward)
-        override this, and :meth:`ProbeEngine.probe_batch` flushes probe
-        groups through it."""
+        benefits from batching (the GCN's stacked multi-probe forward, the
+        baselines' shared-operator kernels) override this, and
+        :meth:`ProbeEngine.probe_batch` flushes probe groups through it."""
         return [self.scores(query, overlay) for overlay in overlays]
+
+    def scores_multi(
+        self, queries: Sequence[Query], overlay: NetworkOverlay
+    ) -> List[np.ndarray]:
+        """Scores for *many queries* against one pinned overlay.
+
+        The multi-query counterpart of :meth:`scores_batch`: the overlay's
+        feature/adjacency patches are computed once and every query is
+        answered against them.  The default loops :meth:`scores`, which
+        already shares the per-flip-set patch caches; sessions with a
+        genuinely stacked multi-query kernel override this."""
+        return [self.scores(query, overlay) for query in queries]
+
+    def shared_context(self, overlay: NetworkOverlay) -> "SharedProbeContext":
+        """A :class:`SharedProbeContext` pinning ``overlay`` to this
+        session — the handle multi-query probe consumers (SHAP value
+        functions) hold while sweeping query subsets."""
+        return SharedProbeContext(self, overlay)
+
+
+class SharedProbeContext:
+    """One overlay's patches pinned against a delta session, answering
+    ``scores`` for many queries.
+
+    KernelSHAP value functions evaluate the *same* perturbed network under
+    hundreds of query subsets (factual query explanations mask query terms
+    while the network stays fixed).  A context fixes the overlay once, so
+    the overlay-side work — the patched propagation operator, transition
+    matrix, or profile rows — is derived a single time (through the
+    session's per-flip-set patch caches) and every query probes against
+    it; :meth:`scores_multi` additionally stacks the queries through the
+    session's multi-query kernel where one exists.
+    """
+
+    __slots__ = ("session", "overlay")
+
+    def __init__(self, session: DeltaSession, overlay: NetworkOverlay) -> None:
+        self.session = session
+        self.overlay = overlay
+
+    def valid(self) -> bool:
+        """Usable while the session still serves the overlay's base."""
+        return self.session.valid_for(self.session.base)
+
+    def scores(self, query: Query) -> np.ndarray:
+        return self.session.scores(query, self.overlay)
+
+    def scores_multi(self, queries: Sequence[Query]) -> List[np.ndarray]:
+        return self.session.scores_multi(queries, self.overlay)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedProbeContext(session={type(self.session).__name__}, "
+            f"flips={self.overlay.n_flips})"
+        )
 
 
 class GcnDeltaSession(DeltaSession):
@@ -242,6 +323,10 @@ class GcnDeltaSession(DeltaSession):
         # intermediates, kept so restricted probes splice instead of
         # recomputing (see ``_restricted_scores``)
         self._fwd_cache = _LruCache(_MAX_QUERY_CACHE)
+        # edge-flip set -> patched normalized adjacency: multi-query probe
+        # sweeps re-score one overlay under many query subsets, and the
+        # renormalization is the overlay-side cost worth paying once.
+        self._adj_cache = _LruCache(_MAX_PATCH_CACHE)
         self.restricted_probes = 0  # observability: neighborhood-restricted
         self.full_forwards = 0  # ... vs full patched forwards served
 
@@ -253,6 +338,11 @@ class GcnDeltaSession(DeltaSession):
     # probing
     # ------------------------------------------------------------------
     def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        if not query:
+            # The ranker's plain path short-circuits empty queries to zero
+            # scores before any forward; direct session consumers (shared
+            # contexts, multi-query flushes) must see the same semantics.
+            return np.zeros(self.base.n_people)
         if not overlay.skill_flips() and not overlay.edge_flips():
             return self._base_forward(query)[2].copy()
         restricted = self._try_restricted(query, overlay)
@@ -272,7 +362,7 @@ class GcnDeltaSession(DeltaSession):
         every probe at once — amortizing the per-call dense/sparse kernel
         overhead that dominates per-probe forwards."""
         overlays = list(overlays)
-        if len(overlays) <= 1:
+        if len(overlays) <= 1 or not query:
             return [self.scores(query, ov) for ov in overlays]
         # On large graphs, overlays whose receptive field qualifies for
         # the restricted splice are cheaper than their share of a stacked
@@ -305,6 +395,57 @@ class GcnDeltaSession(DeltaSession):
                 results[i] = out[j * n : (j + 1) * n].copy()
             self.full_forwards += len(stacked_idx)
         return results  # type: ignore[return-value]
+
+    def scores_multi(
+        self, queries: Sequence[Query], overlay: NetworkOverlay
+    ) -> List[np.ndarray]:
+        """Stacked multi-*query* forward over one pinned overlay: the
+        patched propagation operator is derived once (and cached per edge
+        flip set), each query contributes its patched feature matrix, and
+        :data:`_BATCH_GROUP`-sized groups run as one block-diagonal forward
+        — the same stacking as :meth:`scores_batch` with the roles of
+        query and overlay swapped."""
+        queries = list(queries)
+        if len(queries) <= 1:
+            return [self.scores(q, overlay) for q in queries]
+        skill_flips = overlay.skill_flips()
+        edge_flips = overlay.edge_flips()
+        if not skill_flips and not edge_flips:
+            # Pure query sweep over the base network: every query is a
+            # cached base forward (and stays cached for later splices).
+            return [self.scores(q, overlay) for q in queries]
+        adj = (
+            self._adj_norm if not edge_flips else self._patched_adjacency(edge_flips)
+        ).tocsr()
+        n = self.base.n_people
+        results: List[np.ndarray] = []
+        # Empty query subsets short-circuit to zeros exactly like the
+        # ranker's plain path; only distinct real queries join the
+        # stacked forward.
+        nonempty = list(dict.fromkeys(q for q in queries if q))
+        scored: Dict[Query, np.ndarray] = {}
+        for start in range(0, len(nonempty), _BATCH_GROUP):
+            chunk = nonempty[start : start + _BATCH_GROUP]
+            if len(chunk) == 1:
+                scored[chunk[0]] = self.scores(chunk[0], overlay)
+                continue
+            feats_blocks = []
+            for q in chunk:
+                feats, q_vec = self._base_features(q)
+                if skill_flips:
+                    feats = self._patched_features(
+                        feats, q_vec, q, overlay, skill_flips
+                    )
+                feats_blocks.append(feats)
+            stacked = np.concatenate(feats_blocks, axis=0)
+            big_adj = _block_diag_csr([adj] * len(chunk))
+            out = self.ranker._scorer.forward(stacked, big_adj).numpy()
+            for j, q in enumerate(chunk):
+                scored[q] = out[j * n : (j + 1) * n].copy()
+            self.full_forwards += len(chunk)
+        for q in queries:
+            results.append(scored[q].copy() if q else np.zeros(n))
+        return results
 
     def _try_restricted(
         self, query: Query, overlay: NetworkOverlay
@@ -480,7 +621,11 @@ class GcnDeltaSession(DeltaSession):
             else:
                 centroid = np.zeros(dim)
             feats[p, :dim] = centroid
-            feats[p, dim] = len(overlay.skills(p) & query) / n_terms
+            # Empty queries keep a zero match fraction, matching the plain
+            # path's ``if query:`` guard in ``_node_features``.
+            feats[p, dim] = (
+                len(overlay.skills(p) & query) / n_terms if n_terms else 0.0
+            )
             norm = float(np.linalg.norm(centroid))
             feats[p, dim + 1] = float(centroid @ q_vec) / max(norm, 1e-12)
         return feats
@@ -488,6 +633,10 @@ class GcnDeltaSession(DeltaSession):
     def _patched_adjacency(
         self, edge_flips: Dict[Tuple[int, int], bool]
     ) -> sp.spmatrix:
+        key = _edge_key(edge_flips)
+        hit = self._adj_cache.get(key)
+        if hit is not None:
+            return hit
         n = self.base.n_people
         deg = self._deg.copy()
         for (u, v), added in edge_flips.items():
@@ -495,7 +644,9 @@ class GcnDeltaSession(DeltaSession):
             deg[u] += w
             deg[v] += w
         delta = _edge_flip_delta(edge_flips, n)
-        return _normalize(self._a_hat + delta, deg)
+        patched = _normalize(self._a_hat + delta, deg)
+        self._adj_cache.put(key, patched)
+        return patched
 
 
 #: Backwards-compatible name from PR 1, when the GCN ranker was the only
@@ -523,6 +674,33 @@ class PageRankDeltaSession(DeltaSession):
         self._out_degree = np.asarray(self._adj.sum(axis=1)).ravel()
         # query -> (restart counts, base solution or None, converged)
         self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+        # edge-flip set -> (patched adjacency, patched out-degrees): shared
+        # across every query probed against the same overlay.
+        self._op_cache = _LruCache(_MAX_PATCH_CACHE)
+        # (edge-flip set, |q|, restart counts) -> converged solution.  The
+        # walk depends only on (restart, operator), so SHAP masks that
+        # flip skills *outside* the query — or re-probe the same state for
+        # another person — resolve without a single power iteration.
+        self._solution_cache = _LruCache(_MAX_SEMANTIC_CACHE)
+
+    def _patched_operator(
+        self, edge_flips: Dict[Tuple[int, int], bool]
+    ) -> Tuple[sp.csr_matrix, np.ndarray]:
+        """(adjacency, out-degrees) with the edge flips applied, cached
+        per flip set."""
+        key = _edge_key(edge_flips)
+        hit = self._op_cache.get(key)
+        if hit is None:
+            n = self.base.n_people
+            adj = (self._adj + _edge_flip_delta(edge_flips, n)).tocsr()
+            out_degree = self._out_degree.copy()
+            for (u, v), added in edge_flips.items():
+                w = 1.0 if added else -1.0
+                out_degree[u] += w
+                out_degree[v] += w
+            hit = (adj, out_degree)
+            self._op_cache.put(key, hit)
+        return hit
 
     @staticmethod
     def _restart_from_counts(
@@ -556,39 +734,143 @@ class PageRankDeltaSession(DeltaSession):
             self._query_cache.put(query, hit)
         return hit
 
-    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
-        n = self.base.n_people
-        if n == 0:
-            return np.zeros(0)
-        counts, base_solution, base_converged = self._base_state(query)
-        skill_flips = overlay.skill_flips()
+    def _probe_counts(
+        self, query: Query, overlay: NetworkOverlay, counts: np.ndarray
+    ) -> Tuple[np.ndarray, bool]:
+        """(match counts with the overlay's query-term skill flips applied,
+        whether any flip was relevant)."""
         relevant = [
-            (p, added) for (p, s), added in skill_flips.items() if s in query
+            (p, added)
+            for (p, s), added in overlay.skill_flips().items()
+            if s in query
         ]
-        if relevant:
-            counts = counts.copy()
-            for p, added in relevant:
-                counts[p] += 1.0 if added else -1.0
+        if not relevant:
+            return counts, False
+        counts = counts.copy()
+        for p, added in relevant:
+            counts[p] += 1.0 if added else -1.0
+        return counts, True
+
+    def _resolve(
+        self, query: Query, overlay: NetworkOverlay, ekey: FrozenSet
+    ) -> Tuple[Optional[np.ndarray], Optional[Tuple]]:
+        """(result, pending walk) for one probe.  ``result`` is the final
+        score vector when the probe resolves without iterating (no
+        matching restart, untouched base state, or a converged-solution
+        memo hit); otherwise ``pending = (restart, warm start, memo key)``
+        describes the power iteration still to run.  The single resolution
+        pipeline behind ``scores``/``scores_batch``/``scores_multi`` — the
+        sequential and stacked paths must never drift apart."""
+        base_counts, base_solution, base_converged = self._base_state(query)
+        counts, relevant = self._probe_counts(query, overlay, base_counts)
         restart = self._restart_from_counts(counts, len(query))
         if restart is None:
-            return np.zeros(n)
-        edge_flips = overlay.edge_flips()
-        if not edge_flips:
-            if not relevant and base_solution is not None:
-                return base_solution.copy()
+            return np.zeros(self.base.n_people), None
+        if not ekey and not relevant and base_solution is not None:
+            return base_solution.copy(), None
+        skey = (ekey, len(query), counts.tobytes())
+        cached = self._solution_cache.get(skey)
+        if cached is not None:
+            return cached.copy(), None
+        warm = base_solution if base_converged else None
+        return None, (restart, warm, skey)
+
+    def _finish(self, solution: np.ndarray, converged: bool, skey: Tuple) -> np.ndarray:
+        """Cache a finished walk and return a caller-owned vector.  Only
+        converged iterates are state functions of (restart, operator); a
+        capped run depends on its start and must not be replayed for a
+        probe that would have started elsewhere."""
+        if converged:
+            self._solution_cache.put(skey, solution)
+            return solution.copy()
+        return solution
+
+    def _solve_pending(
+        self, pending: List[Tuple[int, Tuple]], ekey: FrozenSet
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Run the walks of ``(slot, (restart, warm, memo key))`` entries
+        over one shared (patched) operator — a single power iteration for
+        one entry, a stacked ``(n, k)`` iteration for a group (each column
+        starting exactly where its sequential loop would: its own warm
+        start when one exists, its restart otherwise)."""
+        if not ekey:
             adj, out_degree = self._adj, self._out_degree
         else:
-            delta = _edge_flip_delta(edge_flips, n)
-            adj = (self._adj + delta).tocsr()
-            out_degree = self._out_degree.copy()
-            for (u, v), added in edge_flips.items():
-                w = 1.0 if added else -1.0
-                out_degree[u] += w
-                out_degree[v] += w
-        warm = base_solution if base_converged else None
-        return self.ranker._power_iteration(
-            restart, adj, out_degree, warm_start=warm
-        )[0]
+            adj, out_degree = self._patched_operator(dict(ekey))
+        if len(pending) == 1:
+            i, (restart, warm, skey) = pending[0]
+            solution, converged = self.ranker._power_iteration(
+                restart, adj, out_degree, warm_start=warm
+            )
+            return [(i, self._finish(solution, converged, skey))]
+        restarts = np.stack([r for (_, (r, _, _)) in pending], axis=1)
+        starts = np.stack(
+            [(r if w is None else w) for (_, (r, w, _)) in pending], axis=1
+        )
+        solutions, converged = self.ranker._power_iteration_multi(
+            restarts, adj, out_degree, starts=starts
+        )
+        return [
+            (i, self._finish(solutions[:, j].copy(), converged[j], skey))
+            for j, (i, (_, _, skey)) in enumerate(pending)
+        ]
+
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        if self.base.n_people == 0:
+            return np.zeros(0)
+        ekey = _edge_key(overlay.edge_flips())
+        result, pending = self._resolve(query, overlay, ekey)
+        if result is not None:
+            return result
+        return self._solve_pending([(0, pending)], ekey)[0][1]
+
+    def scores_batch(
+        self, query: Query, overlays: Iterable[NetworkOverlay]
+    ) -> List[np.ndarray]:
+        """Stacked warm-started power iterations: probes sharing an edge
+        flip set share a patched transition operator, and their restart
+        vectors advance together through ``(n, k)`` spmm kernels (converged
+        columns freeze exactly where their sequential loop would break)."""
+        overlays = list(overlays)
+        if len(overlays) <= 1:
+            return [self.scores(query, ov) for ov in overlays]
+        if self.base.n_people == 0:
+            return [np.zeros(0) for _ in overlays]
+        results: List[Optional[np.ndarray]] = [None] * len(overlays)
+        groups: Dict[FrozenSet, List[Tuple[int, Tuple]]] = {}
+        for i, overlay in enumerate(overlays):
+            ekey = _edge_key(overlay.edge_flips())
+            results[i], pending = self._resolve(query, overlay, ekey)
+            if pending is not None:
+                groups.setdefault(ekey, []).append((i, pending))
+        for ekey, items in groups.items():
+            for i, solution in self._solve_pending(items, ekey):
+                results[i] = solution
+        return results  # type: ignore[return-value]
+
+    def scores_multi(
+        self, queries: Sequence[Query], overlay: NetworkOverlay
+    ) -> List[np.ndarray]:
+        """Many queries against one pinned overlay: the patched operator
+        is derived once, each query patches its own restart counts, and
+        all non-trivial walks advance as one stacked iteration (each
+        warm-started from its *own* query's base solution)."""
+        queries = list(queries)
+        if len(queries) <= 1:
+            return [self.scores(q, overlay) for q in queries]
+        if self.base.n_people == 0:
+            return [np.zeros(0) for _ in queries]
+        ekey = _edge_key(overlay.edge_flips())
+        results: List[Optional[np.ndarray]] = [None] * len(queries)
+        pending: List[Tuple[int, Tuple]] = []
+        for i, query in enumerate(queries):
+            results[i], walk = self._resolve(query, overlay, ekey)
+            if walk is not None:
+                pending.append((i, walk))
+        if pending:
+            for i, solution in self._solve_pending(pending, ekey):
+                results[i] = solution
+        return results  # type: ignore[return-value]
 
 
 class HitsDeltaSession(DeltaSession):
@@ -609,6 +891,13 @@ class HitsDeltaSession(DeltaSession):
         self._adj = base.adjacency_csr()
         # query -> (root indicator, support counts, match counts)
         self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+        # edge-flip set -> patched global adjacency, shared across queries
+        # probed against the same overlay.
+        self._adj_cache = _LruCache(_MAX_PATCH_CACHE)
+        # (edge-flip set, base-set members) -> authority scores.  The
+        # iteration depends only on the sliced submatrix; SHAP coalitions
+        # whose flips leave the base set unchanged replay it for free.
+        self._auth_cache = _LruCache(_MAX_SEMANTIC_CACHE)
 
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
@@ -623,17 +912,41 @@ class HitsDeltaSession(DeltaSession):
             self._query_cache.put(query, hit)
         return hit
 
-    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
-        n = self.base.n_people
-        out = np.zeros(n)
-        if n == 0 or not query:
-            return out
-        ind, support, match_counts = self._base_state(query)
-        skill_flips = overlay.skill_flips()
-        edge_flips = overlay.edge_flips()
+    def _patched_adjacency(
+        self, edge_flips: Dict[Tuple[int, int], bool]
+    ) -> sp.csr_matrix:
+        if not edge_flips:
+            return self._adj
+        key = _edge_key(edge_flips)
+        hit = self._adj_cache.get(key)
+        if hit is None:
+            n = self.base.n_people
+            hit = (self._adj + _edge_flip_delta(edge_flips, n)).tocsr()
+            self._adj_cache.put(key, hit)
+        return hit
 
+    def _authority_for(
+        self, edge_flips: Dict[Tuple[int, int], bool], members: np.ndarray
+    ) -> np.ndarray:
+        akey = (_edge_key(edge_flips), members.tobytes())
+        hit = self._auth_cache.get(akey)
+        if hit is None:
+            sub = self._patched_adjacency(edge_flips)[members][:, members]
+            hit = self.ranker._authority_scores(sub, members.size)
+            self._auth_cache.put(akey, hit)
+        return hit
+
+    def _probe_state(
+        self, query: Query, overlay: NetworkOverlay
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[int, float]]:
+        """(base root indicator, patched match counts, root indicator
+        deltas) for one probe — the O(Δ) root-set bookkeeping shared by
+        the sequential and batched paths."""
+        ind, _, match_counts = self._base_state(query)
         relevant = [
-            (p, added) for (p, s), added in skill_flips.items() if s in query
+            (p, added)
+            for (p, s), added in overlay.skill_flips().items()
+            if s in query
         ]
         if relevant:
             match_counts = match_counts.copy()
@@ -646,32 +959,98 @@ class HitsDeltaSession(DeltaSession):
             now = 1.0 if match_counts[p] > 0 else 0.0
             if now != ind[p]:
                 delta_ind[p] = now - ind[p]
+        return ind, match_counts, delta_ind
 
-        if delta_ind or edge_flips:
-            # support' = support + Δind + A·Δind + ΔA·ind'   (all counts are
-            # small integers in float, so every update below is exact).
-            support = support.copy()
+    def _patched_support(
+        self,
+        support: np.ndarray,
+        ind: np.ndarray,
+        delta_ind: Dict[int, float],
+        edge_flips: Dict[Tuple[int, int], bool],
+        propagated: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """support' = support + Δind + A·Δind + ΔA·ind'   (all counts are
+        small integers in float, so every update below is exact).
+        ``propagated`` optionally carries a precomputed ``Δind + A·Δind``
+        column from a batched spmm."""
+        if not delta_ind and not edge_flips:
+            return support
+        support = support.copy()
+        if propagated is not None:
+            support += propagated
+        else:
             indptr, indices = self._adj.indptr, self._adj.indices
             for p, d in delta_ind.items():
                 support[p] += d
                 support[indices[indptr[p] : indptr[p + 1]]] += d
-            for (u, v), added in edge_flips.items():
-                w = 1.0 if added else -1.0
-                support[u] += w * (ind[v] + delta_ind.get(v, 0.0))
-                support[v] += w * (ind[u] + delta_ind.get(u, 0.0))
+        for (u, v), added in edge_flips.items():
+            w = 1.0 if added else -1.0
+            support[u] += w * (ind[v] + delta_ind.get(v, 0.0))
+            support[v] += w * (ind[u] + delta_ind.get(u, 0.0))
+        return support
 
+    def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
+        n = self.base.n_people
+        out = np.zeros(n)
+        if n == 0 or not query:
+            return out
+        _, support, _ = self._base_state(query)
+        ind, match_counts, delta_ind = self._probe_state(query, overlay)
+        edge_flips = overlay.edge_flips()
+        support = self._patched_support(support, ind, delta_ind, edge_flips)
         members = np.flatnonzero(support > 0.5)
         if members.size == 0:
             return out
-        if edge_flips:
-            adj = (self._adj + _edge_flip_delta(edge_flips, n)).tocsr()
-        else:
-            adj = self._adj
-        sub = adj[members][:, members]
-        authority = self.ranker._authority_scores(sub, members.size)
+        authority = self._authority_for(edge_flips, members)
         match = match_counts[members] / float(len(query))
         out[members] = authority + self.ranker.match_bonus * match
         return out
+
+    def scores_batch(
+        self, query: Query, overlays: Iterable[NetworkOverlay]
+    ) -> List[np.ndarray]:
+        """Vectorized root/base-set updates across probes: the Δind columns
+        of the whole batch propagate through one ``A @ D`` spmm, patched
+        adjacencies are shared per edge-flip set, and authority runs are
+        memoized per (flip set, base-set members) — probes whose flips
+        leave the base set unchanged pay no iteration at all."""
+        overlays = list(overlays)
+        if len(overlays) <= 1:
+            return [self.scores(query, ov) for ov in overlays]
+        n = self.base.n_people
+        if n == 0 or not query:
+            return [np.zeros(n) for _ in overlays]
+        _, base_support, _ = self._base_state(query)
+        states = [self._probe_state(query, ov) for ov in overlays]
+        # One spmm propagates every probe's root-set delta at once.
+        delta_cols = [
+            (i, delta_ind) for i, (_, _, delta_ind) in enumerate(states) if delta_ind
+        ]
+        propagated: Dict[int, np.ndarray] = {}
+        if delta_cols:
+            d_mat = np.zeros((n, len(delta_cols)))
+            for j, (_, delta_ind) in enumerate(delta_cols):
+                for p, d in delta_ind.items():
+                    d_mat[p, j] = d
+            prop = d_mat + np.asarray(self._adj @ d_mat)
+            for j, (i, _) in enumerate(delta_cols):
+                propagated[i] = prop[:, j]
+        results: List[np.ndarray] = []
+        for i, (overlay, (ind, match_counts, delta_ind)) in enumerate(
+            zip(overlays, states)
+        ):
+            out = np.zeros(n)
+            edge_flips = overlay.edge_flips()
+            support = self._patched_support(
+                base_support, ind, delta_ind, edge_flips, propagated.get(i)
+            )
+            members = np.flatnonzero(support > 0.5)
+            if members.size:
+                authority = self._authority_for(edge_flips, members)
+                match = match_counts[members] / float(len(query))
+                out[members] = authority + self.ranker.match_bonus * match
+            results.append(out)
+        return results
 
 
 class TfidfDeltaSession(DeltaSession):
@@ -694,6 +1073,10 @@ class TfidfDeltaSession(DeltaSession):
         )
         # query -> (query vector, base score vector)
         self._query_cache = _LruCache(_MAX_QUERY_CACHE)
+        # frozenset(skills) -> (cols, vals): a patched profile row depends
+        # only on the resulting skill set, and SHAP coalitions cycle
+        # through the same handful of per-person skill subsets.
+        self._row_cache = _LruCache(_MAX_SEMANTIC_CACHE)
 
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
@@ -704,15 +1087,99 @@ class TfidfDeltaSession(DeltaSession):
             self._query_cache.put(query, hit)
         return hit
 
+    def _patched_row(self, skills: FrozenSet[str]) -> Tuple[np.ndarray, np.ndarray]:
+        key = frozenset(skills)
+        hit = self._row_cache.get(key)
+        if hit is None:
+            hit = self._model.row(sorted(skills))
+            self._row_cache.put(key, hit)
+        return hit
+
     def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
         q_vec, base_scores = self._base_state(query)
         if not np.any(q_vec):
             return np.zeros(self.base.n_people)
         out = base_scores.copy()
         for p in {p for (p, _) in overlay.skill_flips()}:
-            cols, vals = self._model.row(sorted(overlay.skills(p)))
+            cols, vals = self._patched_row(overlay.skills(p))
             out[p] = float(vals @ q_vec[cols]) if cols.size else 0.0
         return out
+
+    def _gather_rows(
+        self, entries: List[Tuple[int, int, FrozenSet[str]]]
+    ) -> Optional[sp.csr_matrix]:
+        """One CSR over all patched profile rows of a flush — the
+        multi-row sparse gather both batch kernels share.  ``entries``
+        holds ``(slot, person, skills)``; row ``j`` of the result is the
+        patched row of ``entries[j]``."""
+        if not entries:
+            return None
+        rows = [self._patched_row(skills) for (_, _, skills) in entries]
+        indptr = np.cumsum([0] + [cols.size for cols, _ in rows])
+        if indptr[-1] == 0:
+            return None
+        indices = np.concatenate([cols for cols, _ in rows])
+        data = np.concatenate([vals for _, vals in rows])
+        return sp.csr_matrix(
+            (data, indices, indptr),
+            shape=(len(entries), self._model.n_terms),
+        )
+
+    def scores_batch(
+        self, query: Query, overlays: Iterable[NetworkOverlay]
+    ) -> List[np.ndarray]:
+        """Multi-row sparse gathers: every (overlay, flipped person) row of
+        the flush is gathered into one CSR — deduplicated through the
+        per-skill-set row memo — and a single sparse product against the
+        query vector re-scores them all."""
+        overlays = list(overlays)
+        if len(overlays) <= 1:
+            return [self.scores(query, ov) for ov in overlays]
+        q_vec, base_scores = self._base_state(query)
+        n = self.base.n_people
+        if not np.any(q_vec):
+            return [np.zeros(n) for _ in overlays]
+        results = [base_scores.copy() for _ in overlays]
+        entries: List[Tuple[int, int, FrozenSet[str]]] = []
+        for i, overlay in enumerate(overlays):
+            for p in sorted({p for (p, _) in overlay.skill_flips()}):
+                results[i][p] = 0.0  # overwritten below unless the row is empty
+                entries.append((i, p, overlay.skills(p)))
+        gathered = self._gather_rows(entries)
+        if gathered is not None:
+            values = np.asarray(gathered @ q_vec).ravel()
+            for j, (i, p, _) in enumerate(entries):
+                results[i][p] = values[j]
+        return results
+
+    def scores_multi(
+        self, queries: Sequence[Query], overlay: NetworkOverlay
+    ) -> List[np.ndarray]:
+        """Many queries against one pinned overlay: the patched rows are
+        gathered once and one sparse matrix product against the stacked
+        query vectors re-scores every (person, query) pair."""
+        queries = list(queries)
+        if len(queries) <= 1:
+            return [self.scores(q, overlay) for q in queries]
+        n = self.base.n_people
+        touched = sorted({p for (p, _) in overlay.skill_flips()})
+        entries = [(0, p, overlay.skills(p)) for p in touched]
+        gathered = self._gather_rows(entries)
+        states = [self._base_state(q) for q in queries]
+        values = None
+        if gathered is not None:
+            q_mat = np.stack([q_vec for q_vec, _ in states], axis=1)
+            values = np.asarray(gathered @ q_mat)  # (|touched|, |queries|)
+        results: List[np.ndarray] = []
+        for qi, (q_vec, base_scores) in enumerate(states):
+            if not np.any(q_vec):
+                results.append(np.zeros(n))
+                continue
+            out = base_scores.copy()
+            for j, p in enumerate(touched):
+                out[p] = values[j, qi] if values is not None else 0.0
+            results.append(out)
+        return results
 
 
 class ProbeEngine:
@@ -743,9 +1210,22 @@ class ProbeEngine:
         self.base_version = network.version
         self.memoize = memoize
         self.full_rebuild = full_rebuild
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # decision-memo answers (no work at all)
+        self.misses = 0  # probes that evaluated the underlying system
+        # Decisions derived from a memoized score vector: no ranker
+        # evaluation happened, but the decision itself was recomputed
+        # (cheap O(n log n) ranking / team re-formation).
+        self.score_hits = 0
+        self.multi_flushes = 0  # shared-context multi-query flushes issued
         self._memo = _LruCache(_MAX_MEMO)
+        # (query, flips, base version) -> ranker score vector.  Score
+        # vectors are person-independent, so this second memo level lets
+        # SHAP sweeps for *different* people (or different explainers
+        # sharing the engine) reuse each other's forwards; the version in
+        # the key guarantees a vector computed against an older base can
+        # never serve a probe after the base mutates.
+        self._score_memo = _LruCache(_MAX_SCORE_MEMO)
+        self._empty_overlay: Optional[NetworkOverlay] = None
 
     # ------------------------------------------------------------------
     # probing
@@ -765,6 +1245,12 @@ class ProbeEngine:
             if cached is not None:
                 self.hits += 1
                 return cached
+            scored = self._session_scores(query, network)
+            if scored is not None:
+                scores, from_memo = scored
+                return self._decide_scored(
+                    person, query, network, scores, key, from_memo=from_memo
+                )
         return self._probe_uncached(person, query, network, key)
 
     def _probe_uncached(
@@ -778,20 +1264,69 @@ class ProbeEngine:
             self._memo.put(key, result)
         return result
 
+    def _overlay_for(self, network) -> Optional[NetworkOverlay]:
+        """``network`` as an overlay a delta session over this base can
+        serve: overlays over the base pass through, the base itself probes
+        as an empty overlay (so its per-query artifacts live in the same
+        session caches), foreign networks return None."""
+        if isinstance(network, NetworkOverlay):
+            if (
+                network.base is self.base
+                and network.base_version == self.base_version
+            ):
+                return network
+            return None
+        if network is self.base:
+            if (
+                self._empty_overlay is None
+                or self._empty_overlay.base_version != self.base.version
+            ):
+                self._empty_overlay = NetworkOverlay(self.base)
+            return self._empty_overlay
+        return None
+
+    def _session_scores(
+        self, query: Query, network
+    ) -> Optional[Tuple[np.ndarray, bool]]:
+        """(score vector, served-from-memo?) for one probe state, through
+        the two-level memo: (query, flips) score-memo hit first, the
+        ranker's delta session on a miss.  None when the state must go
+        through the plain ``decide_with_order`` path."""
+        if self.full_rebuild:
+            return None
+        overlay = self._overlay_for(network)
+        if overlay is None:
+            return None
+        skey = (query, overlay.flips(), self.base_version)
+        cached = self._score_memo.get(skey)
+        if cached is not None:
+            return cached, True
+        session = self._batch_session()
+        if session is None:
+            return None
+        scores = session.scores(query, overlay)
+        self._score_memo.put(skey, scores)
+        return scores, False
+
     def probe_batch(
         self, states: Iterable[Tuple[int, Iterable[str], Optional[CollaborationNetwork]]]
     ) -> List[Tuple[bool, float]]:
         """Probe many ``(person, query, network)`` states at once.
 
-        Memo hits are answered first; the remaining overlay states are
-        grouped by query and flushed through the ranker's
+        Memo hits (decision-level, then score-level) are answered first.
+        The remaining states are grouped along *two axes*: states pinning
+        the **same overlay under many queries** flush through the
+        session's :class:`SharedProbeContext` (one
+        :meth:`DeltaSession.scores_multi` call — patches computed once),
+        and the rest group by query and flush through
         :meth:`DeltaSession.scores_batch` in :data:`_BATCH_GROUP`-sized
-        chunks — for the GCN that is one stacked multi-probe forward per
-        chunk — and decided via
+        chunks — for the GCN one stacked multi-probe forward per chunk.
+        Each scored vector is decided via
         :meth:`~repro.explain.targets.DecisionTarget.decide_with_order_scored`
-        without a second scoring pass.  States the batch path cannot serve
-        (foreign networks, ``full_rebuild``, rankers without a session)
-        fall back to :meth:`probe` semantics one by one.
+        without a second scoring pass and lands in the score memo for
+        later probes.  States the batch path cannot serve (foreign
+        networks, ``full_rebuild``, rankers without a session) fall back
+        to :meth:`probe` semantics one by one.
         """
         resolved = []
         for person, query, network in states:
@@ -800,8 +1335,9 @@ class ProbeEngine:
                 (person, query, self.base if network is None else network)
             )
         results: List[Optional[Tuple[bool, float]]] = [None] * len(resolved)
-        groups: Dict[Query, List[Tuple[int, int, Query, NetworkOverlay, Tuple]]] = {}
-        session = self._batch_session()
+        session = None if self.full_rebuild else self._batch_session()
+        # flips -> [(index, person, query, overlay, memo key)]
+        by_flips: Dict[FrozenSet, List[Tuple[int, int, Query, NetworkOverlay, Tuple]]] = {}
         for i, (person, query, network) in enumerate(resolved):
             key = self._key(person, query, network)
             if key is not None:
@@ -810,32 +1346,84 @@ class ProbeEngine:
                     self.hits += 1
                     results[i] = cached
                     continue
-            if (
-                session is not None
-                and isinstance(network, NetworkOverlay)
-                and network.base is self.base
-                and network.base_version == self.base_version
-            ):
-                groups.setdefault(query, []).append(
-                    (i, person, query, network, key)
-                )
-            else:
+            overlay = self._overlay_for(network) if session is not None else None
+            if overlay is None:
                 results[i] = self._probe_uncached(person, query, network, key)
-        for query, items in groups.items():
+                continue
+            flips = overlay.flips()
+            if key is not None:
+                svec = self._score_memo.get((query, flips, self.base_version))
+                if svec is not None:
+                    results[i] = self._decide_scored(
+                        person, query, network, svec, key, from_memo=True
+                    )
+                    continue
+            by_flips.setdefault(flips, []).append((i, person, query, network, key))
+
+        # Axis 1: one overlay probed under many queries -> one shared
+        # multi-query flush with the overlay-side patches computed once.
+        by_query: Dict[Query, List[Tuple[int, int, Query, NetworkOverlay, Tuple]]] = {}
+        for flips, items in by_flips.items():
+            queries: Dict[Query, List[Tuple[int, int, Query, NetworkOverlay, Tuple]]] = {}
+            for item in items:
+                queries.setdefault(item[2], []).append(item)
+            if len(queries) <= 1:
+                for item in items:
+                    by_query.setdefault(item[2], []).append(item)
+                continue
+            overlay = self._overlay_for(items[0][3])
+            qlist = list(queries)
+            score_list = session.shared_context(overlay).scores_multi(qlist)
+            self.multi_flushes += 1
+            for query, scores in zip(qlist, score_list):
+                if self.memoize:
+                    self._score_memo.put((query, flips, self.base_version), scores)
+                for i, person, _, network, key in queries[query]:
+                    results[i] = self._decide_scored(
+                        person, query, network, scores, key
+                    )
+
+        # Axis 2: many overlays under one query -> chunked batched
+        # forwards, exactly the PR-3 path.
+        for query, items in by_query.items():
             for start in range(0, len(items), _BATCH_GROUP):
                 chunk = items[start : start + _BATCH_GROUP]
                 score_list = session.scores_batch(
-                    query, [network for (_, _, _, network, _) in chunk]
+                    query, [self._overlay_for(net) for (_, _, _, net, _) in chunk]
                 )
                 for (i, person, _, network, key), scores in zip(chunk, score_list):
-                    result = self.target.decide_with_order_scored(
-                        person, query, network, scores
+                    if self.memoize:
+                        flips = self._overlay_for(network).flips()
+                        self._score_memo.put(
+                            (query, flips, self.base_version), scores
+                        )
+                    results[i] = self._decide_scored(
+                        person, query, network, scores, key
                     )
-                    self.misses += 1
-                    if key is not None:
-                        self._memo.put(key, result)
-                    results[i] = result
         return results  # type: ignore[return-value]
+
+    def _decide_scored(
+        self,
+        person: int,
+        query: Query,
+        network,
+        scores: np.ndarray,
+        key,
+        from_memo: bool = False,
+    ) -> Tuple[bool, float]:
+        """Decide one probe from an already-computed score vector and
+        record it in the decision memo.  ``from_memo`` keeps the counters
+        honest: a decision derived from a memoized score vector costs no
+        ranker evaluation, so it counts as a ``score_hits`` answer, not a
+        miss — ``n_probes``/``misses`` stay "unique system evaluations"."""
+        result = self.target.decide_with_order_scored(person, query, network, scores)
+        if from_memo:
+            self.score_hits += 1
+        else:
+            self.misses += 1
+        if key is not None:
+            self._memo.put(key, result)
+        return result
 
     def _batch_session(self):
         """The target ranker's delta session over this engine's base, when
@@ -859,6 +1447,23 @@ class ProbeEngine:
         """The decision bit alone (SHAP value functions)."""
         return self.probe(person, query, network)[0]
 
+    def shared_context(
+        self, network: Optional[CollaborationNetwork] = None
+    ) -> Optional[SharedProbeContext]:
+        """A :class:`SharedProbeContext` pinning ``network`` (the base, or
+        an overlay over it) to the target ranker's delta session — None
+        when no session can serve it (``full_rebuild``, foreign network,
+        ranker without a delta path)."""
+        if self.full_rebuild:
+            return None
+        session = self._batch_session()
+        if session is None:
+            return None
+        overlay = self._overlay_for(self.base if network is None else network)
+        if overlay is None:
+            return None
+        return session.shared_context(overlay)
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
@@ -870,13 +1475,17 @@ class ProbeEngine:
 
     @property
     def n_probes(self) -> int:
-        """Unique (non-memoized) system evaluations so far."""
+        """Unique (non-memoized) system evaluations so far.  Decisions
+        served from the score-vector memo are *not* counted — they cost
+        no ranker evaluation (see ``score_hits``)."""
         return self.misses
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of probes answered without evaluating the system —
+        from the decision memo or from a memoized score vector."""
+        total = self.hits + self.score_hits + self.misses
+        return (self.hits + self.score_hits) / total if total else 0.0
 
     def _key(self, person: int, query: Query, network) -> Optional[Tuple]:
         if not self.memoize:
@@ -897,10 +1506,15 @@ class ProbeEngine:
     def _sync_base(self) -> None:
         if self.base.version != self.base_version:
             # The base mutated since the last probe: every memoized outcome
-            # is stale.  Re-stamp and drop the memo — but keep the hit/miss
-            # counters cumulative, since callers snapshot ``misses`` deltas
-            # to report unique probe counts.
+            # is stale.  Re-stamp and drop both memo levels — but keep the
+            # hit/miss counters cumulative, since callers snapshot
+            # ``misses`` deltas to report unique probe counts.  (The score
+            # memo's keys carry the base version too, so even a stale
+            # entry that survived could never be served — clearing here
+            # just releases the memory.)
             self._memo.clear()
+            self._score_memo.clear()
+            self._empty_overlay = None
             self.base_version = self.base.version
 
     def __repr__(self) -> str:

@@ -90,3 +90,50 @@ class PageRankExpertRanker(ExpertSearchSystem):
                 break
             scores = new
         return scores, converged
+
+    def _power_iteration_multi(
+        self,
+        restarts: np.ndarray,
+        adj,
+        out_degree: np.ndarray,
+        starts: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked power iterations: ``k`` independent personalized walks
+        over one shared transition operator, advanced together through
+        ``(n, k)`` spmm kernels.
+
+        Columns are fully independent, so each one performs the exact
+        per-iteration arithmetic of :meth:`_power_iteration`; a column
+        that meets the tolerance *freezes* at that iterate — precisely
+        where its sequential loop would break — while the rest keep
+        iterating.  Returns ``(solutions (n, k), converged (k,))``.
+        """
+        n, k = restarts.shape
+        inv_deg = np.divide(
+            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        )
+        dangling_mask = out_degree == 0
+        scores = (restarts if starts is None else starts).copy()
+        solutions = np.empty((n, k))
+        converged = np.zeros(k, dtype=bool)
+        active = np.arange(k)
+        active_restarts = restarts.copy()
+        for _ in range(self.max_iterations):
+            spread = adj.T @ (scores * inv_deg[:, None])
+            dangling = scores[dangling_mask].sum(axis=0)
+            new = (1 - self.damping) * active_restarts + self.damping * (
+                spread + dangling[None, :] * active_restarts
+            )
+            done = np.abs(new - scores).sum(axis=0) < self.tolerance
+            if done.any():
+                solutions[:, active[done]] = new[:, done]
+                converged[active[done]] = True
+                keep = ~done
+                active = active[keep]
+                active_restarts = active_restarts[:, keep]
+                new = new[:, keep]
+                if active.size == 0:
+                    return solutions, converged
+            scores = new
+        solutions[:, active] = scores
+        return solutions, converged

@@ -145,3 +145,71 @@ class TestShapExplainer:
         result = ShapExplainer().explain(lambda m: 0.0, 0)
         assert result.method == "empty"
         assert result.n_features == 0
+
+
+class TestCachingValueFunctionIsolation:
+    """The memo key is an immutable digest of a *private copy* of the
+    caller's mask — mutating the caller's array after evaluation must
+    neither corrupt retained references nor poison the cache."""
+
+    def test_caller_mutation_cannot_poison_cache(self):
+        from repro.explain.shap import _CachingValueFunction
+
+        received = []
+
+        def fn(mask):
+            received.append(mask)  # value functions may retain masks
+            return float(mask.sum())
+
+        f = _CachingValueFunction(fn, 3)
+        mask = np.zeros(3, dtype=bool)
+        assert f(mask) == 0.0
+        mask[0] = True  # caller reuses its buffer between coalitions
+        assert f(mask) == 1.0
+        # The retained first mask must still describe the first coalition.
+        assert not received[0].any()
+        # And the cache still answers the original coalition correctly,
+        # without re-evaluating.
+        mask[:] = False
+        assert f(mask) == 0.0
+        assert f.n_evaluations == 2
+
+    def test_prefetch_receives_detached_copies(self):
+        from repro.explain.shap import _CachingValueFunction
+
+        class BulkFn:
+            def __init__(self):
+                self.retained = []
+
+            def __call__(self, mask):
+                return float(mask.sum())
+
+            def prefetch(self, masks):
+                self.retained.extend(masks)
+
+        bulk = BulkFn()
+        f = _CachingValueFunction(bulk, 2)
+        mask = np.array([True, False])
+        f.prefetch([mask, mask, np.array([True, False])])  # dupes collapse
+        assert len(bulk.retained) == 1
+        mask[:] = False
+        assert bulk.retained[0].tolist() == [True, False]
+
+    def test_prefetch_skips_already_cached_masks(self):
+        from repro.explain.shap import _CachingValueFunction
+
+        class BulkFn:
+            def __init__(self):
+                self.bulk_calls = []
+
+            def __call__(self, mask):
+                return 1.0
+
+            def prefetch(self, masks):
+                self.bulk_calls.append(len(masks))
+
+        bulk = BulkFn()
+        f = _CachingValueFunction(bulk, 2)
+        f(np.array([True, True]))
+        f.prefetch([np.array([True, True]), np.array([False, True])])
+        assert bulk.bulk_calls == [1]  # only the uncached mask went through

@@ -11,6 +11,7 @@ memoization is observable through ``CounterfactualExplanation.n_probes``.
 import numpy as np
 import pytest
 
+from repro.datasets import toy_network
 from repro.explain import BeamConfig, RelevanceTarget, beam_search_counterfactuals
 from repro.explain.candidates import link_removal_candidates
 from repro.graph import NetworkOverlay
@@ -473,7 +474,11 @@ class TestBatchedProbes:
         results = engine.probe_batch([(0, q, overlay), (1, q, overlay)])
         assert results[0] == first
         assert engine.hits == 1  # the repeat state cost no evaluation
-        assert engine.misses == 2
+        # Person 1 probes the same (query, flips) state: the score-vector
+        # memo serves it without a second ranker evaluation, so the only
+        # miss is the original probe.
+        assert engine.misses == 1
+        assert engine.score_hits == 1
 
     def test_large_group_chunked_through_scores_batch(
         self, small_gcn_ranker, small_dataset, small_query
@@ -658,3 +663,88 @@ class TestLruEviction:
         session.probe_inputs(qb, overlay)  # evicts qa, not the hot query
         assert hot in session._feat_cache
         assert qa not in session._feat_cache
+
+
+class TestMemoIsolationAcrossBases:
+    """Engines (and their two-level score memos) must never cross-serve
+    states from a different base network or a mutated base version."""
+
+    @staticmethod
+    def _nets():
+        net_a = toy_network(n_people=12, seed=0)
+        net_b = toy_network(n_people=12, seed=3)
+        return net_a, net_b
+
+    def test_foreign_base_probes_are_not_served_from_memo(self):
+        net_a, net_b = self._nets()
+        ranker = PageRankExpertRanker()
+        target = RelevanceTarget(ranker, k=3)
+        engine = ProbeEngine(target, net_a)
+        query = frozenset(sorted(net_a.skill_universe())[:2])
+        person = 0
+
+        # Warm the memos with net_a states (batch + sequential paths).
+        ov_a = NetworkOverlay(net_a)
+        ov_a.remove_skill(*next(iter((p, s) for p in net_a.people() for s in sorted(net_a.skills(p)))))
+        engine.probe(person, query, ov_a)
+        engine.probe_batch([(person, query, ov_a.branch())])
+        assert len(engine._score_memo) > 0
+
+        # The same-shaped probe over the *other* base must match a fresh
+        # reference engine bound to that base, not net_a's cached answer.
+        ov_b = NetworkOverlay(net_b)
+        reference = ProbeEngine(target, net_b, memoize=False)
+        for state_net in (net_b, ov_b):
+            got = engine.probe_batch([(person, query, state_net)])[0]
+            want = reference.probe(person, query, state_net)
+            assert got == want
+
+    def test_injected_engine_is_declined_for_foreign_networks(self):
+        """Two explainers sharing one injected engine but explaining
+        different base networks never share cached scores — the foreign
+        explainer falls back to its own engine."""
+        from repro.explain import FactualConfig, FactualExplainer
+
+        net_a, net_b = self._nets()
+        ranker = PageRankExpertRanker()
+        target = RelevanceTarget(ranker, k=3)
+        engine_a = ProbeEngine(target, net_a)
+        shared = FactualExplainer(target, FactualConfig(), engine=engine_a)
+        independent = FactualExplainer(target, FactualConfig())
+
+        query = frozenset(sorted(net_b.skill_universe())[:3])
+        person = 1
+        misses_before = engine_a.misses
+        got = shared.explain_query(person, query, net_b)
+        want = independent.explain_query(person, query, net_b)
+        assert engine_a.misses == misses_before  # net_a's engine untouched
+        assert [a.value for a in got.attributions] == [
+            a.value for a in want.attributions
+        ]
+
+    def test_base_version_drift_invalidates_score_memo(self):
+        net = toy_network(n_people=12, seed=1).copy()
+        ranker = PageRankExpertRanker()
+        target = RelevanceTarget(ranker, k=3)
+        engine = ProbeEngine(target, net)
+        query = frozenset(sorted(net.skill_universe())[:2])
+
+        ov = NetworkOverlay(net)
+        p, s = next((p, s) for p in net.people() for s in sorted(net.skills(p)))
+        ov.remove_skill(p, s)
+        before = engine.probe_batch([(0, query, ov)])[0]
+        assert len(engine._score_memo) > 0
+
+        # Mutate the base: version bumps, every cached vector is stale.
+        u = next(v for v in range(1, net.n_people) if not net.has_edge(0, v))
+        net.add_edge(0, u)
+        ov2 = NetworkOverlay(net)
+        ov2.remove_skill(p, s)
+        got = engine.probe_batch([(0, query, ov2)])[0]
+        reference = ProbeEngine(target, net, memoize=False)
+        want = reference.probe(0, query, ov2)
+        assert got == want
+        # The stale pre-mutation entries are gone (key includes version,
+        # and _sync_base released them).
+        for key in engine._score_memo._data:
+            assert key[2] == engine.base_version

@@ -13,7 +13,12 @@ and including annihilating add-then-remove pairs — and asserts
 * the team delta path returns the **exact same team** (members, seed,
   build order, coverage) as greedy re-formation on the materialized
   overlay, and the same membership decisions through ``MembershipTarget``,
-* batched probe flushes decide identically to sequential probes.
+* batched probe flushes decide identically to sequential probes,
+* random probe *batches* through ``scores_batch`` equal sequential
+  ``scores`` calls and full rebuilds to 1e-9 for **every ranker** (the
+  PR-4 batched delta forwards), and random multi-*query* sweeps through
+  ``SharedProbeContext.scores_multi`` equal per-query scoring and full
+  rebuilds the same way.
 
 Every case is pinned to a deterministic seed, so green stays green.  The
 default run executes a quick subset; the full sweep (500+ chains across
@@ -203,6 +208,124 @@ class TestGcnScoreFuzz:
             assert session.restricted_probes > 0
         slow = _reference_scores(small_gcn_ranker, query, overlay)
         np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+
+
+# ----------------------------------------------------------------------
+# batched delta forwards: scores_batch == sequential == full rebuild
+# ----------------------------------------------------------------------
+class TestBatchedScoreFuzz:
+    """Random probe batches through every ranker's ``scores_batch`` must
+    equal sequential ``scores`` calls (fresh session, so neither path is
+    answered from the other's caches) and full rebuilds to 1e-9."""
+
+    N_PROBES = 6
+
+    @classmethod
+    def _run_batch(cls, ranker, net, rng):
+        query = _random_query(net, rng)
+        overlays = [
+            _random_chain(net, rng, int(rng.integers(1, 5)))
+            for _ in range(cls.N_PROBES)
+        ]
+        batched = ranker.delta_session(net).scores_batch(query, overlays)
+        fresh = ranker.delta_session(net)
+        sequential = [fresh.scores(query, ov) for ov in overlays]
+        for fast, seq, ov in zip(batched, sequential, overlays):
+            assert ov._mat is None, "batched path materialized an overlay"
+            np.testing.assert_allclose(fast, seq, rtol=0, atol=ATOL)
+            slow = _reference_scores(ranker, query, ov)
+            np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, seed):
+        rng = np.random.default_rng(60_000 + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        self._run_batch(RANKERS[ranker_name](), net, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, seed):
+        rng = np.random.default_rng(60_000 + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        self._run_batch(RANKERS[ranker_name](), net, rng)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_quick(self, small_gcn_ranker, small_dataset, seed):
+        rng = np.random.default_rng(61_000 + seed)
+        self._run_batch(small_gcn_ranker, small_dataset.network, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_gcn_full(self, small_gcn_ranker, small_dataset, seed):
+        rng = np.random.default_rng(61_000 + seed)
+        self._run_batch(small_gcn_ranker, small_dataset.network, rng)
+
+
+# ----------------------------------------------------------------------
+# shared multi-query sessions: scores_multi == sequential == full rebuild
+# ----------------------------------------------------------------------
+class TestMultiQueryFuzz:
+    """One pinned overlay probed under many random query subsets (the SHAP
+    value-function shape) through ``SharedProbeContext.scores_multi`` must
+    equal per-query ``scores`` calls and full rebuilds to 1e-9 — including
+    the empty query subset."""
+
+    @staticmethod
+    def _query_subsets(net, rng, n_subsets=6):
+        base_query = _random_query(net, rng, n_terms=4)
+        terms = sorted(base_query)
+        subsets = [frozenset(), base_query]
+        while len(subsets) < n_subsets:
+            mask = rng.random(len(terms)) < 0.5
+            subsets.append(frozenset(t for t, keep in zip(terms, mask) if keep))
+        return subsets
+
+    @classmethod
+    def _run_multi(cls, ranker, net, rng, chain_length):
+        queries = cls._query_subsets(net, rng)
+        overlay = _random_chain(net, rng, chain_length)
+        context = ranker.delta_session(net).shared_context(overlay)
+        multi = context.scores_multi(queries)
+        fresh = ranker.delta_session(net)
+        sequential = [fresh.scores(q, overlay) for q in queries]
+        assert overlay._mat is None, "multi-query path materialized the overlay"
+        for q, fast, seq in zip(queries, multi, sequential):
+            np.testing.assert_allclose(fast, seq, rtol=0, atol=ATOL)
+            slow = _reference_scores(ranker, q, overlay)
+            np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, seed):
+        rng = np.random.default_rng(70_000 + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        self._run_multi(RANKERS[ranker_name](), net, rng, int(rng.integers(1, 5)))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, chain_length, seed):
+        rng = np.random.default_rng(70_000 * chain_length + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        self._run_multi(RANKERS[ranker_name](), net, rng, chain_length)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_quick(self, small_gcn_ranker, small_dataset, seed):
+        rng = np.random.default_rng(71_000 + seed)
+        self._run_multi(
+            small_gcn_ranker, small_dataset.network, rng, int(rng.integers(1, 5))
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_gcn_full(self, small_gcn_ranker, small_dataset, seed):
+        rng = np.random.default_rng(71_000 + seed)
+        self._run_multi(
+            small_gcn_ranker, small_dataset.network, rng, int(rng.integers(1, 5))
+        )
 
 
 # ----------------------------------------------------------------------
