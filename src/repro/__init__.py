@@ -8,6 +8,8 @@ Public API tour:
 * :mod:`repro.search` — expert search systems (GCN, PageRank, TF-IDF, HITS).
 * :mod:`repro.team` — team formation systems.
 * :mod:`repro.explain` — SHAP, beam-search counterfactuals, baselines.
+* :mod:`repro.service` — the long-lived explanation service: typed
+  requests, the shared engine registry, concurrent ``explain_many``.
 * :mod:`repro.eval` — the experiment harness behind the paper's tables.
 
 Quickstart::
@@ -30,13 +32,23 @@ from repro.datasets import (
     toy_network,
 )
 from repro.graph.network import CollaborationNetwork
+from repro.service import (
+    EngineRegistry,
+    ExplainRequest,
+    ExplainResponse,
+    ExplanationService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CollaborationNetwork",
     "DatasetBundle",
+    "EngineRegistry",
     "ExES",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplanationService",
     "dblp_like",
     "figure1_network",
     "github_like",

@@ -10,12 +10,16 @@ Commands:
 * ``rank``      — top-k experts for a query
 * ``team``      — form a team for a query
 * ``explain``   — factual + counterfactual explanations for one person
+* ``workload``  — a paper-style random-query workload through the
+  explanation service (``explain_many``), single-threaded or sharded
 
 Example::
 
     python -m repro rank --dataset dblp --scale 0.02 --query graph mining
     python -m repro explain --dataset dblp --scale 0.02 \
         --query graph mining --person "Ada Lovelace" --json out.json
+    python -m repro workload --dataset dblp --scale 0.01 \
+        --queries 10 --workers 4 --kinds skills cf_skills
 """
 
 from __future__ import annotations
@@ -130,6 +134,66 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Run a random-query explanation workload through the service."""
+    from repro.eval import (
+        random_queries,
+        run_workload_experiment,
+        sample_search_subjects,
+        sample_team_subjects,
+        search_requests,
+        team_requests,
+    )
+
+    dataset = _load_dataset(args)
+    exes = ExES.build(dataset, k=args.k, seed=args.seed)
+    network = dataset.network
+    queries = random_queries(network, args.queries, seed=args.seed + 1)
+    requests = search_requests(
+        sample_search_subjects(exes.ranker, network, queries, args.k, seed=args.seed),
+        kinds=args.kinds,
+    )
+    if args.team:
+        requests += team_requests(
+            sample_team_subjects(
+                exes.former, exes.ranker, network, queries, args.k, seed=args.seed
+            ),
+            kinds=args.kinds,
+        )
+    print(
+        f"{len(requests)} requests over {args.queries} queries "
+        f"({', '.join(args.kinds)}; team={'on' if args.team else 'off'}), "
+        f"max_workers={args.workers}"
+    )
+    report = run_workload_experiment(exes.service, requests, max_workers=args.workers)
+    for row in report.rows:
+        latency = f"{row.latency_mean:.3f}s" if row.latency_mean is not None else "-"
+        size = f"{row.size_mean:.1f}" if row.size_mean is not None else "-"
+        print(
+            f"  {row.kind:>18}: {row.n_requests:4d} requests, "
+            f"mean latency {latency}, mean size {size}, errors {row.n_errors}"
+        )
+    print(
+        f"total: {report.n_requests} requests in {report.elapsed_seconds:.2f}s "
+        f"({report.requests_per_second:.2f} req/s, {report.n_coalesced} "
+        f"coalesced, {report.n_errors} errors)"
+    )
+    if args.json:
+        payload = {
+            "n_requests": report.n_requests,
+            "n_errors": report.n_errors,
+            "n_coalesced": report.n_coalesced,
+            "elapsed_seconds": report.elapsed_seconds,
+            "max_workers": report.max_workers,
+            "requests_per_second": report.requests_per_second,
+            "rows": [vars(row) for row in report.rows],
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -162,6 +226,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--top", type=int, default=6)
     p_explain.add_argument("--json", default=None, help="write explanations to JSON")
     p_explain.set_defaults(fn=cmd_explain)
+
+    p_workload = sub.add_parser(
+        "workload", help="run an explanation workload through the service"
+    )
+    _add_common(p_workload)
+    p_workload.add_argument("--queries", type=int, default=5)
+    p_workload.add_argument("--k", type=int, default=10)
+    from repro.service import EXPLANATION_KINDS
+
+    p_workload.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=EXPLANATION_KINDS,
+        default=["skills", "query", "cf_skills"],
+        help="explanation kinds to request per subject",
+    )
+    p_workload.add_argument(
+        "--team", action="store_true", help="include team-membership requests"
+    )
+    p_workload.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool size for explain_many (1 = deterministic)",
+    )
+    p_workload.add_argument("--json", default=None, help="write the report to JSON")
+    p_workload.set_defaults(fn=cmd_workload)
     return parser
 
 

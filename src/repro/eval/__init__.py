@@ -21,13 +21,18 @@ from repro.eval.workload import (
     random_queries,
     sample_search_subjects,
     sample_team_subjects,
+    search_requests,
+    team_requests,
 )
 from repro.eval.harness import (
     Case,
     CounterfactualRow,
     FactualRow,
+    WorkloadKindRow,
+    WorkloadReport,
     run_counterfactual_experiment,
     run_factual_experiment,
+    run_workload_experiment,
 )
 from repro.eval.robustness import (
     RobustnessReport,
@@ -63,11 +68,16 @@ __all__ = [
     "format_counterfactual_table",
     "format_factual_table",
     "format_sweep",
+    "WorkloadKindRow",
+    "WorkloadReport",
     "random_queries",
     "run_counterfactual_experiment",
     "run_factual_experiment",
+    "run_workload_experiment",
     "sample_search_subjects",
     "sample_team_subjects",
+    "search_requests",
+    "team_requests",
     "sweep_beam_size",
     "sweep_candidates",
     "sweep_radius",

@@ -6,17 +6,23 @@ experts from the top-k and non-experts ranked k+1..2k; for team formation
 it forms a team around a random top-k expert and samples one member (to
 explain inclusion) and one non-member from the seed's neighborhood (to
 explain exclusion).
+
+The ``*_requests`` builders turn sampled subjects into the typed
+:class:`~repro.service.requests.ExplainRequest` lists the explanation
+service consumes, so the paper's 100-query workloads run through
+``ExplanationService.explain_many`` instead of one facade call at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.network import CollaborationNetwork
 from repro.search.base import ExpertSearchSystem
+from repro.service.requests import EXPLANATION_KINDS, ExplainRequest, make_requests
 from repro.team.base import TeamFormationSystem
 
 
@@ -118,3 +124,54 @@ def sample_team_subjects(
             )
         )
     return subjects
+
+
+# ---------------------------------------------------------------------------
+# service workloads: subjects -> typed explanation requests
+# ---------------------------------------------------------------------------
+
+
+def search_requests(
+    subjects: Sequence[ExplanationSubjects],
+    kinds: Iterable[str] = EXPLANATION_KINDS,
+) -> List[ExplainRequest]:
+    """One request per (subject, kind) over sampled search subjects: the
+    expert (explaining inclusion in the top-k) and the non-expert
+    (explaining exclusion) each get every requested kind, tagged with
+    their role for per-role aggregation."""
+    kinds = tuple(kinds)
+    requests: List[ExplainRequest] = []
+    for subject in subjects:
+        if subject.expert is not None:
+            requests.extend(
+                make_requests(kinds, subject.expert, subject.query, tag="expert")
+            )
+        if subject.non_expert is not None:
+            requests.extend(
+                make_requests(
+                    kinds, subject.non_expert, subject.query, tag="non_expert"
+                )
+            )
+    return requests
+
+
+def team_requests(
+    subjects: Sequence[TeamSubjects],
+    kinds: Iterable[str] = EXPLANATION_KINDS,
+) -> List[ExplainRequest]:
+    """One membership request per (subject, kind): the sampled member
+    (explaining inclusion) and the seed-neighborhood non-member
+    (explaining exclusion), pinned to each case's seed member."""
+    kinds = tuple(kinds)
+    requests: List[ExplainRequest] = []
+    for subject in subjects:
+        for person, tag in ((subject.member, "member"), (subject.non_member, "non_member")):
+            if person is None:
+                continue
+            requests.extend(
+                make_requests(
+                    kinds, person, subject.query,
+                    team=True, seed_member=subject.seed_member, tag=tag,
+                )
+            )
+    return requests

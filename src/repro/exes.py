@@ -13,12 +13,19 @@ predictor (Pruning Strategy 5), and the build-around-a-member team former.
 Every explanation method takes ``team=`` / ``seed_member=`` so the same
 calls explain either relevance status C (expert search) or membership
 status M (team formation, §3.5).
+
+The facade is a thin adapter over an :class:`~repro.service.service
+.ExplanationService`: probe engines and delta sessions live in a shared,
+LRU-bounded :class:`~repro.service.registry.EngineRegistry` (the process
+default unless ``registry=`` names one), so two facades wrapping the same
+deployed system reuse each other's caches, and batched workloads go
+through :meth:`explain_many`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from repro.datasets import DatasetBundle
 from repro.embeddings.ppmi import train_ppmi_embedding
@@ -27,12 +34,15 @@ from repro.explain.candidates import LinkPredictor
 from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
 from repro.explain.explanation import CounterfactualExplanation, FactualExplanation
 from repro.explain.factual import FactualConfig, FactualExplainer
-from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
+from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
 from repro.linkpred.gae import GaeConfig, train_gae
 from repro.search.base import ExpertSearchSystem
 from repro.search.engine import ProbeEngine
 from repro.search.gcn import GcnExpertRanker, GcnRankerConfig
+from repro.service.registry import EngineRegistry
+from repro.service.requests import ExplainRequest, ExplainResponse
+from repro.service.service import ExplanationService
 from repro.team.base import Team, TeamFormationSystem
 from repro.team.greedy import CoverTeamFormer
 
@@ -49,12 +59,31 @@ class ExES:
     k: int = 10
     factual_config: FactualConfig = field(default_factory=FactualConfig)
     beam_config: BeamConfig = field(default_factory=BeamConfig)
-    # One probe engine per decision target, shared by every explainer this
-    # facade hands out — beam search, SHAP value functions, and candidate
-    # generation all stop re-scoring identical perturbed states.
-    _engines: Dict[Tuple[bool, Optional[int]], ProbeEngine] = field(
-        default_factory=dict, init=False, repr=False, compare=False
+    # None -> the process-wide default registry: facade instances wrapping
+    # the same system share engines, sessions, and traced team base runs.
+    registry: Optional[EngineRegistry] = field(default=None, compare=False)
+    _service: ExplanationService = field(
+        init=False, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        self._service = ExplanationService(
+            network=self.network,
+            ranker=self.ranker,
+            embedding=self.embedding,
+            link_predictor=self.link_predictor,
+            former=self.former,
+            k=self.k,
+            factual_config=self.factual_config,
+            beam_config=self.beam_config,
+            registry=self.registry,
+        )
+        self.registry = self._service.registry
+
+    @property
+    def service(self) -> ExplanationService:
+        """The underlying long-lived explanation service."""
+        return self._service
 
     # ------------------------------------------------------------------
     # construction
@@ -71,6 +100,7 @@ class ExES:
         beam_config: Optional[BeamConfig] = None,
         seed: int = 0,
         ranker: Optional[ExpertSearchSystem] = None,
+        registry: Optional[EngineRegistry] = None,
     ) -> "ExES":
         """Assemble and train the full paper stack on a dataset bundle.
 
@@ -100,43 +130,40 @@ class ExES:
             k=k,
             factual_config=factual_config or FactualConfig(),
             beam_config=beam_config or BeamConfig(),
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
-    # targets & explainers
+    # targets & explainers (service delegations)
     # ------------------------------------------------------------------
     def target(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> DecisionTarget:
         """The decision being explained: relevance (default) or membership."""
-        if not team:
-            return RelevanceTarget(self.ranker, self.k)
-        if self.former is None:
-            raise ValueError("no team formation system was configured")
-        return MembershipTarget(self.former, seed_member=seed_member)
+        return self._service.target(team, seed_member)
 
     def set_full_rebuild(self, flag: bool) -> None:
         """Toggle the from-scratch escape hatch across the whole stack —
         the ranker's delta sessions *and* the former's team delta session —
         so parity tests and engine-off benchmarks flip one switch instead
-        of chasing every system that might serve an overlay.  The cached
-        probe engines are dropped too: their memos hold results computed
-        under the previous setting, and an "engine-off" measurement must
-        not be answered from a delta-path memo."""
-        self.ranker.full_rebuild = flag
-        if self.former is not None:
-            self.former.full_rebuild = flag
-        self._engines.clear()
+        of chasing every system that might serve an overlay.  This
+        network's probe engines are evicted from the registry too: their
+        memos hold results computed under the previous setting, and an
+        "engine-off" measurement must not be answered from a delta-path
+        memo."""
+        self._service.set_full_rebuild(flag)
 
     def probe_engine(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> ProbeEngine:
         """The shared, memoizing probe engine for the chosen target.
 
-        Overlay probes that miss the two-level memo (decisions keyed per
-        person, score vectors keyed per ``(query, flips)`` so sibling
-        explainers and other people's SHAP sweeps reuse each other's
-        forwards) reach the ranker as overlays, so any ranker with a
+        Engines live in the :class:`~repro.service.registry.EngineRegistry`
+        — keyed ``(base network version, ranker/former, target)`` with
+        bounded LRU eviction — so the same engine (and its two-level
+        probe memo) serves every explainer of this facade *and* any other
+        facade or service wrapping the same system.  Overlay probes that
+        miss the memo reach the ranker as overlays, so any ranker with a
         :class:`~repro.search.engine.DeltaSession` (all four shipped
         systems) serves them in O(Δ), never through ``materialize()`` —
         and team-membership probes additionally reach the former's
@@ -149,31 +176,39 @@ class ExES:
         same-overlay multi-query sweeps (SHAP coalition masks) through
         one :class:`~repro.search.engine.SharedProbeContext` with the
         overlay's patches computed once."""
-        key = (team, seed_member)
-        engine = self._engines.get(key)
-        if engine is None or engine.base is not self.network:
-            engine = ProbeEngine(self.target(team, seed_member), self.network)
-            self._engines[key] = engine
-        return engine
+        return self._service.engine(team, seed_member)
 
     def factual_explainer(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> FactualExplainer:
         """A factual explainer bound to the chosen decision target."""
-        engine = self.probe_engine(team, seed_member)
-        return FactualExplainer(engine.target, self.factual_config, engine=engine)
+        return self._service.factual_explainer(team, seed_member)
 
     def counterfactual_explainer(
         self, team: bool = False, seed_member: Optional[int] = None
     ) -> CounterfactualExplainer:
         """A counterfactual explainer bound to the chosen decision target."""
-        engine = self.probe_engine(team, seed_member)
-        return CounterfactualExplainer(
-            engine.target,
-            self.embedding,
-            self.link_predictor,
-            self.beam_config,
-            engine=engine,
+        return self._service.counterfactual_explainer(team, seed_member)
+
+    # ------------------------------------------------------------------
+    # bulk requests (service front door)
+    # ------------------------------------------------------------------
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        """Answer one typed :class:`ExplainRequest` through the service."""
+        return self._service.explain(request)
+
+    def explain_many(
+        self,
+        requests: Sequence[ExplainRequest],
+        max_workers: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> List[ExplainResponse]:
+        """Answer a batch of requests through the service: sharded by
+        decision target across a thread pool (``max_workers=1`` for the
+        deterministic single-thread mode), identical requests coalesced,
+        responses in request order."""
+        return self._service.explain_many(
+            requests, max_workers=max_workers, coalesce=coalesce
         )
 
     # ------------------------------------------------------------------

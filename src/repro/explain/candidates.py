@@ -18,6 +18,7 @@ type, encoding Pruning Strategies 1 (locality), 4 (word embeddings), and 5
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence, Tuple
 
@@ -173,6 +174,7 @@ def link_removal_candidates(
     radius: int,
     max_probe_edges: int = 60,
     engine=None,
+    deadline: Optional[float] = None,
 ) -> Tuple[List[Perturbation], int]:
     """The t edges of N(p_i, d) whose removal hurts p_i's rank most.
 
@@ -184,7 +186,12 @@ def link_removal_candidates(
     bookkeeping.  Lower rank = better, so "hurts most" = largest rank
     increase.  Around hub nodes the 2-hop neighborhood can contain hundreds
     of edges, so probing is capped at ``max_probe_edges``, prioritizing
-    edges incident to p_i, then edges incident to p_i's collaborators.
+    edges incident to p_i, then edges incident to p_i's collaborators —
+    and, because this is the one generator that probes the system per
+    candidate, it honors the caller's ``deadline`` (the explain call's
+    shared ``timeout_seconds`` budget): once past it, the edges probed so
+    far are ranked and returned, and the beam search that follows records
+    the timeout instead of starting a fresh budget.
     """
     from repro.search.engine import ProbeEngine
 
@@ -211,6 +218,8 @@ def link_removal_candidates(
     _, base_order = engine.probe(person, query, network)
     scored: List[Tuple[float, Tuple[int, int]]] = []
     for u, v in edges:
+        if deadline is not None and time.perf_counter() > deadline:
+            break  # budget exhausted: rank what was probed so far
         trial = NetworkOverlay(network)
         trial.remove_edge(u, v)
         _, order = engine.probe(person, query, trial)

@@ -78,6 +78,7 @@ def beam_search_counterfactuals(
     kind: str,
     extra_probes: int = 0,
     engine: Optional[ProbeEngine] = None,
+    deadline: Optional[float] = None,
 ) -> CounterfactualExplanation:
     """Algorithm 1: beam search for up to ``e`` minimal counterfactuals.
 
@@ -87,12 +88,22 @@ def beam_search_counterfactuals(
     ``n_probes`` on the result counts *unique* system evaluations this call
     actually triggered, plus ``extra_probes`` spent by the caller on
     candidate generation.
+
+    ``deadline`` (a ``time.perf_counter()`` instant) carries a budget that
+    started *before* this call — explainer methods that probe during
+    candidate generation start the clock there, so generation + search
+    share one ``timeout_seconds`` budget instead of each claiming its own;
+    a deadline already in the past records the timeout and returns without
+    probing at all.
     """
     query = as_query(query)
     start = time.perf_counter()
-    deadline = (
-        start + config.timeout_seconds if config.timeout_seconds is not None else None
-    )
+    if deadline is None:
+        deadline = (
+            start + config.timeout_seconds
+            if config.timeout_seconds is not None
+            else None
+        )
     if engine is None:
         engine = ProbeEngine(target, network)
     misses_at_entry = engine.misses
@@ -101,7 +112,8 @@ def beam_search_counterfactuals(
     found: List[Counterfactual] = []
     found_sets: Set[FrozenSet[Perturbation]] = set()
     queue: List[Tuple[Perturbation, ...]] = [()]
-    timed_out = False
+    # True already when candidate generation ate the whole budget.
+    timed_out = deadline is not None and time.perf_counter() > deadline
 
     while len(found) < config.n_explanations and queue and not timed_out:
         expanded: List[Tuple[float, Tuple[Perturbation, ...]]] = []
@@ -193,22 +205,42 @@ class CounterfactualExplainer:
         link_predictor: LinkPredictor,
         config: Optional[BeamConfig] = None,
         engine: Optional[ProbeEngine] = None,
+        engine_provider=None,
     ) -> None:
         self.target = target
         self.embedding = embedding
         self.link_predictor = link_predictor
         self.config = config or BeamConfig()
         self._engine = engine  # injected (ExES-shared) engine, if any
+        # Registry hook: ``engine_provider(network) -> ProbeEngine`` lets
+        # the explanation service hand out registry-owned engines for any
+        # base network, so the explainer never constructs private ones.
+        self._engine_provider = engine_provider
         self._auto_engine: Optional[ProbeEngine] = None
 
     def _engine_for(self, network: CollaborationNetwork) -> ProbeEngine:
         """The probe engine serving ``network`` — the injected one when it
-        matches, else a lazily created engine reused across explain calls."""
+        matches, then the provider's (service-registry) engine, else a
+        lazily created engine reused across explain calls."""
         if self._engine is not None and self._engine.accepts(network):
             return self._engine
+        if self._engine_provider is not None:
+            engine = self._engine_provider(network)
+            if engine is not None and engine.accepts(network):
+                return engine
         if self._auto_engine is None or not self._auto_engine.accepts(network):
             self._auto_engine = ProbeEngine(self.target, network)
         return self._auto_engine
+
+    def _deadline(self) -> Optional[float]:
+        """The perf-counter instant the whole explain call must finish by.
+
+        Started here — *before* candidate generation — so the generators
+        that probe (link removal) or scan large pools share the same
+        ``timeout_seconds`` budget as the beam search that follows."""
+        if self.config.timeout_seconds is None:
+            return None
+        return time.perf_counter() + self.config.timeout_seconds
 
     # -- skills ---------------------------------------------------------
     def explain_skill_removal(
@@ -216,6 +248,7 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which skills, if lost, would evict p_i? (experts/members)"""
         query = as_query(query)
+        deadline = self._deadline()
         candidates = skill_removal_candidates(
             person, query, network, self.embedding,
             self.config.n_candidates, self.config.radius,
@@ -223,6 +256,7 @@ class CounterfactualExplainer:
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
             kind="skill_removal", engine=self._engine_for(network),
+            deadline=deadline,
         )
 
     def explain_skill_addition(
@@ -230,6 +264,7 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which new skills would make p_i an expert/member? (Example 3)"""
         query = as_query(query)
+        deadline = self._deadline()
         candidates = skill_addition_candidates(
             person, query, network, self.embedding,
             self.config.n_candidates, self.config.radius,
@@ -237,6 +272,7 @@ class CounterfactualExplainer:
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
             kind="skill_addition", engine=self._engine_for(network),
+            deadline=deadline,
         )
 
     # -- query ----------------------------------------------------------
@@ -245,6 +281,7 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which added keywords flip p_i's status? (direction inferred)"""
         query = as_query(query)
+        deadline = self._deadline()
         engine = self._engine_for(network)
         misses_before = engine.misses
         initial = engine.decide(person, query, network)
@@ -256,6 +293,7 @@ class CounterfactualExplainer:
             self.target, person, query, network, candidates, self.config,
             kind="query_augmentation", engine=engine,
             extra_probes=engine.misses - misses_before,
+            deadline=deadline,
         )
 
     # -- collaborations ---------------------------------------------------
@@ -264,6 +302,7 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which new collaborations would promote p_i? (Example 4)"""
         query = as_query(query)
+        deadline = self._deadline()
         candidates = link_addition_candidates(
             person, query, network, self.link_predictor, self.target,
             self.config.n_candidates, self.config.radius,
@@ -273,6 +312,7 @@ class CounterfactualExplainer:
             self.target, person, query, network, candidates, self.config,
             kind="link_addition", extra_probes=1,
             engine=self._engine_for(network),
+            deadline=deadline,
         )
 
     def explain_link_removal(
@@ -280,15 +320,17 @@ class CounterfactualExplainer:
     ) -> CounterfactualExplanation:
         """Which lost collaborations would evict p_i?"""
         query = as_query(query)
+        deadline = self._deadline()
         engine = self._engine_for(network)
         candidates, probes = link_removal_candidates(
             person, query, network, self.target,
             self.config.n_candidates, self.config.link_removal_radius,
-            engine=engine,
+            engine=engine, deadline=deadline,
         )
         return beam_search_counterfactuals(
             self.target, person, query, network, candidates, self.config,
             kind="link_removal", extra_probes=probes, engine=engine,
+            deadline=deadline,
         )
 
     def with_config(self, **overrides) -> "CounterfactualExplainer":
@@ -299,4 +341,5 @@ class CounterfactualExplainer:
             self.link_predictor,
             replace(self.config, **overrides),
             engine=self._engine,
+            engine_provider=self._engine_provider,
         )

@@ -114,10 +114,15 @@ class FactualExplainer:
         target: DecisionTarget,
         config: FactualConfig | None = None,
         engine: ProbeEngine | None = None,
+        engine_provider=None,
     ):
         self.target = target
         self.config = config or FactualConfig()
         self._engine = engine  # injected (ExES-shared) engine, if any
+        # Registry hook: ``engine_provider(network) -> ProbeEngine`` lets
+        # the explanation service hand out registry-owned engines for any
+        # base network, so the explainer never constructs private ones.
+        self._engine_provider = engine_provider
         self._auto_engine: ProbeEngine | None = None
         self._shap = ShapExplainer(
             exact_limit=self.config.exact_limit,
@@ -141,9 +146,15 @@ class FactualExplainer:
     def _engine_for(self, network: CollaborationNetwork) -> ProbeEngine:
         """Probes route through one engine, so identical masked states —
         across coalitions, selection vs. final SHAP stages, or sibling
-        explainers sharing the injected engine — are scored once."""
+        explainers sharing the injected engine — are scored once.  An
+        ``engine_provider`` (the service registry) outranks the private
+        fallback: even foreign networks then get shared engines."""
         if self._engine is not None and self._engine.accepts(network):
             return self._engine
+        if self._engine_provider is not None:
+            engine = self._engine_provider(network)
+            if engine is not None and engine.accepts(network):
+                return engine
         if self._auto_engine is None or not self._auto_engine.accepts(network):
             self._auto_engine = ProbeEngine(self.target, network)
         return self._auto_engine

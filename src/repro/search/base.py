@@ -80,6 +80,13 @@ class ExpertSearchSystem(abc.ABC):
     # NetworkOverlay inputs (parity reference, engine-off benchmarks).
     full_rebuild: bool = False
 
+    # Optional registry hook: an EngineRegistry installed here (see
+    # ``repro.service.registry``) takes over session ownership, so one
+    # session per (ranker, base version) is shared across probe engines,
+    # explainers, and facade instances — instead of the single ``_session``
+    # slot below, which thrashes when two bases alternate.
+    _session_store = None
+
     @abc.abstractmethod
     def scores(self, query: Iterable[str], network: CollaborationNetwork) -> np.ndarray:
         """Relevance score per person id (higher = more relevant)."""
@@ -91,7 +98,15 @@ class ExpertSearchSystem(abc.ABC):
         return None
 
     def _session_for(self, base: CollaborationNetwork):
-        """The cached delta session for ``base``, rebuilt on version drift."""
+        """The cached delta session for ``base``, rebuilt on version drift.
+
+        With a registry installed (``_session_store``), the lookup is
+        delegated there: the registry keeps a bounded LRU of sessions per
+        (system, base version), so sessions — and every patch/solution
+        cache inside them — are reused across engines and facades."""
+        store = self._session_store
+        if store is not None:
+            return store.search_session(self, base)
         session = getattr(self, "_session", None)
         if session is None or not session.valid_for(base):
             session = self.delta_session(base)

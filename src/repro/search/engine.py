@@ -76,6 +76,7 @@ probe.
 from __future__ import annotations
 
 import abc
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -110,32 +111,52 @@ class _LruCache:
     probe that tipped a cache over made every state the search was still
     actively revisiting pay a cold rebuild.  Overflow now evicts exactly
     one entry — the least recently touched — and hot keys survive.
+
+    Every operation holds a lock: delta sessions are shared across the
+    explanation service's shards (``ExplanationService.explain_many``
+    flushes independent probe groups on a thread pool), and an unguarded
+    ``get``'s lookup + ``move_to_end`` could interleave with another
+    shard's eviction of the same key.  The lock guards only the ordered
+    dict's bookkeeping — entry *values* are computed outside it, and a
+    double-compute under contention is benign (both threads derive the
+    same deterministic value).
     """
 
-    __slots__ = ("capacity", "_data")
+    __slots__ = ("capacity", "_data", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
-        data = self._data
-        try:
-            value = data[key]
-        except KeyError:
-            return None
-        data.move_to_end(key)
-        return value
+        with self._lock:
+            data = self._data
+            try:
+                value = data[key]
+            except KeyError:
+                return None
+            data.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        elif len(data) >= self.capacity:
-            data.popitem(last=False)
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            elif len(data) >= self.capacity:
+                data.popitem(last=False)
+            data[key] = value
+
+    def pop(self, key) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def keys(self) -> List:
+        with self._lock:
+            return list(self._data.keys())
 
     def __len__(self) -> int:
         return len(self._data)
@@ -144,7 +165,8 @@ class _LruCache:
         return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 def _normalize(a_hat: sp.csr_matrix, deg: np.ndarray) -> sp.csr_matrix:
@@ -1199,6 +1221,7 @@ class ProbeEngine:
         network: CollaborationNetwork,
         memoize: bool = True,
         full_rebuild: bool = False,
+        score_memo: Optional[_LruCache] = None,
     ) -> None:
         if isinstance(network, NetworkOverlay):
             # Bind to the overlay's base: probe states derived from the
@@ -1223,8 +1246,14 @@ class ProbeEngine:
         # SHAP sweeps for *different* people (or different explainers
         # sharing the engine) reuse each other's forwards; the version in
         # the key guarantees a vector computed against an older base can
-        # never serve a probe after the base mutates.
-        self._score_memo = _LruCache(_MAX_SCORE_MEMO)
+        # never serve a probe after the base mutates.  Score vectors are
+        # *target*-independent too (they come from ``target.ranker``), so
+        # the EngineRegistry injects one shared memo per (ranker, base)
+        # pair — relevance and membership engines, and engines for
+        # different team seeds, then reuse each other's forwards.
+        self._score_memo = (
+            score_memo if score_memo is not None else _LruCache(_MAX_SCORE_MEMO)
+        )
         self._empty_overlay: Optional[NetworkOverlay] = None
 
     # ------------------------------------------------------------------

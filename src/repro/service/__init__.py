@@ -1,0 +1,39 @@
+"""The explanation service layer: typed requests, a shared engine
+registry, and a concurrent ``explain_many`` front door.
+
+* :class:`ExplainRequest` / :class:`ExplainResponse` — one explanation
+  task (six kinds × relevance/membership) and its outcome.
+* :class:`EngineRegistry` — bounded LRU ownership of probe engines and
+  delta sessions, shared across targets, queries, and facade instances.
+* :class:`ExplanationService` — the long-lived service (paper Figure 2):
+  single requests through :meth:`~ExplanationService.explain`, batches
+  through :meth:`~ExplanationService.explain_many` (target-sharded across
+  a thread pool, deterministic at ``max_workers=1``).
+"""
+
+from repro.service.registry import EngineRegistry, default_registry
+from repro.service.requests import (
+    COUNTERFACTUAL_KINDS,
+    EXPLANATION_KINDS,
+    FACTUAL_KINDS,
+    FACADE_METHODS,
+    ExplainRequest,
+    ExplainResponse,
+    explanation_signature,
+    make_requests,
+)
+from repro.service.service import ExplanationService
+
+__all__ = [
+    "COUNTERFACTUAL_KINDS",
+    "EXPLANATION_KINDS",
+    "FACTUAL_KINDS",
+    "EngineRegistry",
+    "FACADE_METHODS",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplanationService",
+    "default_registry",
+    "explanation_signature",
+    "make_requests",
+]

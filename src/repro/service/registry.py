@@ -1,0 +1,224 @@
+"""The shared engine registry: bounded, cross-facade ownership of every
+probe cache in the stack.
+
+Before the service layer, each ``ExES`` facade kept its own unbounded
+``_engines`` dict — one :class:`~repro.search.engine.ProbeEngine` per
+``(team, seed_member)`` target, leaked for the facade's lifetime, invisible
+to every other facade — and each ranker/former cached exactly one delta
+session in a private slot, thrashing whenever two base networks alternated.
+
+:class:`EngineRegistry` inverts that ownership.  It owns
+
+* **probe engines**, keyed ``(base network, base version, target)`` —
+  so a facade explaining the same target twice, or *two facades* wrapping
+  the same deployed system, share one engine and its two-level probe memo;
+* **search delta sessions**, keyed ``(ranker, base, base version)`` — the
+  per-flip-set patch caches, solved-subproblem memos, and cached base
+  forwards inside a session outlive any single engine;
+* **team delta sessions**, keyed ``(former, base, base version)`` — traced
+  base formation runs (the expensive part of membership probing) stay warm
+  across targets, queries, and facades;
+* **shared score memos**, keyed ``(ranker, base, base version)`` — the
+  score-vector level of the probe memo is person- *and* target-
+  independent, so the registry injects one memo into every engine over
+  the same ranker+base: a forward computed under the relevance target
+  serves membership probes of the same ``(query, flips)`` state, across
+  every team seed.
+
+All four stores are bounded LRUs (:class:`~repro.search.engine._LruCache`)
+— at capacity the least-recently-used entry is dropped, so a service
+explaining against many networks or seed members can never grow without
+bound (the defect the ``ExES._engines`` dict had).
+
+Keys carry ``id()``s of live objects, so every hit is verified by identity
+(``engine.base is network``, ``session.valid_for(base)``) before being
+served: a recycled ``id`` after garbage collection can alias a key but can
+never alias the identity check, it just forces a rebuild.
+
+The registry is thread-safe (one re-entrant lock around get-or-create);
+the engines it hands out are **not** — ``ExplanationService.explain_many``
+keeps each engine on a single shard thread, while the sessions below them
+are safely shared through :class:`_LruCache`'s internal locking.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.explain.targets import MembershipTarget, RelevanceTarget
+from repro.graph.network import CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
+from repro.search.engine import _MAX_SCORE_MEMO, ProbeEngine, _LruCache
+
+#: Default bound on engines / sessions kept per registry.  Engines hold
+#: score-vector memos (n floats each) so this is a real memory knob.
+DEFAULT_CAPACITY = 32
+
+
+def _target_key(target) -> Tuple:
+    """A hashable identity for the decision target: which system is being
+    probed and under which decision parameters."""
+    if isinstance(target, RelevanceTarget):
+        return ("relevance", id(target.system), target.k)
+    if isinstance(target, MembershipTarget):
+        return ("membership", id(target.former), target.seed_member)
+    return ("target", type(target).__name__, id(target))
+
+
+class EngineRegistry:
+    """Bounded LRU ownership of probe engines and delta sessions."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._engines = _LruCache(capacity)
+        self._search_sessions = _LruCache(capacity)
+        self._team_sessions = _LruCache(capacity)
+        # (ranker, base, version) -> the shared score-vector memo injected
+        # into every engine probing that pair.  Score vectors are person-
+        # AND target-independent, so a vector computed under the relevance
+        # target serves a membership probe of the same (query, flips)
+        # state — and vice versa — across every team seed.
+        self._score_memos = _LruCache(capacity)
+        self._lock = threading.RLock()
+        self.engine_builds = 0  # observability: cache-miss constructions
+        self.session_builds = 0
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+    def engine(self, target, network: CollaborationNetwork) -> ProbeEngine:
+        """The shared probe engine for ``(target, network)``, built on the
+        first request and reused — across explainers, requests, and facade
+        instances — until LRU-evicted or the network's version drifts."""
+        if isinstance(network, NetworkOverlay):
+            # Engines bind to the overlay's base (probe flip sets are keyed
+            # against it); key the same way or every overlay request would
+            # look like a distinct network.
+            network = network.base
+        key = (id(network), network.version, _target_key(target))
+        with self._lock:
+            engine = self._engines.get(key)
+            if (
+                engine is None
+                or engine.base is not network
+                or engine.base_version != network.version
+            ):
+                engine = ProbeEngine(
+                    target, network,
+                    score_memo=self._score_memo_for(target, network),
+                )
+                self._engines.put(key, engine)
+                self.engine_builds += 1
+            return engine
+
+    def _score_memo_for(self, target, network: CollaborationNetwork):
+        """The shared (ranker, base, version) score memo — None when the
+        target exposes no ranker (engines then keep a private memo).  The
+        stored (ranker, network) references double as the identity check:
+        a recycled ``id`` after garbage collection may alias the key but
+        never the ``is`` comparison, so a stale memo is replaced instead
+        of served."""
+        ranker = getattr(target, "ranker", None)
+        if ranker is None:
+            return None
+        key = (id(ranker), id(network), network.version)
+        hit = self._score_memos.get(key)
+        if hit is not None:
+            stored_ranker, stored_network, memo = hit
+            if stored_ranker is ranker and stored_network is network:
+                return memo
+        memo = _LruCache(_MAX_SCORE_MEMO)
+        self._score_memos.put(key, (ranker, network, memo))
+        return memo
+
+    def drop_network(self, network: CollaborationNetwork) -> int:
+        """Evict every engine and session bound to ``network`` (any
+        version).  ``ExES.set_full_rebuild`` routes through here: an
+        engine-off measurement must not be answered from a delta-path
+        memo populated while the engine was on."""
+        dropped = 0
+        with self._lock:
+            for key in self._engines.keys():  # (net id, version, target)
+                if key[0] == id(network):
+                    self._engines.pop(key)
+                    dropped += 1
+            for store in (
+                self._search_sessions, self._team_sessions, self._score_memos
+            ):
+                for key in store.keys():  # (system id, base id, version)
+                    if key[1] == id(network):
+                        store.pop(key)
+                        dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # sessions (the ranker/former ``_session_store`` hook)
+    # ------------------------------------------------------------------
+    def search_session(self, ranker, base: CollaborationNetwork):
+        """The ranker's delta session over ``base`` — registry-owned, so
+        its patch caches are shared by every engine probing this pair."""
+        return self._session(self._search_sessions, ranker, base)
+
+    def team_session(self, former, base: CollaborationNetwork):
+        """The former's team delta session over ``base`` — registry-owned,
+        so traced base runs warm-start across engines and facades."""
+        return self._session(self._team_sessions, former, base)
+
+    def _session(self, store: _LruCache, system, base: CollaborationNetwork):
+        key = (id(system), id(base), base.version)
+        with self._lock:
+            session = store.get(key)
+            if session is None or not session.valid_for(base):
+                session = system.delta_session(base)
+                store.put(key, session)
+                self.session_builds += 1
+            return session
+
+    def install(self, *systems) -> "EngineRegistry":
+        """Point each system's ``_session_store`` hook at this registry
+        (rankers and formers alike; ``None`` entries are skipped)."""
+        for system in systems:
+            if system is not None:
+                system._session_store = self
+        return self
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def n_engines(self) -> int:
+        return len(self._engines)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._search_sessions) + len(self._team_sessions)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._engines.clear()
+            self._search_sessions.clear()
+            self._team_sessions.clear()
+            self._score_memos.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineRegistry(engines={self.n_engines}, "
+            f"sessions={self.n_sessions}, "
+            f"capacity={self._engines.capacity})"
+        )
+
+
+_default_registry: Optional[EngineRegistry] = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> EngineRegistry:
+    """The process-wide shared registry: facades built without an explicit
+    registry all land here, so engines and sessions are reused across
+    facade instances — the Figure-2 deployment shape, where one long-lived
+    service answers every explanation request."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = EngineRegistry()
+        return _default_registry

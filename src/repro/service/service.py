@@ -1,0 +1,334 @@
+"""The session-scoped, concurrent explanation service.
+
+The paper's deployment (Figure 2) is one long-lived ExES instance
+answering many explanation requests against one deployed expert-search /
+team-formation system.  :class:`ExplanationService` is that object: it
+binds the system under explanation (network, ranker, embedding, link
+predictor, former) to a shared :class:`~repro.service.registry
+.EngineRegistry` and answers typed :class:`~repro.service.requests
+.ExplainRequest`\\ s — one at a time through :meth:`explain`, or in bulk
+through :meth:`explain_many`.
+
+``explain_many`` is where the service earns its keep:
+
+* requests are **sharded by decision target** — every request against the
+  same ``(relevance | membership, seed_member)`` target shares one probe
+  engine, and distinct targets are independent, so shards run concurrently
+  on a thread pool (the scoring stack is numpy/scipy-heavy, so threads
+  win: the hot loops release the GIL inside BLAS/spmm kernels);
+* within a shard, requests are **ordered by query** along the PR-4
+  two-axis batching, so consecutive requests hit the engine's score memo
+  and the sessions' per-query base caches while they are hottest — an
+  expert and a non-expert explained for the same query share every
+  ``(query, flips)`` score vector;
+* **identical requests are coalesced** — service traffic repeats hot
+  requests, and a request is a pure function of the frozen system state,
+  so duplicates within a batch are answered once and re-served
+  bit-identically (``response.coalesced`` marks them);
+* membership shards **pre-warm the team session's traced base runs** per
+  distinct (query, seed); because the session lives in the registry, the
+  trace also stays warm for every later request and facade;
+* ``max_workers=1`` is the **deterministic mode**: shards run sequentially
+  in sorted order on the calling thread — the parity reference the tests
+  pin the sharded mode against.
+
+Engines are never shared across threads (they are not thread-safe); the
+delta sessions underneath them are, via :class:`~repro.search.engine
+._LruCache`'s internal locking — a double-compute under contention is
+benign because session values are deterministic functions of their keys.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.embeddings.similarity import SkillEmbedding
+from repro.explain.candidates import LinkPredictor
+from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
+from repro.explain.factual import FactualConfig, FactualExplainer
+from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
+from repro.graph.network import CollaborationNetwork
+from repro.search.base import ExpertSearchSystem
+from repro.search.engine import ProbeEngine
+from repro.service.registry import EngineRegistry, default_registry
+from repro.service.requests import (
+    EXPLANATION_KINDS,
+    ExplainRequest,
+    ExplainResponse,
+    Explanation,
+)
+from repro.team.base import TeamFormationSystem
+
+_KIND_ORDER = {kind: i for i, kind in enumerate(EXPLANATION_KINDS)}
+
+
+class ExplanationService:
+    """Long-lived explanation service over one deployed system."""
+
+    def __init__(
+        self,
+        network: CollaborationNetwork,
+        ranker: ExpertSearchSystem,
+        embedding: SkillEmbedding,
+        link_predictor: LinkPredictor,
+        former: Optional[TeamFormationSystem] = None,
+        k: int = 10,
+        factual_config: Optional[FactualConfig] = None,
+        beam_config: Optional[BeamConfig] = None,
+        registry: Optional[EngineRegistry] = None,
+    ) -> None:
+        self.network = network
+        self.ranker = ranker
+        self.embedding = embedding
+        self.link_predictor = link_predictor
+        self.former = former
+        self.k = k
+        self.factual_config = factual_config or FactualConfig()
+        self.beam_config = beam_config or BeamConfig()
+        # No explicit registry -> the process-wide default, so services and
+        # facades wrapping the same system share engines out of the box.
+        self.registry = registry if registry is not None else default_registry()
+        # Route the ranker's and former's session lookups through the
+        # registry: one delta session per (system, base version), shared by
+        # every engine/explainer/facade instead of a single thrashing slot.
+        # Ownership is last-install-wins by design: the session hook lives
+        # on the system object because ``ranker.scores(query, overlay)``
+        # has no other way to reach a registry, so constructing a second
+        # service over the same system migrates session ownership to its
+        # registry (values stay correct — sessions are pure functions of
+        # (system, base) — only cache residency moves).  Share one
+        # registry across services wrapping the same system, the way the
+        # process default does, to avoid the migration entirely.
+        self.registry.install(ranker, former)
+
+    # ------------------------------------------------------------------
+    # targets, engines, explainers
+    # ------------------------------------------------------------------
+    def target(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> DecisionTarget:
+        """The decision being explained: relevance (default) or membership."""
+        if not team:
+            return RelevanceTarget(self.ranker, self.k)
+        if self.former is None:
+            raise ValueError("no team formation system was configured")
+        return MembershipTarget(self.former, seed_member=seed_member)
+
+    def engine(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> ProbeEngine:
+        """The registry-owned probe engine for the chosen target."""
+        return self.registry.engine(self.target(team, seed_member), self.network)
+
+    def factual_explainer(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> FactualExplainer:
+        """A factual explainer with the registry's engine injected."""
+        engine = self.engine(team, seed_member)
+        return FactualExplainer(
+            engine.target,
+            self.factual_config,
+            engine=engine,
+            engine_provider=lambda net, _t=engine.target: self.registry.engine(
+                _t, net
+            ),
+        )
+
+    def counterfactual_explainer(
+        self, team: bool = False, seed_member: Optional[int] = None
+    ) -> CounterfactualExplainer:
+        """A counterfactual explainer with the registry's engine injected."""
+        engine = self.engine(team, seed_member)
+        return CounterfactualExplainer(
+            engine.target,
+            self.embedding,
+            self.link_predictor,
+            self.beam_config,
+            engine=engine,
+            engine_provider=lambda net, _t=engine.target: self.registry.engine(
+                _t, net
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # single-request path
+    # ------------------------------------------------------------------
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        """Answer one request (raises on failure — the bulk path is the
+        one that degrades per-request errors into ``response.error``)."""
+        start = time.perf_counter()
+        explanation = self._dispatch(request)
+        return ExplainResponse(
+            request=request,
+            explanation=explanation,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _dispatch(self, request: ExplainRequest) -> Explanation:
+        """Resolve a request to the matching explainer call.  A fresh
+        explainer per request keeps the SHAP estimators' seeded RNGs in
+        the exact per-call state the facade methods produce, so service
+        answers are bit-identical to per-call facade answers."""
+        person, query = request.person, request.query
+        team, seed = request.team, request.seed_member
+        kind = request.kind
+        if request.is_factual:
+            factual = self.factual_explainer(team, seed)
+            method = {
+                "skills": factual.explain_skills,
+                "query": factual.explain_query,
+                "collaborations": factual.explain_collaborations,
+            }[kind]
+            return method(person, query, self.network)
+        explainer = self.counterfactual_explainer(team, seed)
+        if kind == "cf_query":
+            return explainer.explain_query_augmentation(person, query, self.network)
+        # Directional kinds: removal evicts current experts/members,
+        # addition promotes the rest — same inference as the facade.
+        engine = self.engine(team, seed)
+        positive = engine.decide(person, frozenset(query), self.network)
+        if kind == "cf_skills":
+            if positive:
+                return explainer.explain_skill_removal(person, query, self.network)
+            return explainer.explain_skill_addition(person, query, self.network)
+        if positive:
+            return explainer.explain_link_removal(person, query, self.network)
+        return explainer.explain_link_addition(person, query, self.network)
+
+    # ------------------------------------------------------------------
+    # bulk path
+    # ------------------------------------------------------------------
+    def explain_many(
+        self,
+        requests: Sequence[ExplainRequest],
+        max_workers: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> List[ExplainResponse]:
+        """Answer a batch of requests, sharded by decision target.
+
+        Responses come back in request order.  ``max_workers=1`` is the
+        deterministic single-thread mode (shards run sequentially in
+        sorted order); ``None`` picks a worker count from the shard count
+        and CPU count.  Per-request failures are captured in
+        ``response.error`` — one bad request never takes down the batch.
+
+        ``coalesce=True`` (the default) answers *identical* requests once
+        per batch: service traffic repeats hot requests (many users, the
+        same dashboard), and a request is a pure function of the frozen
+        system state, so the duplicate's response is the first's —
+        bit-identical by construction, marked ``coalesced`` for
+        observability.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        shards = self._shard(requests)
+        if max_workers is None:
+            max_workers = min(len(shards), max(1, (os.cpu_count() or 2) - 1), 8)
+        results: List[Optional[ExplainResponse]] = [None] * len(requests)
+
+        def run_shard(shard: List[Tuple[int, ExplainRequest]]) -> None:
+            try:
+                self._warm_shard(shard)
+            except Exception:
+                # Warming is an optimization; whatever made it fail (bad
+                # seed member, foreign state) will fail the individual
+                # requests below, where it degrades into response.error
+                # instead of taking down the batch.
+                pass
+            answered: Dict[ExplainRequest, ExplainResponse] = {}
+            for i, request in shard:
+                if coalesce:
+                    prior = answered.get(request)
+                    if prior is not None:
+                        results[i] = ExplainResponse(
+                            request=request,
+                            explanation=prior.explanation,
+                            elapsed_seconds=0.0,
+                            error=prior.error,
+                            coalesced=True,
+                        )
+                        continue
+                start = time.perf_counter()
+                try:
+                    explanation = self._dispatch(request)
+                    results[i] = ExplainResponse(
+                        request=request,
+                        explanation=explanation,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                except Exception as exc:  # degrade per request, not per batch
+                    results[i] = ExplainResponse(
+                        request=request,
+                        elapsed_seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if coalesce:
+                    answered[request] = results[i]
+
+        if max_workers <= 1 or len(shards) == 1:
+            for shard in shards:
+                run_shard(shard)
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                # list() propagates unexpected shard-level crashes.
+                list(pool.map(run_shard, shards))
+        return results  # type: ignore[return-value]
+
+    def _shard(
+        self, requests: Sequence[ExplainRequest]
+    ) -> List[List[Tuple[int, ExplainRequest]]]:
+        """Group (index, request) pairs by decision target, each group
+        sorted by (query, person, kind) so same-query requests run
+        back-to-back against the hottest caches.  Shard order is sorted
+        too: the single-thread mode is fully deterministic in the request
+        *set*, not just the request order."""
+        groups: Dict[Tuple, List[Tuple[int, ExplainRequest]]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.target_key, []).append((i, request))
+        for shard in groups.values():
+            shard.sort(
+                key=lambda item: (
+                    item[1].query,
+                    item[1].person,
+                    _KIND_ORDER[item[1].kind],
+                    item[0],
+                )
+            )
+        return [groups[key] for key in sorted(groups, key=repr)]
+
+    def _warm_shard(self, shard: List[Tuple[int, ExplainRequest]]) -> None:
+        """Pre-trace team base runs for a membership shard's distinct
+        queries — the expensive half of the first membership probe, paid
+        once per (query, seed) and kept warm in the registry-owned
+        session for every later request and facade."""
+        first = shard[0][1]
+        if not first.team or self.former is None:
+            return
+        session = self.former._session_for(self.network)
+        if session is None or not hasattr(session, "warm"):
+            return
+        for query in sorted({req.query_key for _, req in shard}, key=sorted):
+            session.warm(query, first.seed_member)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def set_full_rebuild(self, flag: bool) -> None:
+        """Toggle the from-scratch escape hatch across the whole stack and
+        drop this network's engines/sessions from the registry — an
+        engine-off measurement must not be answered from a delta memo."""
+        self.ranker.full_rebuild = flag
+        if self.former is not None:
+            self.former.full_rebuild = flag
+        self.registry.drop_network(self.network)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplanationService(ranker={self.ranker.name}, "
+            f"n_people={self.network.n_people}, k={self.k}, "
+            f"registry={self.registry!r})"
+        )

@@ -53,13 +53,26 @@ class TeamFormationSystem(abc.ABC):
     # Escape hatch: True skips the delta session even for overlay inputs.
     full_rebuild: bool = False
 
+    # Optional registry hook (see ``repro.service.registry``): when an
+    # EngineRegistry is installed here, it owns the former's delta
+    # sessions, so one ``TeamDeltaSession`` — with its traced base runs —
+    # is shared across probe engines and facade instances.
+    _session_store = None
+
     def delta_session(self, base: CollaborationNetwork):
         """Factory for this former's delta-formation session over a frozen
         ``base`` network; None when the former has no delta path."""
         return None
 
     def _session_for(self, base: CollaborationNetwork):
-        """The cached delta session for ``base``, rebuilt on version drift."""
+        """The cached delta session for ``base``, rebuilt on version drift.
+
+        With a registry installed, the lookup is delegated there: traced
+        base formation runs live in the registry-owned session and are
+        warm for every facade that shares the former."""
+        store = self._session_store
+        if store is not None:
+            return store.team_session(self, base)
         session = getattr(self, "_session", None)
         if session is None or not session.valid_for(base):
             session = self.delta_session(base)

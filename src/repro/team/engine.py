@@ -143,6 +143,15 @@ class CoverTeamDeltaSession(TeamDeltaSession):
             query, overlay, seed_member=seed_member, scores=scores
         )
 
+    def warm(self, query: Query, seed_member: Optional[int] = None) -> Team:
+        """Trace (or revisit) the base run for ``(query, seed_member)`` and
+        return its team.  The explanation service warms membership shards
+        through this before probing, and — because the session itself lives
+        in the ``EngineRegistry`` — the traced run stays warm for every
+        facade and request that shares the former, not just the engine that
+        first probed it."""
+        return self._base_run(query, seed_member).team
+
     def _base_run(self, query: Query, seed_member: Optional[int]) -> _BaseRun:
         key = (query, seed_member)
         run = self._run_cache.get(key)

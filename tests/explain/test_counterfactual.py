@@ -218,6 +218,50 @@ class TestExplainerMethods:
         assert explainer.config.beam_size == 6  # original untouched
 
 
+class TestTimeoutBudget:
+    """``timeout_seconds`` is one budget for candidate generation + beam
+    search: a huge candidate space (the probing link-removal generator on
+    a hub) must not blow past it before the beam even starts."""
+
+    @pytest.fixture
+    def hub_net(self):
+        """A hub person whose 2-hop neighborhood holds every edge — the
+        link-removal generator would probe ``max_probe_edges`` of them."""
+        net = CollaborationNetwork()
+        net.add_person("hub", {"graph", "mining"})
+        for i in range(1, 40):
+            net.add_person(f"p{i}", {"graph"} if i % 2 else {"mining"})
+            net.add_edge(0, i)
+        for i in range(1, 20):
+            net.add_edge(i, i + 19)
+        return net
+
+    def test_tiny_timeout_caps_candidate_probing(self, hub_net, embedding):
+        target = RelevanceTarget(CoverageExpertRanker(), k=2)
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(hub_net)
+        explainer = CounterfactualExplainer(
+            target, embedding, predictor,
+            BeamConfig(beam_size=6, n_candidates=10, timeout_seconds=1e-9),
+        )
+        result = explainer.explain_link_removal(0, QUERY, hub_net)
+        assert result.timed_out
+        # The generator stopped at the deadline: at most the base probe
+        # plus one in-flight edge probe, not the full 60-edge sweep.
+        assert result.n_probes <= 3
+
+    def test_generous_timeout_probes_normally(self, hub_net, embedding):
+        target = RelevanceTarget(CoverageExpertRanker(), k=2)
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(hub_net)
+        explainer = CounterfactualExplainer(
+            target, embedding, predictor,
+            BeamConfig(beam_size=6, n_candidates=10, timeout_seconds=60.0),
+        )
+        result = explainer.explain_link_removal(0, QUERY, hub_net)
+        assert not result.timed_out
+        # The candidate sweep alone probes dozens of single-removal states.
+        assert result.n_probes > 10
+
+
 class TestBeamConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",

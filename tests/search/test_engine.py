@@ -388,15 +388,18 @@ class TestMultiRankerParity:
         np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
 
     def test_session_reused_across_probes(self, any_ranker, small_dataset, small_query):
+        """Same base version -> same session object, whether the session
+        lives in the ranker's private slot or in an installed registry
+        (``_session_for`` is the lookup both paths share)."""
         net = small_dataset.network
         skill = sorted(net.skills(0))[0]
         ov1, q1 = apply_perturbations(net, small_query, [RemoveSkill(0, skill)])
         any_ranker.scores(q1, ov1)
-        first = any_ranker._session
+        first = any_ranker._session_for(net)
         assert first is not None
         ov2, q2 = apply_perturbations(net, small_query, [AddSkill(1, "xyz-skill")])
         any_ranker.scores(q2, ov2)
-        assert any_ranker._session is first  # same base version: cache reused
+        assert any_ranker._session_for(net) is first
 
     def test_engine_probe_never_materializes(
         self, any_ranker, small_dataset, small_query
@@ -539,7 +542,7 @@ class TestGcnBatchedSession:
             overlay, q = apply_perturbations(net, small_query, perts)
             overlays.append(overlay)
         small_gcn_ranker.scores(q, overlays[0])  # open the session
-        session = small_gcn_ranker._session
+        session = small_gcn_ranker._session_for(net)
         batched = session.scores_batch(q, overlays)
         for overlay, scores in zip(overlays, batched):
             np.testing.assert_allclose(

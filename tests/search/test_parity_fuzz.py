@@ -31,14 +31,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import ExES
 from repro.datasets import toy_network
-from repro.explain import MembershipTarget, RelevanceTarget
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import BeamConfig, FactualConfig, MembershipTarget, RelevanceTarget
 from repro.graph import NetworkOverlay
+from repro.linkpred import HeuristicLinkPredictor
 from repro.search import (
     DocumentExpertRanker,
     HitsExpertRanker,
     PageRankExpertRanker,
     ProbeEngine,
+)
+from repro.service import (
+    FACADE_METHODS,
+    EngineRegistry,
+    ExplanationService,
+    explanation_signature,
+    make_requests,
 )
 from repro.team import CoverTeamFormer
 
@@ -173,7 +183,7 @@ class TestGcnScoreFuzz:
         slow = _reference_scores(small_gcn_ranker, query, overlay)
         np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
         # The batched multi-probe forward must agree with both.
-        session = small_gcn_ranker._session
+        session = small_gcn_ranker._session_for(net)
         (batched,) = session.scores_batch(query, [overlay])
         np.testing.assert_allclose(batched, slow, rtol=0, atol=ATOL)
 
@@ -453,3 +463,108 @@ class TestBatchedProbeFuzz:
         sequential = [seq_engine.probe(*state) for state in states]
         assert batched == sequential
         assert all(ov._mat is None for _, _, ov in states)
+
+
+# ----------------------------------------------------------------------
+# service axis: explain_many sharded vs single-thread vs per-call facade
+# ----------------------------------------------------------------------
+_SERVICE_FACTUAL = FactualConfig(
+    n_samples=16, max_samples=32, selection_samples=8, exact_limit=4
+)
+_SERVICE_BEAM = BeamConfig(beam_size=4, n_candidates=3, max_size=2, n_explanations=2)
+_SERVICE_KINDS = ("skills", "query", "cf_skills", "cf_query")
+class TestServiceFuzz:
+    """Randomized mixed request workloads: the deterministic single-thread
+    ``explain_many`` must be bit-identical to per-call facade invocation,
+    and the sharded (thread-pool) mode must match the deterministic mode —
+    relevance and membership requests together, for every ranker."""
+
+    @staticmethod
+    def _random_requests(ranker, former, net, rng, k):
+        requests = []
+        for _ in range(int(rng.integers(1, 3))):
+            query = tuple(sorted(_random_query(net, rng)))
+            order = ranker.evaluate(query, net).order
+            persons = {int(order[0]), int(order[min(k, len(order) - 1)])}
+            kinds = [
+                _SERVICE_KINDS[int(i)]
+                for i in rng.choice(
+                    len(_SERVICE_KINDS), size=int(rng.integers(2, 4)), replace=False
+                )
+            ]
+            for person in sorted(persons):
+                requests.extend(make_requests(kinds, person, query))
+            seed_member = int(order[0])
+            team = former.form(query, net, seed_member=seed_member)
+            member = sorted(team.members)[0]
+            requests.extend(
+                make_requests(
+                    ("cf_skills",), member, query, team=True, seed_member=seed_member
+                )
+            )
+        return requests
+
+    @classmethod
+    def _run_workload(cls, ranker, net, seed, k=3):
+        rng = np.random.default_rng(31_000 + seed)
+        former = CoverTeamFormer(ranker)
+        embedding = train_ppmi_embedding(
+            [sorted(net.skills(p)) for p in net.people()] * 2, dim=8, min_count=1
+        )
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        requests = cls._random_requests(ranker, former, net, rng, k)
+
+        facade = ExES(
+            network=net, ranker=ranker, embedding=embedding,
+            link_predictor=predictor, former=former, k=k,
+            factual_config=_SERVICE_FACTUAL, beam_config=_SERVICE_BEAM,
+            registry=EngineRegistry(),
+        )
+        reference = [
+            explanation_signature(
+                request,
+                getattr(facade, FACADE_METHODS[request.kind])(
+                    request.person, request.query,
+                    team=request.team, seed_member=request.seed_member,
+                ),
+            )
+            for request in requests
+        ]
+
+        for max_workers in (1, 4):
+            service = ExplanationService(
+                network=net, ranker=ranker, embedding=embedding,
+                link_predictor=predictor, former=former, k=k,
+                factual_config=_SERVICE_FACTUAL, beam_config=_SERVICE_BEAM,
+                registry=EngineRegistry(),
+            )
+            responses = service.explain_many(requests, max_workers=max_workers)
+            assert all(r.ok for r in responses), [r.error for r in responses]
+            got = [
+                explanation_signature(r.request, r.explanation) for r in responses
+            ]
+            assert got == reference, f"max_workers={max_workers} diverged"
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, seed):
+        rng = np.random.default_rng(555 + seed)
+        net = toy_network(n_people=int(rng.integers(12, 22)), seed=seed)
+        self._run_workload(RANKERS[ranker_name](), net, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, seed):
+        rng = np.random.default_rng(555 + seed)
+        net = toy_network(n_people=int(rng.integers(12, 25)), seed=seed)
+        self._run_workload(RANKERS[ranker_name](), net, seed)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS[:1])
+    def test_gcn_quick(self, small_gcn_ranker, small_dataset, seed):
+        self._run_workload(small_gcn_ranker, small_dataset.network, seed, k=10)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", QUICK_SEEDS[1:])
+    def test_gcn_full(self, small_gcn_ranker, small_dataset, seed):
+        self._run_workload(small_gcn_ranker, small_dataset.network, seed, k=10)

@@ -93,3 +93,24 @@ class TestCommands:
     def test_explain_invalid_person_id(self, tiny_args):
         with pytest.raises(SystemExit):
             main(["explain", *tiny_args, "--query", "x", "--person", "99999"])
+
+    def test_workload_with_json(self, capsys, tiny_args, tmp_path):
+        out_file = tmp_path / "workload.json"
+        code = main(
+            [
+                "workload",
+                *tiny_args,
+                "--queries", "2",
+                "--workers", "2",
+                "--kinds", "query", "cf_query",
+                "--json", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests over 2 queries" in out
+        assert "req/s" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["n_errors"] == 0
+        assert payload["requests_per_second"] > 0
+        assert {row["kind"] for row in payload["rows"]} == {"query", "cf_query"}
