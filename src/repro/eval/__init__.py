@@ -18,6 +18,7 @@ from repro.eval.metrics import (
 from repro.eval.workload import (
     ExplanationSubjects,
     TeamSubjects,
+    outcome_counts,
     random_queries,
     sample_search_subjects,
     sample_team_subjects,
@@ -70,6 +71,7 @@ __all__ = [
     "format_sweep",
     "WorkloadKindRow",
     "WorkloadReport",
+    "outcome_counts",
     "random_queries",
     "run_counterfactual_experiment",
     "run_factual_experiment",

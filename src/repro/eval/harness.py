@@ -325,6 +325,9 @@ class WorkloadReport:
     elapsed_seconds: float
     max_workers: int
     rows: List[WorkloadKindRow] = field(default_factory=list)
+    # Typed-outcome tally (ok/degraded/timed_out/rejected/failed) from
+    # the service's resilience runtime; all-ok workloads show {"ok": n}.
+    outcomes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -382,6 +385,10 @@ def run_workload_experiment(
         )
         for kind, bucket in sorted(per_kind.items())
     ]
+    outcomes: Dict[str, int] = {}
+    for response in responses:
+        outcome = getattr(response, "outcome", "ok")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
     return WorkloadReport(
         n_requests=len(responses),
         n_errors=sum(row.n_errors for row in rows),
@@ -389,4 +396,5 @@ def run_workload_experiment(
         elapsed_seconds=elapsed,
         max_workers=max_workers,
         rows=rows,
+        outcomes=outcomes,
     )

@@ -134,22 +134,34 @@ def sample_team_subjects(
 def search_requests(
     subjects: Sequence[ExplanationSubjects],
     kinds: Iterable[str] = EXPLANATION_KINDS,
+    timeout_seconds: Optional[float] = None,
+    probe_limit: Optional[int] = None,
+    session: str = "",
 ) -> List[ExplainRequest]:
     """One request per (subject, kind) over sampled search subjects: the
     expert (explaining inclusion in the top-k) and the non-expert
     (explaining exclusion) each get every requested kind, tagged with
-    their role for per-role aggregation."""
+    their role for per-role aggregation.  ``timeout_seconds`` /
+    ``probe_limit`` / ``session`` stamp every request with a budget and a
+    caller identity for the service's resilience runtime (None/"" keeps
+    the deterministic unlimited mode)."""
     kinds = tuple(kinds)
     requests: List[ExplainRequest] = []
     for subject in subjects:
         if subject.expert is not None:
             requests.extend(
-                make_requests(kinds, subject.expert, subject.query, tag="expert")
+                make_requests(
+                    kinds, subject.expert, subject.query, tag="expert",
+                    timeout_seconds=timeout_seconds, probe_limit=probe_limit,
+                    session=session,
+                )
             )
         if subject.non_expert is not None:
             requests.extend(
                 make_requests(
-                    kinds, subject.non_expert, subject.query, tag="non_expert"
+                    kinds, subject.non_expert, subject.query, tag="non_expert",
+                    timeout_seconds=timeout_seconds, probe_limit=probe_limit,
+                    session=session,
                 )
             )
     return requests
@@ -158,10 +170,14 @@ def search_requests(
 def team_requests(
     subjects: Sequence[TeamSubjects],
     kinds: Iterable[str] = EXPLANATION_KINDS,
+    timeout_seconds: Optional[float] = None,
+    probe_limit: Optional[int] = None,
+    session: str = "",
 ) -> List[ExplainRequest]:
     """One membership request per (subject, kind): the sampled member
     (explaining inclusion) and the seed-neighborhood non-member
-    (explaining exclusion), pinned to each case's seed member."""
+    (explaining exclusion), pinned to each case's seed member.  Budget
+    and session stamping as in :func:`search_requests`."""
     kinds = tuple(kinds)
     requests: List[ExplainRequest] = []
     for subject in subjects:
@@ -172,6 +188,18 @@ def team_requests(
                 make_requests(
                     kinds, person, subject.query,
                     team=True, seed_member=subject.seed_member, tag=tag,
+                    timeout_seconds=timeout_seconds, probe_limit=probe_limit,
+                    session=session,
                 )
             )
     return requests
+
+
+def outcome_counts(responses: Iterable) -> dict:
+    """Tally of response outcomes — the workload-level observability
+    summary the bench's resilience row and experiment harness report."""
+    counts: dict = {}
+    for response in responses:
+        outcome = getattr(response, "outcome", "ok")
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts

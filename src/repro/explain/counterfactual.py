@@ -36,6 +36,7 @@ from repro.explain.explanation import (
 from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import Perturbation, Query, apply_perturbations, as_query
+from repro.runtime import BudgetExceeded, active_budget
 from repro.search.engine import ProbeEngine
 
 # Candidate states flushed per probe_batch call: big enough to fill two
@@ -104,6 +105,14 @@ def beam_search_counterfactuals(
             if config.timeout_seconds is not None
             else None
         )
+    # The active request budget's wall clock folds into the beam's own
+    # deadline (innermost wins); its probe-count limit is enforced by the
+    # engine itself, surfacing as BudgetExceeded at the flush below.
+    budget = active_budget()
+    if budget is not None and budget.deadline is not None:
+        deadline = (
+            budget.deadline if deadline is None else min(deadline, budget.deadline)
+        )
     if engine is None:
         engine = ProbeEngine(target, network)
     misses_at_entry = engine.misses
@@ -151,9 +160,15 @@ def beam_search_counterfactuals(
             round_states = []  # the deadline passed mid-generation: stop probing
         for flush_at in range(0, len(round_states), _FLUSH_CHUNK):
             chunk = round_states[flush_at : flush_at + _FLUSH_CHUNK]
-            probes = engine.probe_batch(
-                [(person, q2, net2) for (_, _, q2, net2) in chunk]
-            )
+            try:
+                probes = engine.probe_batch(
+                    [(person, q2, net2) for (_, _, q2, net2) in chunk]
+                )
+            except BudgetExceeded:
+                # Probe-count budget spent mid-search: the counterfactuals
+                # found so far are already valid — stop and return them.
+                timed_out = True
+                break
             for (new_state, key, _, _), (decision, order) in zip(chunk, probes):
                 if decision != initial_decision:
                     found.append(
@@ -180,6 +195,10 @@ def beam_search_counterfactuals(
         )
         queue = [state for _, state in expanded[: config.beam_size]]
 
+    if timed_out and budget is not None:
+        # Stamp the budget when the trip came from our own clock checks
+        # (poll records nothing if the budget itself has time left).
+        budget.poll()
     minimal = filter_minimal(found)
     return CounterfactualExplanation(
         person=person,
@@ -237,10 +256,21 @@ class CounterfactualExplainer:
 
         Started here — *before* candidate generation — so the generators
         that probe (link removal) or scan large pools share the same
-        ``timeout_seconds`` budget as the beam search that follows."""
-        if self.config.timeout_seconds is None:
-            return None
-        return time.perf_counter() + self.config.timeout_seconds
+        ``timeout_seconds`` budget as the beam search that follows.  The
+        active request budget's wall clock folds in (innermost wins), so
+        candidate generation honors service deadlines too."""
+        own = (
+            time.perf_counter() + self.config.timeout_seconds
+            if self.config.timeout_seconds is not None
+            else None
+        )
+        budget = active_budget()
+        theirs = budget.deadline if budget is not None else None
+        if own is None:
+            return theirs
+        if theirs is None:
+            return own
+        return min(own, theirs)
 
     # -- skills ---------------------------------------------------------
     def explain_skill_removal(

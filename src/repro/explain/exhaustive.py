@@ -51,6 +51,7 @@ from repro.graph.perturbations import (
     apply_perturbations,
     as_query,
 )
+from repro.runtime import BudgetExceeded, active_budget, check_budget
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,10 @@ class ExhaustiveFactualExplainer:
         start = time.perf_counter()
 
         def fn(mask):
+            # Plain value function (no probe engine underneath), so the
+            # request budget is charged here; the SHAP estimators catch
+            # the trip and solve from the coalitions evaluated so far.
+            check_budget(1)
             net2, q2 = masked_inputs(features, mask, query, network)
             return 1.0 if self.target.decide(person, q2, net2) else 0.0
 
@@ -155,6 +160,10 @@ def _search_subsets(
     with timeout — the exhaustive counterfactual baseline."""
     start = time.perf_counter()
     deadline = start + config.timeout_seconds
+    budget = active_budget()
+    if budget is not None and budget.deadline is not None:
+        deadline = min(deadline, budget.deadline)
+    check_budget(1)
     initial_decision, _ = target.decide_with_order(person, query, network)
     probes = 1
     found: List[Counterfactual] = []
@@ -177,12 +186,19 @@ def _search_subsets(
                 net2, q2 = apply_perturbations(network, query, combo)
             except ValueError:
                 continue
+            try:
+                check_budget(1)
+            except BudgetExceeded:
+                timed_out = True
+                break
             decision, order = target.decide_with_order(person, q2, net2)
             probes += 1
             if decision != initial_decision:
                 found.append(Counterfactual(perturbations=combo, new_order_key=order))
                 found_sets.add(key)
 
+    if timed_out and budget is not None:
+        budget.poll()  # stamp when the trip came from our own clock check
     return CounterfactualExplanation(
         person=person,
         query=query,

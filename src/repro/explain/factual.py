@@ -32,6 +32,7 @@ from repro.explain.shap import ShapExplainer, ShapResult
 from repro.explain.targets import DecisionTarget
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import Query, as_query
+from repro.runtime import BudgetExceeded
 from repro.search.engine import ProbeEngine
 
 
@@ -273,7 +274,10 @@ class FactualExplainer:
         edges, keep edges with |φ| ≥ τ, enqueue their far endpoints.
 
         Returns the impactful edge set I and the number of model
-        evaluations spent selecting it.
+        evaluations spent selecting it.  A spent request budget stops the
+        BFS and returns the edges found so far (the selection stage only
+        thresholds |φ| against τ, so a truncated frontier merely prunes
+        harder — it never invents edges).
         """
         allowed = network.neighborhood(person, self.config.collab_radius)
         queue: List[int] = [person]
@@ -293,7 +297,10 @@ class FactualExplainer:
             fresh = [e for e in incident if e not in impactful]
             if not fresh:
                 continue
-            result = self._run_shap(person, query, network, fresh, selection=True)
+            try:
+                result = self._run_shap(person, query, network, fresh, selection=True)
+            except BudgetExceeded:
+                break
             evaluations += result.n_evaluations
             for edge, value in zip(fresh, result.values):
                 if abs(value) >= self.config.tau:
@@ -326,7 +333,26 @@ class FactualExplainer:
                 pruned=True,
                 kind="collaborations",
             )
-        result = self._run_shap(person, query, network, edges)
+        try:
+            result = self._run_shap(person, query, network, edges)
+        except BudgetExceeded:
+            # Budget spent before the final attribution pass could even
+            # anchor f(∅)/f(full): the pruned edge set is still the useful
+            # part of this explanation — return it with zeroed values.
+            return FactualExplanation(
+                person=person,
+                query=query,
+                attributions=[
+                    FeatureAttribution(feature=e, value=0.0) for e in edges
+                ],
+                base_value=0.0,
+                full_value=0.0,
+                n_evaluations=selection_evals,
+                elapsed_seconds=time.perf_counter() - start,
+                method="selection-partial",
+                pruned=True,
+                kind="collaborations",
+            )
         return self._package(
             person, query, edges, result,
             time.perf_counter() - start, "collaborations",

@@ -3,7 +3,9 @@
 A deployed explanation tool needs to ship explanations across process
 boundaries (the paper's Flask backend returns them to a VueJS frontend).
 This module round-trips every explanation object through plain JSON-safe
-dicts: features, perturbations, factual and counterfactual explanations.
+dicts: features, perturbations, factual and counterfactual explanations —
+and the service layer's typed requests, structured errors, and outcome-
+tagged responses.
 """
 
 from __future__ import annotations
@@ -176,4 +178,121 @@ def counterfactual_from_dict(payload: Dict[str, Any]) -> CounterfactualExplanati
         pruned=bool(payload["pruned"]),
         timed_out=bool(payload.get("timed_out", False)),
         candidate_count=int(payload.get("candidate_count", 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# service layer: requests, structured errors, outcome-tagged responses
+# ---------------------------------------------------------------------------
+
+
+def explanation_to_dict(explanation) -> Dict[str, Any]:
+    """Either explanation family through the matching serializer."""
+    if isinstance(explanation, FactualExplanation):
+        return factual_to_dict(explanation)
+    if isinstance(explanation, CounterfactualExplanation):
+        return counterfactual_to_dict(explanation)
+    raise TypeError(f"unknown explanation type: {type(explanation).__name__}")
+
+
+def explanation_from_dict(payload: Dict[str, Any]):
+    kind = payload.get("type")
+    if kind == "factual":
+        return factual_from_dict(payload)
+    if kind == "counterfactual":
+        return counterfactual_from_dict(payload)
+    raise ValueError(f"unknown explanation payload type: {kind!r}")
+
+
+def explain_error_to_dict(error) -> Dict[str, Any]:
+    return {
+        "kind": error.kind,
+        "message": error.message,
+        "retryable": error.retryable,
+        "traceback": error.traceback,
+    }
+
+
+def explain_error_from_dict(payload: Dict[str, Any]):
+    from repro.service.requests import ExplainError
+
+    return ExplainError(
+        kind=payload["kind"],
+        message=payload["message"],
+        retryable=bool(payload.get("retryable", False)),
+        traceback=payload.get("traceback", ""),
+    )
+
+
+def request_to_dict(request) -> Dict[str, Any]:
+    return {
+        "kind": request.kind,
+        "person": request.person,
+        "query": list(request.query),
+        "team": request.team,
+        "seed_member": request.seed_member,
+        "tag": request.tag,
+        "timeout_seconds": request.timeout_seconds,
+        "probe_limit": request.probe_limit,
+        "session": request.session,
+    }
+
+
+def request_from_dict(payload: Dict[str, Any]):
+    from repro.service.requests import ExplainRequest
+
+    return ExplainRequest(
+        kind=payload["kind"],
+        person=int(payload["person"]),
+        query=tuple(payload["query"]),
+        team=bool(payload.get("team", False)),
+        seed_member=payload.get("seed_member"),
+        tag=payload.get("tag", ""),
+        timeout_seconds=payload.get("timeout_seconds"),
+        probe_limit=payload.get("probe_limit"),
+        session=payload.get("session", ""),
+    )
+
+
+def response_to_dict(response) -> Dict[str, Any]:
+    return {
+        "request": request_to_dict(response.request),
+        "explanation": (
+            explanation_to_dict(response.explanation)
+            if response.explanation is not None
+            else None
+        ),
+        "elapsed_seconds": response.elapsed_seconds,
+        "error": (
+            explain_error_to_dict(response.error)
+            if response.error is not None
+            else None
+        ),
+        "coalesced": response.coalesced,
+        "outcome": response.outcome,
+        "degraded_reason": response.degraded_reason,
+        "fallback": response.fallback,
+    }
+
+
+def response_from_dict(payload: Dict[str, Any]):
+    from repro.service.requests import ExplainResponse
+
+    return ExplainResponse(
+        request=request_from_dict(payload["request"]),
+        explanation=(
+            explanation_from_dict(payload["explanation"])
+            if payload.get("explanation") is not None
+            else None
+        ),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        error=(
+            explain_error_from_dict(payload["error"])
+            if payload.get("error") is not None
+            else None
+        ),
+        coalesced=bool(payload.get("coalesced", False)),
+        outcome=payload.get("outcome", "ok"),
+        degraded_reason=payload.get("degraded_reason"),
+        fallback=payload.get("fallback"),
     )

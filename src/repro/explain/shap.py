@@ -28,6 +28,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime import BudgetExceeded
+
 ValueFunction = Callable[[np.ndarray], float]
 
 
@@ -40,6 +42,10 @@ class ShapResult:
     full_value: float  # f(all features present)
     n_evaluations: int
     method: str
+    # Set when the active request budget expired mid-estimation and the
+    # attributions were solved from the coalitions evaluated so far
+    # ("deadline" / "probe_budget"); None for a complete run.
+    truncated_reason: Optional[str] = None
 
     @property
     def n_features(self) -> int:
@@ -114,36 +120,122 @@ class _CachingValueFunction:
             bulk(fresh)
 
 
+def _constrained_phi(
+    z: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    delta: float,
+    active: np.ndarray,
+) -> np.ndarray:
+    """Weighted least squares over the active features with Σφ = Δ
+    enforced exactly by eliminating the last active feature — the shared
+    solver tail of :func:`kernel_shap` and the budget-truncated partial
+    estimates."""
+    m = z.shape[1]
+    idx = np.flatnonzero(active)
+    phi = np.zeros(m)
+    if len(idx) == 1:
+        phi[idx[0]] = delta
+        return phi
+    # y − z_last·Δ = (z_head − z_last)·φ_head
+    z_act = z[:, idx]
+    z_head = z_act[:, :-1]
+    z_last = z_act[:, -1]
+    design = z_head - z_last[:, None]
+    response = y - z_last * delta
+    sw = np.sqrt(w)
+    a = design * sw[:, None]
+    b = response * sw
+    phi_head, *_ = np.linalg.lstsq(a, b, rcond=None)
+    phi[idx[:-1]] = phi_head
+    phi[idx[-1]] = delta - phi_head.sum()
+    return phi
+
+
+def _partial_from_cache(
+    f: _CachingValueFunction,
+    m: int,
+    base: float,
+    full: float,
+    reason: str,
+    method: str,
+) -> ShapResult:
+    """Best-so-far attributions when the request budget expired mid-run.
+
+    Solves the same Σφ = Δ constrained weighted regression as KernelSHAP
+    over whatever coalitions were evaluated before the trip (the memo of
+    ``f``); with zero informative coalitions the delta is spread
+    uniformly, which still satisfies efficiency.  Requires ``base`` and
+    ``full`` — both estimators evaluate those two anchors first, so any
+    truncated run has them.
+    """
+    delta = full - base
+    masks: List[np.ndarray] = []
+    ys: List[float] = []
+    for key, val in f._cache.items():
+        arr = np.frombuffer(key, dtype=bool)
+        s = int(arr.sum())
+        if s == 0 or s == m:
+            continue  # the anchors; infinite kernel weight
+        masks.append(np.array(arr, dtype=np.float64))
+        ys.append(val)
+    if m == 1 or not masks:
+        values = np.full(m, delta / m)
+    else:
+        z = np.asarray(masks)
+        y = np.asarray(ys) - base
+        w = np.array([_kernel_weight(m, int(row.sum())) for row in z])
+        values = _constrained_phi(z, y, w, delta, np.ones(m, dtype=bool))
+    return ShapResult(
+        values=values,
+        base_value=base,
+        full_value=full,
+        n_evaluations=f.n_evaluations,
+        method=method,
+        truncated_reason=reason,
+    )
+
+
 def exact_shap(fn: ValueFunction, n_features: int) -> ShapResult:
-    """Exact Shapley values by coalition enumeration (O(2^M) evaluations)."""
+    """Exact Shapley values by coalition enumeration (O(2^M) evaluations).
+
+    The ∅ and full coalitions are evaluated before the bulk prefetch so a
+    budget-truncated run always holds both efficiency anchors; the result
+    is unchanged (the memo dedups them out of the prefetch sweep).
+    """
     if n_features < 1:
         raise ValueError("need at least one feature")
     f = _CachingValueFunction(fn, n_features)
-    if n_features <= 12:
-        # Exact enumeration touches every coalition anyway; announcing the
-        # full 2^M sweep up front lets a shared-session value function
-        # answer it with batched/multi-query probe flushes.
-        f.prefetch(
-            np.array(bits, dtype=bool)
-            for bits in itertools.product((False, True), repeat=n_features)
-        )
     base = f(np.zeros(n_features, dtype=bool))
     full = f(np.ones(n_features, dtype=bool))
-    values = np.zeros(n_features)
-    fact = math.factorial
-    denom = fact(n_features)
-    indices = list(range(n_features))
-    for i in indices:
-        others = [j for j in indices if j != i]
-        for size in range(n_features):
-            weight = fact(size) * fact(n_features - size - 1) / denom
-            for subset in itertools.combinations(others, size):
-                mask = np.zeros(n_features, dtype=bool)
-                mask[list(subset)] = True
-                without = f(mask)
-                mask[i] = True
-                with_i = f(mask)
-                values[i] += weight * (with_i - without)
+    try:
+        if n_features <= 12:
+            # Exact enumeration touches every coalition anyway; announcing
+            # the full 2^M sweep up front lets a shared-session value
+            # function answer it with batched/multi-query probe flushes.
+            f.prefetch(
+                np.array(bits, dtype=bool)
+                for bits in itertools.product((False, True), repeat=n_features)
+            )
+        values = np.zeros(n_features)
+        fact = math.factorial
+        denom = fact(n_features)
+        indices = list(range(n_features))
+        for i in indices:
+            others = [j for j in indices if j != i]
+            for size in range(n_features):
+                weight = fact(size) * fact(n_features - size - 1) / denom
+                for subset in itertools.combinations(others, size):
+                    mask = np.zeros(n_features, dtype=bool)
+                    mask[list(subset)] = True
+                    without = f(mask)
+                    mask[i] = True
+                    with_i = f(mask)
+                    values[i] += weight * (with_i - without)
+    except BudgetExceeded as exc:
+        return _partial_from_cache(
+            f, n_features, base, full, exc.reason, method="exact-partial"
+        )
     return ShapResult(
         values=values,
         base_value=base,
@@ -351,8 +443,13 @@ def kernel_shap(
 
     z = np.asarray(masks, dtype=np.float64)
     w = np.asarray(weights, dtype=np.float64)
-    f.prefetch(masks)  # whole coalition set in batched probe flushes
-    y = np.array([f(mask) for mask in masks]) - base
+    try:
+        f.prefetch(masks)  # whole coalition set in batched probe flushes
+        y = np.array([f(mask) for mask in masks]) - base
+    except BudgetExceeded as exc:
+        return _partial_from_cache(
+            f, m, base, full, exc.reason, method="kernel-partial"
+        )
     delta = full - base
 
     # Optional sparsification: restrict the regression to a lasso-selected
@@ -372,24 +469,7 @@ def kernel_shap(
             active = np.zeros(m, dtype=bool)
             active[int(np.argmax(corr))] = True
 
-    idx = np.flatnonzero(active)
-    phi = np.zeros(m)
-    if len(idx) == 1:
-        phi[idx[0]] = delta
-    else:
-        # Enforce Σφ = Δ by eliminating the last active feature:
-        # y − z_last·Δ = (z_head − z_last)·φ_head
-        z_act = z[:, idx]
-        z_head = z_act[:, :-1]
-        z_last = z_act[:, -1]
-        design = z_head - z_last[:, None]
-        response = y - z_last * delta
-        sw = np.sqrt(w)
-        a = design * sw[:, None]
-        b = response * sw
-        phi_head, *_ = np.linalg.lstsq(a, b, rcond=None)
-        phi[idx[:-1]] = phi_head
-        phi[idx[-1]] = delta - phi_head.sum()
+    phi = _constrained_phi(z, y, w, delta, active)
     return ShapResult(
         values=phi,
         base_value=base,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
+from repro.runtime import delta_bypassed
 
 
 @dataclass
@@ -117,8 +118,13 @@ class ExpertSearchSystem(abc.ABC):
         self, query: Query, network: CollaborationNetwork
     ) -> Optional[np.ndarray]:
         """Delta-scored overlay result, or None when the plain path must
-        run (non-overlay input, ``full_rebuild`` set, or no delta path)."""
-        if self.full_rebuild or not isinstance(network, NetworkOverlay):
+        run (non-overlay input, ``full_rebuild`` set, the current thread's
+        :func:`~repro.runtime.delta_bypass` scope, or no delta path)."""
+        if (
+            self.full_rebuild
+            or delta_bypassed()
+            or not isinstance(network, NetworkOverlay)
+        ):
             return None
         session = self._session_for(network.base)
         if session is None:

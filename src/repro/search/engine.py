@@ -86,6 +86,7 @@ import scipy.sparse as sp
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
+from repro.runtime import check_budget, delta_bypassed, fault_point
 
 _MAX_QUERY_CACHE = 512  # per-session distinct base-query states
 _MAX_MEMO = 200_000  # per-engine memoized probe outcomes
@@ -93,6 +94,22 @@ _MAX_SCORE_MEMO = 2_048  # per-engine memoized score *vectors* (n floats each)
 _MAX_PATCH_CACHE = 128  # per-session patched operators, keyed by flip set
 _MAX_SEMANTIC_CACHE = 4_096  # per-session solved subproblems (rows/solutions)
 _BATCH_GROUP = 8  # overlays per batched GCN forward (bounds block size)
+# Patched-row count below which TfidfDeltaSession.scores_batch answers with
+# the plain per-row loop instead of the CSR gather: constructing (and
+# validating) a scipy CSR costs more than the handful of tiny sparse dot
+# products it replaces, which is exactly the regime probe flushes live in
+# (_BATCH_GROUP overlays x 1-5 flips) — the 0.84x batched regression in
+# BENCH_probe_engine.json.  Profiled on the bench network: the gather only
+# breaks even past ~100 rows.
+_TFIDF_GATHER_MIN_ROWS = 96
+# Stacked power iterations only pay off once the matrix is large enough
+# that the shared (n, k) spmm amortizes the dense bookkeeping (column
+# masking, convergence compaction, restart stacking).  Below this many
+# people a warm-started walk is a handful of tiny spmv kernels and the
+# stacked path *loses* — profiled 0.6x on a 106-person network for
+# coalition flushes sharing one operator, while the 212-person bench
+# network keeps its >2x multi-query stacked win.
+_PAGERANK_STACK_MIN_PEOPLE = 192
 # Neighborhood-restricted GCN forwards only pay off while the receptive
 # field stays well below the whole graph; past this fraction the full
 # patched forward is cheaper than the slicing bookkeeping.
@@ -814,17 +831,22 @@ class PageRankDeltaSession(DeltaSession):
         over one shared (patched) operator — a single power iteration for
         one entry, a stacked ``(n, k)`` iteration for a group (each column
         starting exactly where its sequential loop would: its own warm
-        start when one exists, its restart otherwise)."""
+        start when one exists, its restart otherwise).  Small networks
+        (below :data:`_PAGERANK_STACK_MIN_PEOPLE`) always take the
+        sequential loop: the stacked kernel's dense bookkeeping loses to
+        plain spmv walks there."""
         if not ekey:
             adj, out_degree = self._adj, self._out_degree
         else:
             adj, out_degree = self._patched_operator(dict(ekey))
-        if len(pending) == 1:
-            i, (restart, warm, skey) = pending[0]
-            solution, converged = self.ranker._power_iteration(
-                restart, adj, out_degree, warm_start=warm
-            )
-            return [(i, self._finish(solution, converged, skey))]
+        if len(pending) == 1 or self.base.n_people < _PAGERANK_STACK_MIN_PEOPLE:
+            out = []
+            for i, (restart, warm, skey) in pending:
+                solution, converged = self.ranker._power_iteration(
+                    restart, adj, out_degree, warm_start=warm
+                )
+                out.append((i, self._finish(solution, converged, skey)))
+            return out
         restarts = np.stack([r for (_, (r, _, _)) in pending], axis=1)
         starts = np.stack(
             [(r if w is None else w) for (_, (r, w, _)) in pending], axis=1
@@ -852,12 +874,26 @@ class PageRankDeltaSession(DeltaSession):
         """Stacked warm-started power iterations: probes sharing an edge
         flip set share a patched transition operator, and their restart
         vectors advance together through ``(n, k)`` spmm kernels (converged
-        columns freeze exactly where their sequential loop would break)."""
+        columns freeze exactly where their sequential loop would break).
+
+        Small networks (below :data:`_PAGERANK_STACK_MIN_PEOPLE`) fall
+        back to the sequential loop, base state hoisted: with walks this
+        cheap the grouping machinery and stacked kernels cost more than
+        they amortize, so batching must not be allowed to lose."""
         overlays = list(overlays)
         if len(overlays) <= 1:
             return [self.scores(query, ov) for ov in overlays]
         if self.base.n_people == 0:
             return [np.zeros(0) for _ in overlays]
+        if self.base.n_people < _PAGERANK_STACK_MIN_PEOPLE:
+            out: List[np.ndarray] = []
+            for overlay in overlays:
+                ekey = _edge_key(overlay.edge_flips())
+                result, pending = self._resolve(query, overlay, ekey)
+                if result is None:
+                    result = self._solve_pending([(0, pending)], ekey)[0][1]
+                out.append(result)
+            return out
         results: List[Optional[np.ndarray]] = [None] * len(overlays)
         groups: Dict[FrozenSet, List[Tuple[int, Tuple]]] = {}
         for i, overlay in enumerate(overlays):
@@ -1153,7 +1189,11 @@ class TfidfDeltaSession(DeltaSession):
         """Multi-row sparse gathers: every (overlay, flipped person) row of
         the flush is gathered into one CSR — deduplicated through the
         per-skill-set row memo — and a single sparse product against the
-        query vector re-scores them all."""
+        query vector re-scores them all.  Small flushes (fewer than
+        :data:`_TFIDF_GATHER_MIN_ROWS` patched rows — every probe-engine
+        flush) skip the gather: with so few rows the CSR construction
+        costs more than the per-row dot products, so the batched path
+        answers with the sequential loop, base state hoisted."""
         overlays = list(overlays)
         if len(overlays) <= 1:
             return [self.scores(query, ov) for ov in overlays]
@@ -1167,6 +1207,12 @@ class TfidfDeltaSession(DeltaSession):
             for p in sorted({p for (p, _) in overlay.skill_flips()}):
                 results[i][p] = 0.0  # overwritten below unless the row is empty
                 entries.append((i, p, overlay.skills(p)))
+        if len(entries) < _TFIDF_GATHER_MIN_ROWS:
+            for i, p, skills in entries:
+                cols, vals = self._patched_row(skills)
+                if cols.size:
+                    results[i][p] = float(vals @ q_vec[cols])
+            return results
         gathered = self._gather_rows(entries)
         if gathered is not None:
             values = np.asarray(gathered @ q_vec).ravel()
@@ -1202,6 +1248,17 @@ class TfidfDeltaSession(DeltaSession):
                 out[p] = values[j, qi] if values is not None else 0.0
             results.append(out)
         return results
+
+
+def _fault_key(query, flips) -> Tuple:
+    """A run-stable identity for one probe flush, handed to
+    :func:`~repro.runtime.fault_point` so a seeded injector faults the
+    same states every run regardless of thread interleaving."""
+    if isinstance(query, (list, tuple)):
+        qpart: Tuple = tuple(tuple(sorted(q)) for q in query)
+    else:
+        qpart = tuple(sorted(query))
+    return (qpart, tuple(sorted(repr(f) for f in flips)))
 
 
 class ProbeEngine:
@@ -1285,6 +1342,10 @@ class ProbeEngine:
     def _probe_uncached(
         self, person: int, query: Query, network, key: Optional[Tuple]
     ) -> Tuple[bool, float]:
+        # One system evaluation: charge the active request budget before
+        # the work.  No fault point here — this is (part of) the clean
+        # reference path the degradation ladder retries on.
+        check_budget(1)
         if self.full_rebuild and isinstance(network, NetworkOverlay):
             network = network.materialize()
         result = self.target.decide_with_order(person, query, network)
@@ -1333,6 +1394,10 @@ class ProbeEngine:
         session = self._batch_session()
         if session is None:
             return None
+        check_budget(1)
+        fault_point(
+            "session.scores", key=_fault_key(query, overlay.flips()), engine=self
+        )
         scores = session.scores(query, overlay)
         self._score_memo.put(skey, scores)
         return scores, False
@@ -1402,6 +1467,8 @@ class ProbeEngine:
                 continue
             overlay = self._overlay_for(items[0][3])
             qlist = list(queries)
+            check_budget(len(qlist))
+            fault_point("session.scores", key=_fault_key(qlist, flips), engine=self)
             score_list = session.shared_context(overlay).scores_multi(qlist)
             self.multi_flushes += 1
             for query, scores in zip(qlist, score_list):
@@ -1417,6 +1484,19 @@ class ProbeEngine:
         for query, items in by_query.items():
             for start in range(0, len(items), _BATCH_GROUP):
                 chunk = items[start : start + _BATCH_GROUP]
+                check_budget(len(chunk))
+                fault_point(
+                    "session.scores",
+                    key=_fault_key(
+                        query,
+                        [
+                            f
+                            for (_, _, _, net, _) in chunk
+                            for f in self._overlay_for(net).flips()
+                        ],
+                    ),
+                    engine=self,
+                )
                 score_list = session.scores_batch(
                     query, [self._overlay_for(net) for (_, _, _, net, _) in chunk]
                 )
@@ -1456,8 +1536,11 @@ class ProbeEngine:
 
     def _batch_session(self):
         """The target ranker's delta session over this engine's base, when
-        batched overlay scoring is usable at all."""
-        if self.full_rebuild:
+        batched overlay scoring is usable at all.  The thread's
+        :func:`~repro.runtime.delta_bypass` scope disables it too — the
+        service's full-rebuild fallback tier routes *every* probe through
+        the plain paths with overlays kept visible."""
+        if self.full_rebuild or delta_bypassed():
             return None
         ranker = getattr(self.target, "ranker", None)
         if ranker is None or getattr(ranker, "full_rebuild", False):

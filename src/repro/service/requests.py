@@ -36,6 +36,17 @@ FACTUAL_KINDS: Tuple[str, ...] = ("skills", "query", "collaborations")
 COUNTERFACTUAL_KINDS: Tuple[str, ...] = ("cf_skills", "cf_query", "cf_collaborations")
 EXPLANATION_KINDS: Tuple[str, ...] = FACTUAL_KINDS + COUNTERFACTUAL_KINDS
 
+#: The typed outcome taxonomy — every response lands in exactly one:
+#:
+#: ``ok``         complete explanation (possibly via full-rebuild fallback)
+#: ``degraded``   partial explanation; the budget expired mid-search and
+#:                best-so-far state was salvaged (``degraded_reason`` says
+#:                whether the wall clock or the probe allowance tripped)
+#: ``timed_out``  the budget expired before any partial state existed
+#: ``rejected``   load-shed by admission control before any work ran
+#: ``failed``     an exception survived the degradation ladder
+OUTCOMES: Tuple[str, ...] = ("ok", "degraded", "timed_out", "rejected", "failed")
+
 #: Which ``ExES`` facade method answers each kind — the per-call
 #: reference the parity gates (tests + bench) compare the service
 #: against, defined once so both gates drive the same methods.
@@ -60,6 +71,13 @@ class ExplainRequest:
     team: bool = False
     seed_member: Optional[int] = None
     tag: str = ""  # free-form caller label (workload bookkeeping)
+    # Per-request execution budget, enforced cooperatively at probe-flush
+    # granularity (None = unlimited, the default — and the deterministic
+    # parity mode, since no budget means no code path changes).
+    timeout_seconds: Optional[float] = None
+    probe_limit: Optional[int] = None
+    # Caller identity for admission control's per-session fair share.
+    session: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in EXPLANATION_KINDS:
@@ -77,6 +95,12 @@ class ExplainRequest:
         object.__setattr__(self, "query", tuple(sorted(set(self.query))))
         if not self.team and self.seed_member is not None:
             raise ValueError("seed_member only applies to team requests")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.probe_limit is not None and self.probe_limit < 1:
+            raise ValueError(f"probe_limit must be >= 1, got {self.probe_limit}")
 
     @property
     def is_factual(self) -> bool:
@@ -100,28 +124,62 @@ Explanation = Union[FactualExplanation, CounterfactualExplanation]
 
 
 @dataclass(frozen=True)
+class ExplainError:
+    """A structured failure attached to a response (never raised).
+
+    ``kind`` is the exception class name (or a service-assigned tag like
+    ``"BudgetExceeded"`` / ``"Rejected"``); ``retryable`` says whether the
+    same request could plausibly succeed on resubmission (transient
+    session/infrastructure faults yes, request validation no);
+    ``traceback`` holds a truncated formatted traceback for debugging —
+    excluded from equality so responses stay comparable across runs.
+    """
+
+    kind: str
+    message: str
+    retryable: bool = False
+    traceback: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass(frozen=True)
 class ExplainResponse:
     """The outcome of one request: the explanation, or the error that
     prevented it (``explain_many`` never lets one bad request take down
     the batch).  ``coalesced`` marks a response served from an identical
-    request answered earlier in the same batch."""
+    request answered earlier in the same batch.
+
+    ``outcome`` is one of :data:`OUTCOMES`; ``degraded_reason`` carries
+    the budget trip for partial results; ``fallback`` names the ladder
+    tier that rescued the request (``"full_rebuild"``) when the delta
+    path failed or its circuit was open.
+    """
 
     request: ExplainRequest
     explanation: Optional[Explanation] = None
     elapsed_seconds: float = 0.0
-    error: Optional[str] = None
+    error: Optional[ExplainError] = None
     coalesced: bool = False
+    outcome: str = "ok"
+    degraded_reason: Optional[str] = None
+    fallback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        return self.outcome == "degraded"
 
     def unwrap(self) -> Explanation:
         """The explanation, raising if the request failed."""
         if self.explanation is None:
             raise RuntimeError(
                 f"request {self.request.kind!r} for person "
-                f"{self.request.person} failed: {self.error}"
+                f"{self.request.person} failed ({self.outcome}): {self.error}"
             )
         return self.explanation
 
@@ -156,6 +214,9 @@ def make_requests(
     team: bool = False,
     seed_member: Optional[int] = None,
     tag: str = "",
+    timeout_seconds: Optional[float] = None,
+    probe_limit: Optional[int] = None,
+    session: str = "",
 ) -> Tuple[ExplainRequest, ...]:
     """One request per kind for a single subject — the common workload
     building block."""
@@ -164,6 +225,8 @@ def make_requests(
         ExplainRequest(
             kind=kind, person=person, query=query,
             team=team, seed_member=seed_member, tag=tag,
+            timeout_seconds=timeout_seconds, probe_limit=probe_limit,
+            session=session,
         )
         for kind in kinds
     )

@@ -1,0 +1,199 @@
+"""Service-side resilience policies: admission, breakers, stats.
+
+These are the *policy* objects of the resilience runtime; the
+*mechanism* (cooperative budgets, the delta-bypass reference routing,
+fault hooks) lives in :mod:`repro.runtime` so the probe layer can import
+it without a cycle.  :class:`ExplanationService` composes them per
+:class:`ResilienceConfig`:
+
+* :class:`AdmissionControl` — a bounded in-flight counter with a
+  per-session fair share.  Over-limit work is *load-shed*: the service
+  answers a typed ``rejected`` response immediately, it never raises and
+  never queues unboundedly.
+* :class:`CircuitBreaker` — per-key (decision family, base identity and
+  version) failure tracking.  ``failure_threshold`` consecutive delta
+  failures open the circuit: requests route straight to the full-rebuild
+  reference tier (correct, slower) without re-paying the failing delta
+  path.  After ``cooldown_seconds`` the circuit goes half-open and one
+  trial request may re-enter the delta path; success closes it.
+* :class:`ServiceStats` — thread-safe outcome/event counters for
+  observability (the bench's resilience row and the chaos suite read
+  these).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the service's resilience runtime.
+
+    The defaults are the *deterministic* configuration: no admission
+    limit, retries and breakers armed but inert without failures — so a
+    default service is bit-identical to one with no runtime at all.
+    """
+
+    #: Max concurrently dispatched requests; None disables admission
+    #: control entirely (every request admitted).
+    max_in_flight: Optional[int] = None
+    #: Fraction of ``max_in_flight`` one session may occupy (fair share).
+    session_share: float = 0.5
+    #: Retry a failed delta dispatch once on the full-rebuild path.
+    full_rebuild_retry: bool = True
+    #: Consecutive delta failures that open a circuit.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open circuit waits before allowing a half-open trial.
+    breaker_cooldown_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if not 0.0 < self.session_share <= 1.0:
+            raise ValueError(
+                f"session_share must be in (0, 1], got {self.session_share}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+
+
+class AdmissionControl:
+    """Bounded in-flight admission with per-session fair share.
+
+    ``try_acquire`` never blocks: it admits (returning None) or names the
+    shed reason (``"load_shed:max_in_flight"`` /
+    ``"load_shed:session_share"``) so the service can answer a typed
+    ``rejected`` response and move on.
+    """
+
+    def __init__(self, max_in_flight: int, session_share: float = 0.5) -> None:
+        self.max_in_flight = max_in_flight
+        self.session_cap = max(1, int(max_in_flight * session_share))
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._per_session: Dict[str, int] = {}
+
+    def try_acquire(self, session: str = "") -> Optional[str]:
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                return "load_shed:max_in_flight"
+            if self._per_session.get(session, 0) >= self.session_cap:
+                return "load_shed:session_share"
+            self._in_flight += 1
+            self._per_session[session] = self._per_session.get(session, 0) + 1
+            return None
+
+    def release(self, session: str = "") -> None:
+        with self._lock:
+            self._in_flight -= 1
+            count = self._per_session.get(session, 0) - 1
+            if count <= 0:
+                self._per_session.pop(session, None)
+            else:
+                self._per_session[session] = count
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with half-open cooldown probes.
+
+    Keys are opaque tuples — the service keys on (decision family, base
+    network identity, base version), so one misbehaving (ranker, base)
+    pair cannot poison routing for the others.  ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> [consecutive_failures, opened_at or None, half_open_trial]
+        self._state: Dict[Tuple, list] = {}
+        self.opened = 0  # total circuit-open transitions (observability)
+
+    def allows_delta(self, key: Tuple) -> bool:
+        """May this request take the delta path right now?
+
+        Closed → yes.  Open → no, until ``cooldown_seconds`` elapse; then
+        half-open: exactly one caller gets a trial pass (its success
+        closes the circuit, its failure re-opens and restarts cooldown).
+        """
+        with self._lock:
+            state = self._state.get(key)
+            if state is None or state[1] is None:
+                return True
+            if self._clock() - state[1] < self.cooldown_seconds:
+                return False
+            if state[2]:  # a trial is already in flight
+                return False
+            state[2] = True
+            return True
+
+    def record_failure(self, key: Tuple) -> None:
+        with self._lock:
+            state = self._state.setdefault(key, [0, None, False])
+            state[0] += 1
+            state[2] = False
+            if state[1] is None and state[0] >= self.failure_threshold:
+                state[1] = self._clock()
+                self.opened += 1
+            elif state[1] is not None:
+                # failed half-open trial: re-open and restart the cooldown
+                state[1] = self._clock()
+
+    def record_success(self, key: Tuple) -> None:
+        with self._lock:
+            self._state.pop(key, None)
+
+    def trial_inconclusive(self, key: Tuple) -> None:
+        """A half-open trial ended without evidence about session health
+        (budget expiry, request validation error): keep the circuit open
+        but free the trial slot for the next caller."""
+        with self._lock:
+            state = self._state.get(key)
+            if state is not None:
+                state[2] = False
+
+    def is_open(self, key: Tuple) -> bool:
+        with self._lock:
+            state = self._state.get(key)
+            return state is not None and state[1] is not None
+
+
+class ServiceStats:
+    """Thread-safe event counters for the service's resilience runtime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, event: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[event] = self._counts.get(event, 0) + n
+
+    def get(self, event: str) -> int:
+        with self._lock:
+            return self._counts.get(event, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

@@ -36,12 +36,32 @@ Engines are never shared across threads (they are not thread-safe); the
 delta sessions underneath them are, via :class:`~repro.search.engine
 ._LruCache`'s internal locking — a double-compute under contention is
 benign because session values are deterministic functions of their keys.
+
+**Resilience** (PR 6): every request terminates with a typed outcome
+(:data:`~repro.service.requests.OUTCOMES`).  A request carrying
+``timeout_seconds``/``probe_limit`` gets a cooperative
+:class:`~repro.runtime.Budget` installed around its dispatch; expiry
+either surfaces a best-so-far *partial* explanation (``degraded``) or a
+typed ``timed_out`` response.  Delta-path failures retry once on the
+reference tier — the same dispatch with :func:`~repro.runtime
+.delta_bypass` routing every probe through the plain paths with
+overlays kept visible (per-request ``full_rebuild`` semantics, parity-
+exact by the same contract the fuzz suite pins) — and a per-(target,
+base version) :class:`~repro.service.runtime.CircuitBreaker` routes
+straight to that tier after repeated failures.  ``explain_many``
+optionally load-sheds over-limit work via :class:`~repro.service
+.runtime.AdmissionControl` (typed ``rejected``, never an exception).
+The default :class:`~repro.service.runtime.ResilienceConfig` leaves all
+of it inert — no budget, no admission, breakers untripped — so the
+deterministic mode stays bit-identical to the per-call facade.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
+import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -51,18 +71,43 @@ from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
 from repro.explain.factual import FactualConfig, FactualExplainer
 from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
 from repro.graph.network import CollaborationNetwork
+from repro.runtime import Budget, BudgetExceeded, budget_scope, delta_bypass
 from repro.search.base import ExpertSearchSystem
 from repro.search.engine import ProbeEngine
 from repro.service.registry import EngineRegistry, default_registry
 from repro.service.requests import (
     EXPLANATION_KINDS,
+    ExplainError,
     ExplainRequest,
     ExplainResponse,
     Explanation,
 )
+from repro.service.runtime import (
+    AdmissionControl,
+    CircuitBreaker,
+    ResilienceConfig,
+    ServiceStats,
+)
 from repro.team.base import TeamFormationSystem
 
+logger = logging.getLogger(__name__)
+
 _KIND_ORDER = {kind: i for i, kind in enumerate(EXPLANATION_KINDS)}
+
+#: Exceptions _warm_shard treats as *expected*: warming probes the same
+#: state the per-request dispatch will, so a bad seed member or foreign
+#: state fails here first and again — typed — per request below.
+_EXPECTED_WARM_FAILURES = (ValueError, KeyError, IndexError)
+
+
+def _explain_error(exc: BaseException, retryable: bool) -> ExplainError:
+    tb = _traceback.format_exc(limit=8)
+    return ExplainError(
+        kind=type(exc).__name__,
+        message=str(exc),
+        retryable=retryable,
+        traceback=tb[-2000:],
+    )
 
 
 class ExplanationService:
@@ -79,6 +124,7 @@ class ExplanationService:
         factual_config: Optional[FactualConfig] = None,
         beam_config: Optional[BeamConfig] = None,
         registry: Optional[EngineRegistry] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.network = network
         self.ranker = ranker
@@ -88,6 +134,19 @@ class ExplanationService:
         self.k = k
         self.factual_config = factual_config or FactualConfig()
         self.beam_config = beam_config or BeamConfig()
+        self.resilience = resilience or ResilienceConfig()
+        self.stats = ServiceStats()
+        self.admission = (
+            AdmissionControl(
+                self.resilience.max_in_flight, self.resilience.session_share
+            )
+            if self.resilience.max_in_flight is not None
+            else None
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.resilience.breaker_failure_threshold,
+            cooldown_seconds=self.resilience.breaker_cooldown_seconds,
+        )
         # No explicit registry -> the process-wide default, so services and
         # facades wrapping the same system share engines out of the box.
         self.registry = registry if registry is not None else default_registry()
@@ -158,13 +217,161 @@ class ExplanationService:
     # ------------------------------------------------------------------
     def explain(self, request: ExplainRequest) -> ExplainResponse:
         """Answer one request (raises on failure — the bulk path is the
-        one that degrades per-request errors into ``response.error``)."""
+        one that degrades per-request errors into typed responses)."""
+        return self._answer_one(request, raise_on_failure=True)
+
+    # ------------------------------------------------------------------
+    # the degradation ladder
+    # ------------------------------------------------------------------
+    def _budget_for(self, request: ExplainRequest) -> Optional[Budget]:
+        if request.timeout_seconds is None and request.probe_limit is None:
+            return None
+        return Budget(
+            timeout_seconds=request.timeout_seconds,
+            probe_limit=request.probe_limit,
+        )
+
+    def _breaker_key(self, request: ExplainRequest) -> Tuple:
+        return (request.target_key, id(self.network), self.network.version)
+
+    def _answer_one(
+        self, request: ExplainRequest, raise_on_failure: bool = False
+    ) -> ExplainResponse:
+        """One request through the full degradation ladder:
+
+        1. delta tier — the normal dispatch, under the request budget;
+        2. reference tier — the same dispatch with the delta paths
+           bypassed (:func:`~repro.runtime.delta_bypass`), entered when
+           the delta tier raises a retryable exception or the target's
+           circuit is open;
+        3. typed failure — whatever survives both tiers lands in
+           ``response.error`` with an outcome, never as an exception
+           (unless ``raise_on_failure``, the single-request contract).
+        """
         start = time.perf_counter()
-        explanation = self._dispatch(request)
+        budget = self._budget_for(request)
+        bkey = self._breaker_key(request)
+
+        if not self.breaker.allows_delta(bkey):
+            self.stats.bump("breaker_reroute")
+            return self._run_reference(request, start, budget, raise_on_failure)
+        try:
+            with budget_scope(budget):
+                explanation = self._dispatch(request)
+        except BudgetExceeded as exc:
+            self.breaker.trial_inconclusive(bkey)
+            if raise_on_failure:
+                raise
+            return self._timed_out_response(request, start, exc)
+        except ValueError as exc:
+            # Request validation (unknown target family, bad seed): the
+            # retry tier would fail identically — don't pay it, and don't
+            # let it count against the delta path's health.
+            self.breaker.trial_inconclusive(bkey)
+            self.stats.bump("outcome.failed")
+            if raise_on_failure:
+                raise
+            return ExplainResponse(
+                request=request,
+                elapsed_seconds=time.perf_counter() - start,
+                error=_explain_error(exc, retryable=False),
+                outcome="failed",
+            )
+        except Exception as exc:
+            self.breaker.record_failure(bkey)
+            self.stats.bump("delta_failure")
+            if not self.resilience.full_rebuild_retry:
+                self.stats.bump("outcome.failed")
+                if raise_on_failure:
+                    raise
+                return ExplainResponse(
+                    request=request,
+                    elapsed_seconds=time.perf_counter() - start,
+                    error=_explain_error(exc, retryable=True),
+                    outcome="failed",
+                )
+            self.stats.bump("full_rebuild_retry")
+            return self._run_reference(request, start, budget, raise_on_failure)
+        self.breaker.record_success(bkey)
+        return self._completed_response(request, start, budget, explanation, None)
+
+    def _run_reference(
+        self,
+        request: ExplainRequest,
+        start: float,
+        budget: Optional[Budget],
+        raise_on_failure: bool,
+    ) -> ExplainResponse:
+        """The reference tier: dispatch with every probe routed through
+        the plain ranker/former paths, overlays kept visible — the parity
+        reference, immune to delta-session faults.  A success here never
+        resets the breaker (it says nothing about delta-path health); a
+        failure is terminal.  The budget carries over — retries spend the
+        same allowance, so the ``timeout_seconds`` bound holds across the
+        whole ladder."""
+        try:
+            with budget_scope(budget), delta_bypass():
+                explanation = self._dispatch(request)
+        except BudgetExceeded as exc:
+            if raise_on_failure:
+                raise
+            return self._timed_out_response(request, start, exc)
+        except Exception as exc:
+            self.stats.bump("outcome.failed")
+            if raise_on_failure:
+                raise
+            return ExplainResponse(
+                request=request,
+                elapsed_seconds=time.perf_counter() - start,
+                error=_explain_error(exc, retryable=not isinstance(exc, ValueError)),
+                outcome="failed",
+            )
+        return self._completed_response(
+            request, start, budget, explanation, "full_rebuild"
+        )
+
+    def _completed_response(
+        self,
+        request: ExplainRequest,
+        start: float,
+        budget: Optional[Budget],
+        explanation: Explanation,
+        fallback: Optional[str],
+    ) -> ExplainResponse:
+        """Type a dispatch that returned an explanation: ``ok``, or
+        ``degraded`` when the budget tripped mid-search and the explainer
+        salvaged best-so-far state."""
+        outcome = "ok"
+        reason = None
+        if budget is not None and budget.tripped is not None:
+            outcome = "degraded"
+            reason = budget.tripped
+        self.stats.bump(f"outcome.{outcome}")
+        if fallback is not None:
+            self.stats.bump(f"fallback.{fallback}")
         return ExplainResponse(
             request=request,
             explanation=explanation,
             elapsed_seconds=time.perf_counter() - start,
+            outcome=outcome,
+            degraded_reason=reason,
+            fallback=fallback,
+        )
+
+    def _timed_out_response(
+        self, request: ExplainRequest, start: float, exc: BudgetExceeded
+    ) -> ExplainResponse:
+        self.stats.bump("outcome.timed_out")
+        return ExplainResponse(
+            request=request,
+            elapsed_seconds=time.perf_counter() - start,
+            error=ExplainError(
+                kind="BudgetExceeded",
+                message=f"budget exhausted ({exc.reason}) before any partial result",
+                retryable=True,
+            ),
+            outcome="timed_out",
+            degraded_reason=exc.reason,
         )
 
     def _dispatch(self, request: ExplainRequest) -> Explanation:
@@ -221,6 +428,12 @@ class ExplanationService:
         system state, so the duplicate's response is the first's —
         bit-identical by construction, marked ``coalesced`` for
         observability.
+
+        Every request comes back as a typed response: per-request
+        failures, budget expiries, and admission sheds land in
+        ``response.outcome``/``response.error`` — one bad request never
+        takes down the batch, and no shard can wedge it (every dispatch
+        is bounded by its request budget).
         """
         requests = list(requests)
         if not requests:
@@ -233,12 +446,18 @@ class ExplanationService:
         def run_shard(shard: List[Tuple[int, ExplainRequest]]) -> None:
             try:
                 self._warm_shard(shard)
-            except Exception:
+            except _EXPECTED_WARM_FAILURES:
                 # Warming is an optimization; whatever made it fail (bad
                 # seed member, foreign state) will fail the individual
-                # requests below, where it degrades into response.error
+                # requests below, where it lands in a typed response
                 # instead of taking down the batch.
-                pass
+                self.stats.bump("warm_failure.expected")
+            except Exception:
+                # Anything else is a real defect worth surfacing — but
+                # still not worth failing requests that may succeed
+                # unwarmed.  Log and count it; never swallow silently.
+                self.stats.bump("warm_failure.unexpected")
+                logger.warning("unexpected _warm_shard failure", exc_info=True)
             answered: Dict[ExplainRequest, ExplainResponse] = {}
             for i, request in shard:
                 if coalesce:
@@ -250,23 +469,38 @@ class ExplanationService:
                             elapsed_seconds=0.0,
                             error=prior.error,
                             coalesced=True,
+                            outcome=prior.outcome,
+                            degraded_reason=prior.degraded_reason,
+                            fallback=prior.fallback,
                         )
                         continue
-                start = time.perf_counter()
+                if self.admission is not None:
+                    shed = self.admission.try_acquire(request.session)
+                    if shed is not None:
+                        self.stats.bump("outcome.rejected")
+                        results[i] = ExplainResponse(
+                            request=request,
+                            error=ExplainError(
+                                kind="Rejected", message=shed, retryable=True
+                            ),
+                            outcome="rejected",
+                        )
+                        continue
                 try:
-                    explanation = self._dispatch(request)
+                    results[i] = self._answer_one(request)
+                except Exception as exc:  # pragma: no cover - last resort
+                    self.stats.bump("outcome.failed")
                     results[i] = ExplainResponse(
                         request=request,
-                        explanation=explanation,
-                        elapsed_seconds=time.perf_counter() - start,
+                        error=_explain_error(exc, retryable=True),
+                        outcome="failed",
                     )
-                except Exception as exc:  # degrade per request, not per batch
-                    results[i] = ExplainResponse(
-                        request=request,
-                        elapsed_seconds=time.perf_counter() - start,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                if coalesce:
+                finally:
+                    if self.admission is not None:
+                        self.admission.release(request.session)
+                # Sheds are not answers: an identical request later in
+                # the batch deserves its own admission attempt.
+                if coalesce and results[i].outcome != "rejected":
                     answered[request] = results[i]
 
         if max_workers <= 1 or len(shards) == 1:

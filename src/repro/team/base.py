@@ -13,6 +13,7 @@ from typing import FrozenSet, Iterable, Optional, Set, Tuple
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
+from repro.runtime import delta_bypassed
 
 
 @dataclass(frozen=True)
@@ -87,8 +88,13 @@ class TeamFormationSystem(abc.ABC):
         scores=None,
     ) -> Optional["Team"]:
         """Delta-formed overlay result, or None when the plain path must
-        run (non-overlay input, ``full_rebuild`` set, or no delta path)."""
-        if self.full_rebuild or not isinstance(network, NetworkOverlay):
+        run (non-overlay input, ``full_rebuild`` set, the current thread's
+        :func:`~repro.runtime.delta_bypass` scope, or no delta path)."""
+        if (
+            self.full_rebuild
+            or delta_bypassed()
+            or not isinstance(network, NetworkOverlay)
+        ):
             return None
         session = self._session_for(network.base)
         if session is None:

@@ -59,6 +59,7 @@ import numpy as np
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query
+from repro.runtime import check_budget, fault_point
 from repro.search.engine import _MAX_QUERY_CACHE, _LruCache
 from repro.team.base import Team
 
@@ -130,6 +131,12 @@ class CoverTeamDeltaSession(TeamDeltaSession):
         seed_member: Optional[int] = None,
         scores: Optional[np.ndarray] = None,
     ) -> Team:
+        check_budget()
+        fault_point(
+            "team.form",
+            key=(tuple(sorted(query)), seed_member),
+            engine=self,
+        )
         if scores is None:
             # Delta-scored through the ranker's own session (overlay input).
             scores = self.former.ranker.scores(query, overlay)

@@ -88,3 +88,72 @@ class TestTeamSubjects:
             if s.non_member is not None:
                 assert s.non_member not in team.members
                 assert net.has_edge(s.seed_member, s.non_member)
+
+
+class TestRequestBudgetStamping:
+    """The workload builders stamp every request with the caller's budget
+    and session identity for the service's resilience runtime."""
+
+    def _subjects(self, net):
+        from repro.eval import ExplanationSubjects
+
+        query = tuple(sorted(net.skill_universe())[:3])
+        return [ExplanationSubjects(query=query, expert=0, non_expert=5)]
+
+    def test_search_requests_pass_budget_through(self, net):
+        from repro.eval import search_requests
+
+        requests = search_requests(
+            self._subjects(net), kinds=("skills",),
+            timeout_seconds=2.0, probe_limit=100, session="alice",
+        )
+        assert requests
+        for request in requests:
+            assert request.timeout_seconds == 2.0
+            assert request.probe_limit == 100
+            assert request.session == "alice"
+
+    def test_defaults_stay_unlimited(self, net):
+        from repro.eval import search_requests
+
+        for request in search_requests(self._subjects(net), kinds=("skills",)):
+            assert request.timeout_seconds is None
+            assert request.probe_limit is None
+            assert request.session == ""
+
+    def test_team_requests_pass_budget_through(self, net):
+        from repro.eval import TeamSubjects, team_requests
+
+        query = tuple(sorted(net.skill_universe())[:3])
+        subjects = [
+            TeamSubjects(query=query, seed_member=0, member=1, non_member=2)
+        ]
+        requests = team_requests(
+            subjects, kinds=("skills",), probe_limit=50, session="bob"
+        )
+        assert requests
+        for request in requests:
+            assert request.probe_limit == 50
+            assert request.session == "bob"
+
+
+class TestOutcomeCounts:
+    def test_tallies_by_outcome(self):
+        from repro.eval import outcome_counts
+        from repro.service import ExplainRequest, ExplainResponse
+
+        request = ExplainRequest(kind="skills", person=0, query=("a",))
+        responses = [
+            ExplainResponse(request=request, outcome="ok"),
+            ExplainResponse(request=request, outcome="ok"),
+            ExplainResponse(request=request, outcome="rejected"),
+            ExplainResponse(request=request, outcome="degraded"),
+        ]
+        assert outcome_counts(responses) == {
+            "ok": 2, "rejected": 1, "degraded": 1,
+        }
+
+    def test_empty(self):
+        from repro.eval import outcome_counts
+
+        assert outcome_counts([]) == {}

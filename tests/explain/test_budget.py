@@ -1,0 +1,271 @@
+"""Request budgets on the explainer paths: expiry, mid-flight trips,
+and partial-result tagging for every explanation kind.
+
+The cooperative contract (:mod:`repro.runtime`): a pre-expired budget
+raises :class:`BudgetExceeded` at the first probe flush; a budget that
+trips *mid-flight* is caught by the explainers that accumulate partial
+state — SHAP estimators solve best-effort attributions from the
+coalitions already evaluated (``*-partial`` methods, efficiency
+Σφ = full − base preserved), selection loops keep the edges found so
+far, and both beam search and the exhaustive subset search return their
+``timed_out``-flagged best-so-far explanations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import BeamConfig, FactualConfig
+from repro.explain.exhaustive import (
+    ExhaustiveConfig,
+    ExhaustiveCounterfactualExplainer,
+    ExhaustiveFactualExplainer,
+)
+from repro.explain.targets import RelevanceTarget
+from repro.linkpred import HeuristicLinkPredictor
+from repro.runtime import Budget, BudgetExceeded, budget_scope
+from repro.search import PageRankExpertRanker
+from repro.service import (
+    EXPLANATION_KINDS,
+    EngineRegistry,
+    ExplanationService,
+    make_requests,
+)
+from repro.team import CoverTeamFormer
+
+K = 3
+FACTUAL = FactualConfig(
+    n_samples=16, max_samples=32, selection_samples=8, exact_limit=5
+)
+KERNEL = FactualConfig(
+    n_samples=16, max_samples=32, selection_samples=8, exact_limit=1
+)
+BEAM = BeamConfig(beam_size=3, n_candidates=4, max_size=2, n_explanations=1)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return toy_network(n_people=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def embedding(net):
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+    return train_ppmi_embedding(profiles, dim=8, min_count=1)
+
+
+@pytest.fixture(scope="module")
+def predictor(net):
+    return HeuristicLinkPredictor("common_neighbors").fit(net)
+
+
+@pytest.fixture(scope="module")
+def query(net):
+    return tuple(sorted(net.skill_universe())[:3])
+
+
+@pytest.fixture(scope="module")
+def expert(net, query):
+    return int(PageRankExpertRanker().evaluate(query, net).order[0])
+
+
+def _service(net, embedding, predictor, factual=FACTUAL):
+    """A fresh service over a fresh ranker and registry: budget tests
+    must pay for their probes — warm memos absorb charges silently."""
+    ranker = PageRankExpertRanker()
+    return ExplanationService(
+        network=net,
+        ranker=ranker,
+        embedding=embedding,
+        link_predictor=predictor,
+        former=CoverTeamFormer(ranker),
+        k=K,
+        factual_config=factual,
+        beam_config=BEAM,
+        registry=EngineRegistry(),
+    )
+
+
+def _expired_budget():
+    budget = Budget(timeout_seconds=1e-4)
+    time.sleep(1e-3)
+    return budget
+
+
+# ---------------------------------------------------------------------------
+# factual / SHAP paths
+# ---------------------------------------------------------------------------
+
+
+class TestFactualBudgets:
+    def test_pre_expired_deadline_raises(self, net, embedding, predictor, query, expert):
+        explainer = _service(net, embedding, predictor).factual_explainer()
+        with budget_scope(_expired_budget()) as budget:
+            with pytest.raises(BudgetExceeded) as exc_info:
+                explainer.explain_query(expert, query, net)
+        assert exc_info.value.reason == "deadline"
+        assert budget.tripped == "deadline"
+
+    def test_probe_limit_one_raises_before_anchors(
+        self, net, embedding, predictor, query, expert
+    ):
+        explainer = _service(net, embedding, predictor).factual_explainer()
+        with budget_scope(Budget(probe_limit=1)):
+            with pytest.raises(BudgetExceeded) as exc_info:
+                explainer.explain_query(expert, query, net)
+        assert exc_info.value.reason == "probe_budget"
+
+    def test_exact_partial_mid_flight(self, net, embedding, predictor, query, expert):
+        full = (
+            _service(net, embedding, predictor)
+            .factual_explainer()
+            .explain_query(expert, query, net)
+        )
+        assert full.method == "exact"  # 3 features <= exact_limit
+        explainer = _service(net, embedding, predictor).factual_explainer()
+        with budget_scope(Budget(probe_limit=max(3, full.n_evaluations // 2))) as budget:
+            partial = explainer.explain_query(expert, query, net)
+        assert budget.tripped == "probe_budget"
+        assert partial.method == "exact-partial"
+        assert len(partial.attributions) == len(full.attributions)
+        # Efficiency survives truncation: attributions still sum to Δ.
+        delta = partial.full_value - partial.base_value
+        assert abs(sum(a.value for a in partial.attributions) - delta) < 1e-6
+        assert partial.base_value == full.base_value
+        assert partial.full_value == full.full_value
+
+    def test_kernel_partial_mid_flight(self, net, embedding, predictor, query, expert):
+        full = (
+            _service(net, embedding, predictor, factual=KERNEL)
+            .factual_explainer()
+            .explain_query(expert, query, net)
+        )
+        assert full.method == "kernel"  # exact_limit=1 forces the estimator
+        explainer = _service(net, embedding, predictor, factual=KERNEL).factual_explainer()
+        with budget_scope(Budget(probe_limit=max(3, full.n_evaluations // 2))) as budget:
+            partial = explainer.explain_query(expert, query, net)
+        assert budget.tripped == "probe_budget"
+        assert partial.method == "kernel-partial"
+        delta = partial.full_value - partial.base_value
+        assert abs(sum(a.value for a in partial.attributions) - delta) < 1e-6
+
+    def test_collaboration_selection_partial(
+        self, net, embedding, predictor, query, expert
+    ):
+        full = (
+            _service(net, embedding, predictor)
+            .factual_explainer()
+            .explain_collaborations(expert, query, net)
+        )
+        explainer = _service(net, embedding, predictor).factual_explainer()
+        with budget_scope(Budget(probe_limit=max(3, full.n_evaluations // 3))) as budget:
+            partial = explainer.explain_collaborations(expert, query, net)
+        assert budget.tripped == "probe_budget"
+        assert partial.method.endswith("-partial")
+        assert partial.n_evaluations <= full.n_evaluations
+
+
+# ---------------------------------------------------------------------------
+# counterfactual / beam path
+# ---------------------------------------------------------------------------
+
+
+class TestCounterfactualBudgets:
+    def test_pre_expired_deadline_raises(self, net, embedding, predictor, query, expert):
+        explainer = _service(net, embedding, predictor).counterfactual_explainer()
+        with budget_scope(_expired_budget()):
+            with pytest.raises(BudgetExceeded) as exc_info:
+                explainer.explain_query_augmentation(expert, query, net)
+        assert exc_info.value.reason == "deadline"
+
+    def test_mid_flight_trip_marks_timed_out(
+        self, net, embedding, predictor, query, expert
+    ):
+        full = (
+            _service(net, embedding, predictor)
+            .counterfactual_explainer()
+            .explain_skill_removal(expert, query, net)
+        )
+        assert not full.timed_out
+        explainer = _service(net, embedding, predictor).counterfactual_explainer()
+        with budget_scope(Budget(probe_limit=max(2, full.n_probes // 2))) as budget:
+            partial = explainer.explain_skill_removal(expert, query, net)
+        assert budget.tripped == "probe_budget"
+        assert partial.timed_out
+        assert partial.initial_decision == full.initial_decision
+
+
+# ---------------------------------------------------------------------------
+# exhaustive baselines
+# ---------------------------------------------------------------------------
+
+
+class TestExhaustiveBudgets:
+    def test_factual_partial(self, net, query, expert):
+        config = ExhaustiveConfig(n_samples=16, max_samples=32, exact_limit=5)
+        target = RelevanceTarget(PageRankExpertRanker(), K)
+        full = ExhaustiveFactualExplainer(target, config).explain_query(
+            expert, query, net
+        )
+        assert full.method == "exact"
+        with budget_scope(Budget(probe_limit=max(3, full.n_evaluations // 2))) as budget:
+            partial = ExhaustiveFactualExplainer(target, config).explain_query(
+                expert, query, net
+            )
+        assert budget.tripped == "probe_budget"
+        assert partial.method == "exact-partial"
+        delta = partial.full_value - partial.base_value
+        assert abs(sum(a.value for a in partial.attributions) - delta) < 1e-6
+
+    def test_subset_search_trips_to_timed_out(self, net, query, expert):
+        config = ExhaustiveConfig(n_explanations=1, max_size=2)
+        target = RelevanceTarget(PageRankExpertRanker(), K)
+        explainer = ExhaustiveCounterfactualExplainer(target, config)
+        with budget_scope(Budget(probe_limit=3)) as budget:
+            result = explainer.explain_skill_removal(expert, query, net)
+        assert budget.tripped == "probe_budget"
+        assert result.timed_out
+
+    def test_pre_expired_deadline_raises(self, net, query, expert):
+        target = RelevanceTarget(PageRankExpertRanker(), K)
+        explainer = ExhaustiveCounterfactualExplainer(target, ExhaustiveConfig())
+        with budget_scope(_expired_budget()):
+            with pytest.raises(BudgetExceeded):
+                explainer.explain_skill_removal(expert, query, net)
+
+
+# ---------------------------------------------------------------------------
+# per-kind partial tagging through the service
+# ---------------------------------------------------------------------------
+
+
+class TestEveryKindHonorsBudget:
+    @pytest.mark.parametrize("kind", EXPLANATION_KINDS)
+    def test_probe_budget_yields_typed_partial(
+        self, net, embedding, predictor, query, expert, kind
+    ):
+        """Each of the six kinds, squeezed to a fraction of its probe
+        needs, lands in ``degraded`` (tagged partial) or ``timed_out`` —
+        never an exception, never an untyped answer."""
+        full = (
+            _service(net, embedding, predictor)
+            .explain(make_requests((kind,), expert, query)[0])
+            .explanation
+        )
+        cost = getattr(full, "n_evaluations", None) or full.n_probes
+        limited = make_requests(
+            (kind,), expert, query, probe_limit=max(2, cost // 3)
+        )[0]
+        response = _service(net, embedding, predictor).explain_many([limited])[0]
+        assert response.outcome in ("degraded", "timed_out")
+        assert response.degraded_reason == "probe_budget"
+        if response.outcome == "degraded":
+            explanation = response.explanation
+            if limited.is_factual:
+                assert explanation.method.endswith("-partial")
+            else:
+                assert explanation.timed_out

@@ -126,3 +126,115 @@ class TestExplanationRoundTrip:
             factual_from_dict({"type": "counterfactual"})
         with pytest.raises(ValueError):
             counterfactual_from_dict({"type": "factual"})
+
+
+class TestServiceRoundTrip:
+    """Requests, structured errors, and outcome-tagged responses — the
+    wire format a deployed service ships to its frontend."""
+
+    def _request(self, **overrides):
+        from repro.service import ExplainRequest
+
+        kwargs = dict(
+            kind="cf_skills",
+            person=4,
+            query=("graph", "mining"),
+            team=True,
+            seed_member=2,
+            tag="expert",
+            timeout_seconds=1.5,
+            probe_limit=500,
+            session="alice",
+        )
+        kwargs.update(overrides)
+        return ExplainRequest(**kwargs)
+
+    def test_request(self):
+        from repro.explain.serialize import request_from_dict, request_to_dict
+
+        request = self._request()
+        payload = request_to_dict(request)
+        json.dumps(payload)
+        assert request_from_dict(payload) == request
+
+    def test_request_defaults(self):
+        from repro.explain.serialize import request_from_dict, request_to_dict
+
+        request = self._request(
+            team=False, seed_member=None,
+            timeout_seconds=None, probe_limit=None, session="",
+        )
+        assert request_from_dict(request_to_dict(request)) == request
+
+    def test_error(self):
+        from repro.explain.serialize import (
+            explain_error_from_dict,
+            explain_error_to_dict,
+        )
+        from repro.service import ExplainError
+
+        error = ExplainError(
+            kind="InjectedSessionError",
+            message="injected session fault",
+            retryable=True,
+            traceback="Traceback (most recent call last): ...",
+        )
+        payload = explain_error_to_dict(error)
+        json.dumps(payload)
+        back = explain_error_from_dict(payload)
+        assert back == error
+        assert back.traceback == error.traceback  # excluded from ==, so check
+
+    def test_failed_response(self):
+        from repro.explain.serialize import response_from_dict, response_to_dict
+        from repro.service import ExplainError, ExplainResponse
+
+        response = ExplainResponse(
+            request=self._request(),
+            elapsed_seconds=0.25,
+            error=ExplainError(kind="Rejected", message="load_shed:max_in_flight",
+                               retryable=True),
+            outcome="rejected",
+        )
+        payload = response_to_dict(response)
+        json.dumps(payload)
+        back = response_from_dict(payload)
+        assert back == response
+        assert not back.ok
+
+    def test_degraded_response_with_explanation(self):
+        from repro.explain.serialize import response_from_dict, response_to_dict
+        from repro.service import ExplainResponse
+
+        explanation = FactualExplanation(
+            person=4,
+            query=frozenset({"graph", "mining"}),
+            attributions=[
+                FeatureAttribution(SkillAssignmentFeature(4, "graph"), 0.4),
+            ],
+            base_value=0.0,
+            full_value=1.0,
+            n_evaluations=12,
+            elapsed_seconds=0.1,
+            method="exact-partial",
+            pruned=True,
+            kind="skills",
+        )
+        response = ExplainResponse(
+            request=self._request(kind="skills"),
+            explanation=explanation,
+            elapsed_seconds=0.5,
+            coalesced=True,
+            outcome="degraded",
+            degraded_reason="probe_budget",
+            fallback="full_rebuild",
+        )
+        payload = response_to_dict(response)
+        json.dumps(payload)
+        back = response_from_dict(payload)
+        assert back.outcome == "degraded"
+        assert back.degraded_reason == "probe_budget"
+        assert back.fallback == "full_rebuild"
+        assert back.coalesced
+        assert back.explanation.attributions == explanation.attributions
+        assert back.ok and back.degraded

@@ -333,7 +333,10 @@ class TestDispatch:
         responses = service.explain_many([good, bad, good], max_workers=1)
         assert responses[0].ok and responses[2].ok
         assert not responses[1].ok
-        assert "team formation" in responses[1].error
+        assert responses[1].outcome == "failed"
+        assert responses[1].error.kind == "ValueError"
+        assert "team formation" in responses[1].error.message
+        assert not responses[1].error.retryable  # validation never retries
         with pytest.raises(RuntimeError):
             responses[1].unwrap()
 
