@@ -1,0 +1,240 @@
+"""The default numpy/scipy backend: fused batched kernels.
+
+The kernel bodies here are the profiled hot paths the delta sessions ran
+inline before the backend seam existed: the warm-started (and stacked)
+PageRank power iterations, the HITS authority iteration, the hand-rolled
+block-diagonal CSR stack feeding batched GCN forwards, and the TF-IDF
+multi-row gathers.
+
+Bit-stability notes (load-bearing for the flush bus — see the
+composition-insensitivity contract in :mod:`repro.backend.base`):
+
+* ``row_dot``/``gather_dots`` accumulate through ``np.add.reduceat``,
+  which reduces each segment *strictly sequentially* — the same
+  accumulation order scipy's CSR matvec/matvecs kernels use — so a
+  per-row dot, a fused gather, and a sparse product over the gathered
+  CSR all produce bitwise-identical values.  ``np.sum``/BLAS ``dot``
+  would not (pairwise summation / vectorized reordering).
+* ``power_iteration_stacked`` keeps every column's arithmetic
+  independent of ``k``: the spmm is per-column independent and the
+  axis-0 reductions accumulate row-by-row per column, so a walk's
+  solution does not depend on which other walks shared its stack.
+* ``gcn_forward_blocks`` stacks blocks through one block-diagonal
+  forward; CSR row independence and the dgemm's fixed K-pass keep each
+  block's rows identical to a standalone forward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backend.base import NumericBackend, SparseRow
+
+
+class NumpyBackend(NumericBackend):
+    """Fused numpy/scipy kernels — the default backend."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def spmv(self, matrix: sp.spmatrix, vec: np.ndarray) -> np.ndarray:
+        return np.asarray(matrix @ vec).ravel()
+
+    def spmm(self, matrix: sp.spmatrix, mat: np.ndarray) -> np.ndarray:
+        return np.asarray(matrix @ mat)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    # ------------------------------------------------------------------
+    # stacked power iteration (PageRank)
+    # ------------------------------------------------------------------
+    def power_iteration(
+        self,
+        restart: np.ndarray,
+        adj: sp.spmatrix,
+        out_degree: np.ndarray,
+        *,
+        damping: float,
+        max_iterations: int,
+        tolerance: float,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, bool]:
+        # Column-stochastic transition; dangling nodes teleport.
+        inv_deg = np.divide(
+            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        )
+        scores = (restart if warm_start is None else warm_start).copy()
+        converged = False
+        for _ in range(max_iterations):
+            spread = adj.T @ (scores * inv_deg)
+            dangling = scores[out_degree == 0].sum()
+            new = (1 - damping) * restart + damping * (
+                spread + dangling * restart
+            )
+            if np.abs(new - scores).sum() < tolerance:
+                scores = new
+                converged = True
+                break
+            scores = new
+        return scores, converged
+
+    def power_iteration_stacked(
+        self,
+        restarts: np.ndarray,
+        adj: sp.spmatrix,
+        out_degree: np.ndarray,
+        *,
+        damping: float,
+        max_iterations: int,
+        tolerance: float,
+        starts: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Columns are fully independent, so each one performs the exact
+        # per-iteration arithmetic of a lone stacked column; a column that
+        # meets the tolerance *freezes* at that iterate while the rest
+        # keep iterating.
+        n, k = restarts.shape
+        inv_deg = np.divide(
+            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        )
+        dangling_mask = out_degree == 0
+        scores = (restarts if starts is None else starts).copy()
+        solutions = np.empty((n, k))
+        converged = np.zeros(k, dtype=bool)
+        active = np.arange(k)
+        active_restarts = restarts.copy()
+        for _ in range(max_iterations):
+            spread = adj.T @ (scores * inv_deg[:, None])
+            dangling = scores[dangling_mask].sum(axis=0)
+            new = (1 - damping) * active_restarts + damping * (
+                spread + dangling[None, :] * active_restarts
+            )
+            done = np.abs(new - scores).sum(axis=0) < tolerance
+            if done.any():
+                solutions[:, active[done]] = new[:, done]
+                converged[active[done]] = True
+                keep = ~done
+                active = active[keep]
+                active_restarts = active_restarts[:, keep]
+                new = new[:, keep]
+                if active.size == 0:
+                    return solutions, converged
+            scores = new
+        solutions[:, active] = scores
+        return solutions, converged
+
+    # ------------------------------------------------------------------
+    # authority iteration (HITS)
+    # ------------------------------------------------------------------
+    def authority_iteration(
+        self,
+        adj: sp.spmatrix,
+        m: int,
+        *,
+        max_iterations: int,
+        tolerance: float,
+    ) -> np.ndarray:
+        authority = np.ones(m) / m
+        for _ in range(max_iterations):
+            hub = adj @ authority
+            hub_norm = np.linalg.norm(hub)
+            hub = hub / hub_norm if hub_norm > 0 else hub
+            new_authority = adj.T @ hub
+            norm = np.linalg.norm(new_authority)
+            new_authority = new_authority / norm if norm > 0 else new_authority
+            if np.abs(new_authority - authority).sum() < tolerance:
+                authority = new_authority
+                break
+            authority = new_authority
+        return authority
+
+    # ------------------------------------------------------------------
+    # block-diagonal GCN forward
+    # ------------------------------------------------------------------
+    def gcn_forward(
+        self, scorer, features: np.ndarray, adj: sp.spmatrix
+    ) -> np.ndarray:
+        return scorer.forward(features, adj).numpy()
+
+    def gcn_forward_blocks(
+        self,
+        scorer,
+        feats_blocks: Sequence[np.ndarray],
+        adj_blocks: Sequence[sp.spmatrix],
+    ) -> List[np.ndarray]:
+        feats_blocks = list(feats_blocks)
+        adj_blocks = list(adj_blocks)
+        if len(feats_blocks) == 1:
+            return [self.gcn_forward(scorer, feats_blocks[0], adj_blocks[0]).copy()]
+        stacked = np.concatenate(feats_blocks, axis=0)
+        big_adj = self.block_diag_csr([a.tocsr() for a in adj_blocks])
+        out = self.gcn_forward(scorer, stacked, big_adj)
+        n = feats_blocks[0].shape[0]
+        return [out[j * n : (j + 1) * n].copy() for j in range(len(feats_blocks))]
+
+    def block_diag_csr(self, mats: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
+        # Hand-rolled index arithmetic; the generic ``sp.block_diag``
+        # round-trips through COO and costs more than the batched forward
+        # it feeds.
+        mats = list(mats)
+        n = mats[0].shape[0]
+        nnz_offsets = np.cumsum([0] + [m.nnz for m in mats])
+        data = np.concatenate([m.data for m in mats])
+        indices = np.concatenate(
+            [m.indices + np.int64(i * n) for i, m in enumerate(mats)]
+        )
+        indptr = np.concatenate(
+            [mats[0].indptr]
+            + [m.indptr[1:] + nnz_offsets[i] for i, m in enumerate(mats) if i > 0]
+        )
+        return sp.csr_matrix(
+            (data, indices, indptr), shape=(len(mats) * n, len(mats) * n)
+        )
+
+    # ------------------------------------------------------------------
+    # CSR multi-row gather (TF-IDF)
+    # ------------------------------------------------------------------
+    def gather_rows(
+        self, rows: Sequence[SparseRow], n_cols: int
+    ) -> sp.csr_matrix:
+        rows = list(rows)
+        if not rows:
+            return sp.csr_matrix((0, n_cols), dtype=np.float64)
+        indptr = np.cumsum([0] + [cols.size for cols, _ in rows])
+        if indptr[-1] == 0:
+            return sp.csr_matrix((len(rows), n_cols), dtype=np.float64)
+        indices = np.concatenate([cols for cols, _ in rows])
+        data = np.concatenate([vals for _, vals in rows])
+        return sp.csr_matrix(
+            (data, indices, indptr), shape=(len(rows), n_cols)
+        )
+
+    def row_dot(self, vals: np.ndarray, weights: np.ndarray) -> float:
+        if vals.size == 0:
+            return 0.0
+        return float(np.add.reduceat(vals * weights, [0])[0])
+
+    def gather_dots(
+        self, rows: Sequence[SparseRow], weights: np.ndarray
+    ) -> np.ndarray:
+        rows = list(rows)
+        out = np.zeros(len(rows))
+        sizes = np.fromiter(
+            (cols.size for cols, _ in rows), dtype=np.int64, count=len(rows)
+        )
+        nonempty = np.flatnonzero(sizes)
+        if nonempty.size == 0:
+            return out
+        prods = np.concatenate(
+            [rows[i][1] * weights[rows[i][0]] for i in nonempty]
+        )
+        starts = np.zeros(nonempty.size, dtype=np.int64)
+        np.cumsum(sizes[nonempty][:-1], out=starts[1:])
+        out[nonempty] = np.add.reduceat(prods, starts)
+        return out

@@ -1,0 +1,104 @@
+"""The conformance shim backend: every batched kernel as a naive loop.
+
+``ReferenceBackend`` answers each batched protocol op by looping its
+single-item counterpart — stacked power iterations become one sequential
+walk per column, block-diagonal GCN forwards become one forward per
+block, multi-row gathers become one dot per row, spmm becomes one spmv
+per column.  It exists to *prove* the protocol: CI runs the tier-1 suite
+with ``REPRO_BACKEND=reference``, so any session logic that silently
+depends on a fused kernel's shape (rather than the protocol's declared
+semantics) fails there.
+
+The loops are also trivially composition-insensitive — an item's result
+cannot depend on its batch-mates when each item is computed alone —
+which makes this backend the executable statement of the contract the
+flush bus relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backend.base import SparseRow
+from repro.backend.numpy_backend import NumpyBackend
+
+
+class ReferenceBackend(NumpyBackend):
+    """Naive-loop implementations of every batched kernel."""
+
+    name = "reference"
+
+    def spmm(self, matrix: sp.spmatrix, mat: np.ndarray) -> np.ndarray:
+        mat = np.asarray(mat)
+        if mat.ndim == 1:
+            return self.spmv(matrix, mat)
+        out = np.empty((matrix.shape[0], mat.shape[1]))
+        for j in range(mat.shape[1]):
+            out[:, j] = self.spmv(matrix, mat[:, j])
+        return out
+
+    def power_iteration_stacked(
+        self,
+        restarts: np.ndarray,
+        adj: sp.spmatrix,
+        out_degree: np.ndarray,
+        *,
+        damping: float,
+        max_iterations: int,
+        tolerance: float,
+        starts: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n, k = restarts.shape
+        solutions = np.empty((n, k))
+        converged = np.zeros(k, dtype=bool)
+        for j in range(k):
+            warm = None if starts is None else starts[:, j]
+            solutions[:, j], converged[j] = self.power_iteration(
+                restarts[:, j],
+                adj,
+                out_degree,
+                damping=damping,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+                warm_start=warm,
+            )
+        return solutions, converged
+
+    def gcn_forward_blocks(
+        self,
+        scorer,
+        feats_blocks: Sequence[np.ndarray],
+        adj_blocks: Sequence[sp.spmatrix],
+    ) -> List[np.ndarray]:
+        return [
+            self.gcn_forward(scorer, feats, adj).copy()
+            for feats, adj in zip(feats_blocks, adj_blocks)
+        ]
+
+    def block_diag_csr(self, mats: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
+        return sp.block_diag(list(mats), format="csr")
+
+    def gather_rows(
+        self, rows: Sequence[SparseRow], n_cols: int
+    ) -> sp.csr_matrix:
+        rows = list(rows)
+        r: List[int] = []
+        c: List[int] = []
+        data: List[float] = []
+        for i, (cols, vals) in enumerate(rows):
+            r.extend([i] * cols.size)
+            c.extend(cols.tolist())
+            data.extend(vals.tolist())
+        return sp.csr_matrix(
+            (data, (r, c)), shape=(len(rows), n_cols), dtype=np.float64
+        )
+
+    def gather_dots(
+        self, rows: Sequence[SparseRow], weights: np.ndarray
+    ) -> np.ndarray:
+        return np.asarray(
+            [self.row_dot(vals, weights[cols]) for cols, vals in rows]
+        )

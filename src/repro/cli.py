@@ -178,6 +178,16 @@ def cmd_workload(args: argparse.Namespace) -> int:
         f"({report.requests_per_second:.2f} req/s, {report.n_coalesced} "
         f"coalesced, {report.n_errors} errors)"
     )
+    if report.fusion:
+        flushes = report.fusion.get("multi_flushes", 0) + report.fusion.get(
+            "batch_flushes", 0
+        )
+        print(
+            f"fusion: {flushes} probe flushes "
+            f"({report.fusion.get('flushed_probes', 0)} probes), "
+            f"{report.fusion.get('bus_merged_flushes', 0)} bus-merged "
+            f"(max fused {report.fusion.get('bus_max_fused', 0)})"
+        )
     if args.json:
         payload = {
             "n_requests": report.n_requests,
@@ -187,6 +197,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             "max_workers": report.max_workers,
             "requests_per_second": report.requests_per_second,
             "rows": [vars(row) for row in report.rows],
+            "fusion": report.fusion,
         }
         with open(args.json, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=1)

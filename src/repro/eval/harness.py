@@ -328,6 +328,10 @@ class WorkloadReport:
     # Typed-outcome tally (ok/degraded/timed_out/rejected/failed) from
     # the service's resilience runtime; all-ok workloads show {"ok": n}.
     outcomes: Dict[str, int] = field(default_factory=dict)
+    # Probe-flush fusion activity this workload generated: engine flush
+    # counters plus ``bus_*`` merge counters from the registry's flush
+    # bus (empty for services without a registry flush bus).
+    fusion: Dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -346,9 +350,21 @@ def run_workload_experiment(
     Per-request failures are counted, never raised — matching the
     service's degrade-per-request contract.
     """
+    registry = getattr(service, "registry", None)
+    flush_before: Dict[str, int] = {}
+    if registry is not None and hasattr(registry, "flush_counters"):
+        flush_before = registry.flush_counters()
     start = time.perf_counter()
     responses = service.explain_many(requests, max_workers=max_workers)
     elapsed = time.perf_counter() - start
+    fusion: Dict[str, int] = {}
+    if registry is not None and hasattr(registry, "flush_counters"):
+        for name, value in registry.flush_counters().items():
+            if name == "bus_max_fused":
+                # A high-water mark, not a rate — report it as-is.
+                fusion[name] = value
+            else:
+                fusion[name] = value - flush_before.get(name, 0)
 
     per_kind: Dict[str, Dict[str, list]] = {}
     for response in responses:
@@ -397,4 +413,5 @@ def run_workload_experiment(
         max_workers=max_workers,
         rows=rows,
         outcomes=outcomes,
+        fusion=fusion,
     )

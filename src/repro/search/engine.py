@@ -83,6 +83,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import get_backend
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
@@ -94,22 +95,10 @@ _MAX_SCORE_MEMO = 2_048  # per-engine memoized score *vectors* (n floats each)
 _MAX_PATCH_CACHE = 128  # per-session patched operators, keyed by flip set
 _MAX_SEMANTIC_CACHE = 4_096  # per-session solved subproblems (rows/solutions)
 _BATCH_GROUP = 8  # overlays per batched GCN forward (bounds block size)
-# Patched-row count below which TfidfDeltaSession.scores_batch answers with
-# the plain per-row loop instead of the CSR gather: constructing (and
-# validating) a scipy CSR costs more than the handful of tiny sparse dot
-# products it replaces, which is exactly the regime probe flushes live in
-# (_BATCH_GROUP overlays x 1-5 flips) — the 0.84x batched regression in
-# BENCH_probe_engine.json.  Profiled on the bench network: the gather only
-# breaks even past ~100 rows.
-_TFIDF_GATHER_MIN_ROWS = 96
-# Stacked power iterations only pay off once the matrix is large enough
-# that the shared (n, k) spmm amortizes the dense bookkeeping (column
-# masking, convergence compaction, restart stacking).  Below this many
-# people a warm-started walk is a handful of tiny spmv kernels and the
-# stacked path *loses* — profiled 0.6x on a 106-person network for
-# coalition flushes sharing one operator, while the 212-person bench
-# network keeps its >2x multi-query stacked win.
-_PAGERANK_STACK_MIN_PEOPLE = 192
+# The fused-vs-sequential break-even thresholds (TF-IDF gather row count,
+# PageRank stacking size) are *backend cost hints* — see
+# ``NumericBackend.tfidf_gather_min_rows`` / ``pagerank_stack_min_people``
+# in ``repro.backend.base``; sessions read them off ``self.backend``.
 # Neighborhood-restricted GCN forwards only pay off while the receptive
 # field stays well below the whole graph; past this fraction the full
 # patched forward is cheaper than the slicing bookkeeping.
@@ -175,6 +164,10 @@ class _LruCache:
         with self._lock:
             return list(self._data.keys())
 
+    def values(self) -> List:
+        with self._lock:
+            return list(self._data.values())
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -198,26 +191,6 @@ def _normalize(a_hat: sp.csr_matrix, deg: np.ndarray) -> sp.csr_matrix:
     data = (a_hat.data * row_scale) * inv_sqrt[a_hat.indices]
     return sp.csr_matrix(
         (data, a_hat.indices, a_hat.indptr), shape=a_hat.shape, copy=True
-    )
-
-
-def _block_diag_csr(mats: List[sp.csr_matrix]) -> sp.csr_matrix:
-    """Block-diagonal stack of equally-shaped square CSR operators — the
-    multi-probe propagation operator.  Hand-rolled index arithmetic; the
-    generic ``sp.block_diag`` round-trips through COO and costs more than
-    the batched forward it feeds."""
-    n = mats[0].shape[0]
-    nnz_offsets = np.cumsum([0] + [m.nnz for m in mats])
-    data = np.concatenate([m.data for m in mats])
-    indices = np.concatenate(
-        [m.indices + np.int64(i * n) for i, m in enumerate(mats)]
-    )
-    indptr = np.concatenate(
-        [mats[0].indptr]
-        + [m.indptr[1:] + nnz_offsets[i] for i, m in enumerate(mats) if i > 0]
-    )
-    return sp.csr_matrix(
-        (data, indices, indptr), shape=(len(mats) * n, len(mats) * n)
     )
 
 
@@ -259,6 +232,10 @@ class DeltaSession(abc.ABC):
         self.ranker = ranker
         self.base = base
         self.base_version = base.version
+        # Captured once so the session's kernel-path decisions (and their
+        # cost hints) stay stable for its whole lifetime even if the
+        # process-wide backend is swapped mid-run.
+        self.backend = get_backend()
 
     def valid_for(self, base: CollaborationNetwork) -> bool:
         """Is this session still usable for ``base``?  False once the base
@@ -389,7 +366,9 @@ class GcnDeltaSession(DeltaSession):
             return restricted
         self.full_forwards += 1
         feats, adj_norm = self.probe_inputs(query, overlay)
-        return self.ranker._scorer.forward(feats, adj_norm).numpy().copy()
+        return self.backend.gcn_forward(
+            self.ranker._scorer, feats, adj_norm
+        ).copy()
 
     def scores_batch(
         self, query: Query, overlays: Iterable[NetworkOverlay]
@@ -426,12 +405,13 @@ class GcnDeltaSession(DeltaSession):
             results[i] = self.scores(query, overlays[i])
         elif stacked_idx:
             blocks = [self.probe_inputs(query, overlays[i]) for i in stacked_idx]
-            stacked = np.concatenate([feats for feats, _ in blocks], axis=0)
-            adj = _block_diag_csr([a.tocsr() for _, a in blocks])
-            out = self.ranker._scorer.forward(stacked, adj).numpy()
-            n = self.base.n_people
-            for j, i in enumerate(stacked_idx):
-                results[i] = out[j * n : (j + 1) * n].copy()
+            scored = self.backend.gcn_forward_blocks(
+                self.ranker._scorer,
+                [feats for feats, _ in blocks],
+                [a.tocsr() for _, a in blocks],
+            )
+            for i, vec in zip(stacked_idx, scored):
+                results[i] = vec
             self.full_forwards += len(stacked_idx)
         return results  # type: ignore[return-value]
 
@@ -476,11 +456,11 @@ class GcnDeltaSession(DeltaSession):
                         feats, q_vec, q, overlay, skill_flips
                     )
                 feats_blocks.append(feats)
-            stacked = np.concatenate(feats_blocks, axis=0)
-            big_adj = _block_diag_csr([adj] * len(chunk))
-            out = self.ranker._scorer.forward(stacked, big_adj).numpy()
-            for j, q in enumerate(chunk):
-                scored[q] = out[j * n : (j + 1) * n].copy()
+            out_blocks = self.backend.gcn_forward_blocks(
+                self.ranker._scorer, feats_blocks, [adj] * len(chunk)
+            )
+            for q, vec in zip(chunk, out_blocks):
+                scored[q] = vec
             self.full_forwards += len(chunk)
         for q in queries:
             results.append(scored[q].copy() if q else np.zeros(n))
@@ -537,17 +517,18 @@ class GcnDeltaSession(DeltaSession):
             feats, _ = self._base_features(query)
             scorer = self.ranker._scorer
             adj = self._adj_norm
-            xw1 = feats @ scorer.conv1.weight.data
-            z1 = adj @ xw1
+            be = self.backend
+            xw1 = be.matmul(feats, scorer.conv1.weight.data)
+            z1 = be.spmm(adj, xw1)
             if scorer.conv1.bias is not None:
                 z1 = z1 + scorer.conv1.bias.data
             h1 = z1 * (z1 > 0)
-            h1w2 = h1 @ scorer.conv2.weight.data
-            z2 = adj @ h1w2
+            h1w2 = be.matmul(h1, scorer.conv2.weight.data)
+            z2 = be.spmm(adj, h1w2)
             if scorer.conv2.bias is not None:
                 z2 = z2 + scorer.conv2.bias.data
             h2 = z2 * (z2 > 0)
-            out = h2 @ scorer.head.weight.data
+            out = be.matmul(h2, scorer.head.weight.data)
             if scorer.head.bias is not None:
                 out = out + scorer.head.bias.data
             hit = (xw1, h1w2, out.reshape(-1))
@@ -570,6 +551,7 @@ class GcnDeltaSession(DeltaSession):
         """
         base_xw1, base_h1w2, base_scores = self._base_forward(query)
         scorer = self.ranker._scorer
+        be = self.backend
         skill_flips = overlay.skill_flips()
         edge_flips = overlay.edge_flips()
         adj = self._adj_norm if not edge_flips else self._patched_adjacency(edge_flips)
@@ -580,22 +562,22 @@ class GcnDeltaSession(DeltaSession):
             feats = self._patched_features(feats, q_vec, query, overlay, skill_flips)
             touched = sorted({p for (p, _) in skill_flips})
             xw1 = base_xw1.copy()
-            xw1[touched] = feats[touched] @ scorer.conv1.weight.data
+            xw1[touched] = be.matmul(feats[touched], scorer.conv1.weight.data)
 
         rows1 = np.asarray(ball1, dtype=np.int64)
-        z1 = adj[rows1] @ xw1
+        z1 = be.spmm(adj.tocsr()[rows1], xw1)
         if scorer.conv1.bias is not None:
             z1 = z1 + scorer.conv1.bias.data
         h1_rows = z1 * (z1 > 0)
         h1w2 = base_h1w2.copy()
-        h1w2[rows1] = h1_rows @ scorer.conv2.weight.data
+        h1w2[rows1] = be.matmul(h1_rows, scorer.conv2.weight.data)
 
         rows2 = np.asarray(ball2, dtype=np.int64)
-        z2 = adj[rows2] @ h1w2
+        z2 = be.spmm(adj.tocsr()[rows2], h1w2)
         if scorer.conv2.bias is not None:
             z2 = z2 + scorer.conv2.bias.data
         h2_rows = z2 * (z2 > 0)
-        out_rows = h2_rows @ scorer.head.weight.data
+        out_rows = be.matmul(h2_rows, scorer.head.weight.data)
         if scorer.head.bias is not None:
             out_rows = out_rows + scorer.head.bias.data
 
@@ -656,7 +638,9 @@ class GcnDeltaSession(DeltaSession):
                     (np.ones(len(cols)), ([0] * len(cols), cols)),
                     shape=(1, self._fm.shape[0]),
                 )
-                centroid = np.asarray(row @ self._fm).ravel() / max(count, 1.0)
+                centroid = self.backend.spmm(row, self._fm).ravel() / max(
+                    count, 1.0
+                )
             else:
                 centroid = np.zeros(dim)
             feats[p, :dim] = centroid
@@ -828,18 +812,22 @@ class PageRankDeltaSession(DeltaSession):
         self, pending: List[Tuple[int, Tuple]], ekey: FrozenSet
     ) -> List[Tuple[int, np.ndarray]]:
         """Run the walks of ``(slot, (restart, warm, memo key))`` entries
-        over one shared (patched) operator — a single power iteration for
-        one entry, a stacked ``(n, k)`` iteration for a group (each column
-        starting exactly where its sequential loop would: its own warm
-        start when one exists, its restart otherwise).  Small networks
-        (below :data:`_PAGERANK_STACK_MIN_PEOPLE`) always take the
-        sequential loop: the stacked kernel's dense bookkeeping loses to
-        plain spmv walks there."""
+        over one shared (patched) operator — a sequential power iteration
+        per entry on small networks, a stacked ``(n, k)`` iteration
+        otherwise (each column starting exactly where its sequential loop
+        would: its own warm start when one exists, its restart
+        otherwise).  The choice depends *only* on the network size
+        (the backend's ``pagerank_stack_min_people`` cost hint — the
+        stacked kernel's dense bookkeeping loses to plain spmv walks on
+        small networks), never on how many walks share the flush: a
+        composition-sensitive choice would let the service's flush bus
+        change a walk's kernel path (and its last-ulp rounding) depending
+        on which requests happened to merge."""
         if not ekey:
             adj, out_degree = self._adj, self._out_degree
         else:
             adj, out_degree = self._patched_operator(dict(ekey))
-        if len(pending) == 1 or self.base.n_people < _PAGERANK_STACK_MIN_PEOPLE:
+        if self.base.n_people < self.backend.pagerank_stack_min_people:
             out = []
             for i, (restart, warm, skey) in pending:
                 solution, converged = self.ranker._power_iteration(
@@ -876,16 +864,17 @@ class PageRankDeltaSession(DeltaSession):
         vectors advance together through ``(n, k)`` spmm kernels (converged
         columns freeze exactly where their sequential loop would break).
 
-        Small networks (below :data:`_PAGERANK_STACK_MIN_PEOPLE`) fall
-        back to the sequential loop, base state hoisted: with walks this
-        cheap the grouping machinery and stacked kernels cost more than
-        they amortize, so batching must not be allowed to lose."""
+        Small networks (below the backend's ``pagerank_stack_min_people``
+        cost hint) fall back to the sequential loop, base state hoisted:
+        with walks this cheap the grouping machinery and stacked kernels
+        cost more than they amortize, so batching must not be allowed to
+        lose."""
         overlays = list(overlays)
         if len(overlays) <= 1:
             return [self.scores(query, ov) for ov in overlays]
         if self.base.n_people == 0:
             return [np.zeros(0) for _ in overlays]
-        if self.base.n_people < _PAGERANK_STACK_MIN_PEOPLE:
+        if self.base.n_people < self.backend.pagerank_stack_min_people:
             out: List[np.ndarray] = []
             for overlay in overlays:
                 ekey = _edge_key(overlay.edge_flips())
@@ -965,7 +954,7 @@ class HitsDeltaSession(DeltaSession):
                 for p in self.base.people_with_skill(term):
                     match_counts[p] += 1.0
             ind = (match_counts > 0).astype(np.float64)
-            support = ind + np.asarray(self._adj @ ind).ravel()
+            support = ind + self.backend.spmv(self._adj, ind)
             hit = (ind, support, match_counts)
             self._query_cache.put(query, hit)
         return hit
@@ -1090,7 +1079,7 @@ class HitsDeltaSession(DeltaSession):
             for j, (_, delta_ind) in enumerate(delta_cols):
                 for p, d in delta_ind.items():
                     d_mat[p, j] = d
-            prop = d_mat + np.asarray(self._adj @ d_mat)
+            prop = d_mat + self.backend.spmm(self._adj, d_mat)
             for j, (i, _) in enumerate(delta_cols):
                 propagated[i] = prop[:, j]
         results: List[np.ndarray] = []
@@ -1140,7 +1129,7 @@ class TfidfDeltaSession(DeltaSession):
         hit = self._query_cache.get(query)
         if hit is None:
             q_vec = self._model.vector(sorted(query))
-            base_scores = np.asarray(self._matrix @ q_vec).ravel()
+            base_scores = self.backend.spmv(self._matrix, q_vec)
             hit = (q_vec, base_scores)
             self._query_cache.put(query, hit)
         return hit
@@ -1160,7 +1149,11 @@ class TfidfDeltaSession(DeltaSession):
         out = base_scores.copy()
         for p in {p for (p, _) in overlay.skill_flips()}:
             cols, vals = self._patched_row(overlay.skills(p))
-            out[p] = float(vals @ q_vec[cols]) if cols.size else 0.0
+            # backend.row_dot, not a BLAS dot: its sequential accumulation
+            # is bitwise identical to the fused gather and to the CSR
+            # matvec behind ``base_scores``, so single probes, batch
+            # flushes, and bus-merged flushes all agree exactly.
+            out[p] = self.backend.row_dot(vals, q_vec[cols]) if cols.size else 0.0
         return out
 
     def _gather_rows(
@@ -1173,27 +1166,23 @@ class TfidfDeltaSession(DeltaSession):
         if not entries:
             return None
         rows = [self._patched_row(skills) for (_, _, skills) in entries]
-        indptr = np.cumsum([0] + [cols.size for cols, _ in rows])
-        if indptr[-1] == 0:
-            return None
-        indices = np.concatenate([cols for cols, _ in rows])
-        data = np.concatenate([vals for _, vals in rows])
-        return sp.csr_matrix(
-            (data, indices, indptr),
-            shape=(len(entries), self._model.n_terms),
-        )
+        gathered = self.backend.gather_rows(rows, self._model.n_terms)
+        return gathered if gathered.nnz else None
 
     def scores_batch(
         self, query: Query, overlays: Iterable[NetworkOverlay]
     ) -> List[np.ndarray]:
         """Multi-row sparse gathers: every (overlay, flipped person) row of
-        the flush is gathered into one CSR — deduplicated through the
-        per-skill-set row memo — and a single sparse product against the
-        query vector re-scores them all.  Small flushes (fewer than
-        :data:`_TFIDF_GATHER_MIN_ROWS` patched rows — every probe-engine
-        flush) skip the gather: with so few rows the CSR construction
-        costs more than the per-row dot products, so the batched path
-        answers with the sequential loop, base state hoisted."""
+        the flush is gathered and a single fused ``gather_dots`` kernel
+        against the query vector re-scores them all — deduplicated through
+        the per-skill-set row memo.  Small flushes (fewer patched rows
+        than the backend's ``tfidf_gather_min_rows`` cost hint — every
+        unfused probe-engine flush) skip the gather: with so few rows its
+        construction costs more than the per-row dot products, so the
+        batched path answers with the sequential loop, base state
+        hoisted.  Both kernels accumulate identically (see
+        ``NumericBackend.row_dot``), so a bus-merged flush crossing the
+        threshold cannot perturb any participant's values."""
         overlays = list(overlays)
         if len(overlays) <= 1:
             return [self.scores(query, ov) for ov in overlays]
@@ -1207,17 +1196,16 @@ class TfidfDeltaSession(DeltaSession):
             for p in sorted({p for (p, _) in overlay.skill_flips()}):
                 results[i][p] = 0.0  # overwritten below unless the row is empty
                 entries.append((i, p, overlay.skills(p)))
-        if len(entries) < _TFIDF_GATHER_MIN_ROWS:
+        if len(entries) < self.backend.tfidf_gather_min_rows:
             for i, p, skills in entries:
                 cols, vals = self._patched_row(skills)
                 if cols.size:
-                    results[i][p] = float(vals @ q_vec[cols])
+                    results[i][p] = self.backend.row_dot(vals, q_vec[cols])
             return results
-        gathered = self._gather_rows(entries)
-        if gathered is not None:
-            values = np.asarray(gathered @ q_vec).ravel()
-            for j, (i, p, _) in enumerate(entries):
-                results[i][p] = values[j]
+        rows = [self._patched_row(skills) for (_, _, skills) in entries]
+        values = self.backend.gather_dots(rows, q_vec)
+        for j, (i, p, _) in enumerate(entries):
+            results[i][p] = values[j]
         return results
 
     def scores_multi(
@@ -1237,7 +1225,7 @@ class TfidfDeltaSession(DeltaSession):
         values = None
         if gathered is not None:
             q_mat = np.stack([q_vec for q_vec, _ in states], axis=1)
-            values = np.asarray(gathered @ q_mat)  # (|touched|, |queries|)
+            values = self.backend.spmm(gathered, q_mat)  # (|touched|, |queries|)
         results: List[np.ndarray] = []
         for qi, (q_vec, base_scores) in enumerate(states):
             if not np.any(q_vec):
@@ -1279,6 +1267,7 @@ class ProbeEngine:
         memoize: bool = True,
         full_rebuild: bool = False,
         score_memo: Optional[_LruCache] = None,
+        flush_sink=None,
     ) -> None:
         if isinstance(network, NetworkOverlay):
             # Bind to the overlay's base: probe states derived from the
@@ -1290,6 +1279,12 @@ class ProbeEngine:
         self.base_version = network.version
         self.memoize = memoize
         self.full_rebuild = full_rebuild
+        # Optional cross-request batching sink (the service registry's
+        # FlushBus).  When armed it may merge this engine's session
+        # flushes with concurrent engines' flushes over the same session;
+        # when absent or disarmed every flush goes straight to the
+        # session — the engine stays service-agnostic either way.
+        self.flush_sink = flush_sink
         self.hits = 0  # decision-memo answers (no work at all)
         self.misses = 0  # probes that evaluated the underlying system
         # Decisions derived from a memoized score vector: no ranker
@@ -1297,6 +1292,8 @@ class ProbeEngine:
         # (cheap O(n log n) ranking / team re-formation).
         self.score_hits = 0
         self.multi_flushes = 0  # shared-context multi-query flushes issued
+        self.batch_flushes = 0  # same-query multi-overlay flushes issued
+        self.flushed_probes = 0  # states scored through those flushes
         self._memo = _LruCache(_MAX_MEMO)
         # (query, flips, base version) -> ranker score vector.  Score
         # vectors are person-independent, so this second memo level lets
@@ -1469,8 +1466,7 @@ class ProbeEngine:
             qlist = list(queries)
             check_budget(len(qlist))
             fault_point("session.scores", key=_fault_key(qlist, flips), engine=self)
-            score_list = session.shared_context(overlay).scores_multi(qlist)
-            self.multi_flushes += 1
+            score_list = self._flush_multi(session, overlay, qlist)
             for query, scores in zip(qlist, score_list):
                 if self.memoize:
                     self._score_memo.put((query, flips, self.base_version), scores)
@@ -1485,21 +1481,18 @@ class ProbeEngine:
             for start in range(0, len(items), _BATCH_GROUP):
                 chunk = items[start : start + _BATCH_GROUP]
                 check_budget(len(chunk))
+                chunk_overlays = [
+                    self._overlay_for(net) for (_, _, _, net, _) in chunk
+                ]
                 fault_point(
                     "session.scores",
                     key=_fault_key(
                         query,
-                        [
-                            f
-                            for (_, _, _, net, _) in chunk
-                            for f in self._overlay_for(net).flips()
-                        ],
+                        [f for ov in chunk_overlays for f in ov.flips()],
                     ),
                     engine=self,
                 )
-                score_list = session.scores_batch(
-                    query, [self._overlay_for(net) for (_, _, _, net, _) in chunk]
-                )
+                score_list = self._flush_batch(session, query, chunk_overlays)
                 for (i, person, _, network, key), scores in zip(chunk, score_list):
                     if self.memoize:
                         flips = self._overlay_for(network).flips()
@@ -1510,6 +1503,45 @@ class ProbeEngine:
                         person, query, network, scores, key
                     )
         return results  # type: ignore[return-value]
+
+    def _flush_multi(
+        self,
+        session: DeltaSession,
+        overlay: NetworkOverlay,
+        queries: List[Query],
+    ) -> List[np.ndarray]:
+        """One multi-query flush (budget and fault point already charged
+        on this thread), offered to the flush sink first.  A sink answer
+        of None — bus disarmed, or the merged call failed — falls back to
+        the direct session call, which is the exact pass-through the
+        deterministic single-worker mode always takes."""
+        sink = self.flush_sink
+        score_list = None
+        if sink is not None:
+            score_list = sink.submit_multi(session, overlay, queries)
+        if score_list is None:
+            score_list = session.shared_context(overlay).scores_multi(queries)
+        self.multi_flushes += 1
+        self.flushed_probes += len(queries)
+        return score_list
+
+    def _flush_batch(
+        self,
+        session: DeltaSession,
+        query: Query,
+        overlays: List[NetworkOverlay],
+    ) -> List[np.ndarray]:
+        """One same-query batched flush; sink-first like
+        :meth:`_flush_multi`."""
+        sink = self.flush_sink
+        score_list = None
+        if sink is not None:
+            score_list = sink.submit_batch(session, query, overlays)
+        if score_list is None:
+            score_list = session.scores_batch(query, overlays)
+        self.batch_flushes += 1
+        self.flushed_probes += len(overlays)
+        return score_list
 
     def _decide_scored(
         self,

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.embeddings.similarity import SkillEmbedding
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
@@ -132,9 +133,10 @@ class GcnExpertRanker(ExpertSearchSystem):
     ) -> np.ndarray:
         """[centroid ‖ match fraction ‖ centroid·query] per node."""
         assert self._feature_vocab is not None and self._feature_matrix is not None
+        backend = get_backend()
         incidence = network.skill_matrix(self._feature_vocab)
         counts = np.asarray(incidence.sum(axis=1)).ravel()
-        centroids = incidence @ self._feature_matrix
+        centroids = backend.spmm(incidence, self._feature_matrix)
         centroids = centroids / np.maximum(counts, 1.0)[:, None]
 
         n = network.n_people
@@ -152,7 +154,7 @@ class GcnExpertRanker(ExpertSearchSystem):
                 else:
                     indicator[col] = 1.0
             if indicator.any():
-                match = np.asarray(incidence @ indicator).ravel()
+                match = backend.spmv(incidence, indicator)
             for term in oov:
                 for p in network.people_with_skill(term):
                     match[p] += 1.0
@@ -160,7 +162,7 @@ class GcnExpertRanker(ExpertSearchSystem):
 
         q_vec = self._query_vector(query)
         centroid_norms = np.linalg.norm(centroids, axis=1)
-        sim = (centroids @ q_vec) / np.maximum(centroid_norms, 1e-12)
+        sim = backend.matmul(centroids, q_vec) / np.maximum(centroid_norms, 1e-12)
 
         return np.concatenate(
             [centroids, match[:, None], sim[:, None]], axis=1
@@ -192,7 +194,7 @@ class GcnExpertRanker(ExpertSearchSystem):
             col = vocab_index.get(term)
             if col is not None:
                 indicator[col] = 1.0
-        own = np.asarray(network.skill_matrix() @ indicator).ravel() / len(query)
+        own = get_backend().spmv(network.skill_matrix(), indicator) / len(query)
         # Best-neighbor coverage: segmented max of own[] over the CSR
         # adjacency rows (reduceat segments collapse over empty rows, which
         # contribute no indices, so non-empty starts index their own rows).
@@ -271,7 +273,7 @@ class GcnExpertRanker(ExpertSearchSystem):
             return delta
         features = self._node_features(query, network)
         adj_norm = network.normalized_adjacency()
-        return self._scorer.forward(features, adj_norm).numpy().copy()
+        return get_backend().gcn_forward(self._scorer, features, adj_norm).copy()
 
     def scores_batch(
         self, query: Iterable[str], networks

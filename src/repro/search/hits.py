@@ -20,6 +20,7 @@ from typing import Iterable, Set
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import as_query
 from repro.search.base import ExpertSearchSystem
@@ -72,17 +73,8 @@ class HitsExpertRanker(ExpertSearchSystem):
 
     def _authority_scores(self, adj, m: int) -> np.ndarray:
         """Normalized hub/authority iteration over a (sparse) base-set
-        adjacency — shared by the plain path and the delta session."""
-        authority = np.ones(m) / m
-        for _ in range(self.max_iterations):
-            hub = adj @ authority
-            hub_norm = np.linalg.norm(hub)
-            hub = hub / hub_norm if hub_norm > 0 else hub
-            new_authority = adj.T @ hub
-            norm = np.linalg.norm(new_authority)
-            new_authority = new_authority / norm if norm > 0 else new_authority
-            if np.abs(new_authority - authority).sum() < self.tolerance:
-                authority = new_authority
-                break
-            authority = new_authority
-        return authority
+        adjacency — shared by the plain path and the delta session; the
+        kernel lives on the active numeric backend."""
+        return get_backend().authority_iteration(
+            adj, m, max_iterations=self.max_iterations, tolerance=self.tolerance
+        )

@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.graph.network import CollaborationNetwork
 from repro.graph.perturbations import as_query
 from repro.search.base import ExpertSearchSystem, query_match_vector
@@ -71,25 +72,17 @@ class PageRankExpertRanker(ExpertSearchSystem):
     ) -> Tuple[np.ndarray, bool]:
         """(solution, converged) of the personalized walk.  A delta session
         warm-starts from the base solution; the plain path starts from the
-        restart distribution."""
-        # Column-stochastic transition; dangling nodes teleport.
-        inv_deg = np.divide(
-            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        restart distribution.  The kernel itself lives on the active
+        :class:`~repro.backend.base.NumericBackend`."""
+        return get_backend().power_iteration(
+            restart,
+            adj,
+            out_degree,
+            damping=self.damping,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            warm_start=warm_start,
         )
-        scores = (restart if warm_start is None else warm_start).copy()
-        converged = False
-        for _ in range(self.max_iterations):
-            spread = adj.T @ (scores * inv_deg)
-            dangling = scores[out_degree == 0].sum()
-            new = (1 - self.damping) * restart + self.damping * (
-                spread + dangling * restart
-            )
-            if np.abs(new - scores).sum() < self.tolerance:
-                scores = new
-                converged = True
-                break
-            scores = new
-        return scores, converged
 
     def _power_iteration_multi(
         self,
@@ -100,40 +93,16 @@ class PageRankExpertRanker(ExpertSearchSystem):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Stacked power iterations: ``k`` independent personalized walks
         over one shared transition operator, advanced together through
-        ``(n, k)`` spmm kernels.
-
-        Columns are fully independent, so each one performs the exact
-        per-iteration arithmetic of :meth:`_power_iteration`; a column
-        that meets the tolerance *freezes* at that iterate — precisely
-        where its sequential loop would break — while the rest keep
-        iterating.  Returns ``(solutions (n, k), converged (k,))``.
-        """
-        n, k = restarts.shape
-        inv_deg = np.divide(
-            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        the backend's ``(n, k)`` stacked kernel (each column performs the
+        exact per-iteration arithmetic of :meth:`_power_iteration` and
+        freezes where its sequential loop would break).  Returns
+        ``(solutions (n, k), converged (k,))``."""
+        return get_backend().power_iteration_stacked(
+            restarts,
+            adj,
+            out_degree,
+            damping=self.damping,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            starts=starts,
         )
-        dangling_mask = out_degree == 0
-        scores = (restarts if starts is None else starts).copy()
-        solutions = np.empty((n, k))
-        converged = np.zeros(k, dtype=bool)
-        active = np.arange(k)
-        active_restarts = restarts.copy()
-        for _ in range(self.max_iterations):
-            spread = adj.T @ (scores * inv_deg[:, None])
-            dangling = scores[dangling_mask].sum(axis=0)
-            new = (1 - self.damping) * active_restarts + self.damping * (
-                spread + dangling[None, :] * active_restarts
-            )
-            done = np.abs(new - scores).sum(axis=0) < self.tolerance
-            if done.any():
-                solutions[:, active[done]] = new[:, done]
-                converged[active[done]] = True
-                keep = ~done
-                active = active[keep]
-                active_restarts = active_restarts[:, keep]
-                new = new[:, keep]
-                if active.size == 0:
-                    return solutions, converged
-            scores = new
-        solutions[:, active] = scores
-        return solutions, converged

@@ -63,6 +63,7 @@ import os
 import time
 import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.embeddings.similarity import SkillEmbedding
@@ -504,12 +505,39 @@ class ExplanationService:
                     answered[request] = results[i]
 
         if max_workers <= 1 or len(shards) == 1:
+            # Deterministic sequential mode: the flush bus stays disarmed,
+            # so every probe flush is an exact pass-through to its session.
             for shard in shards:
                 run_shard(shard)
         else:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                # list() propagates unexpected shard-level crashes.
-                list(pool.map(run_shard, shards))
+            # Concurrent shards probing the same (ranker, base version)
+            # may now merge their probe flushes: each shard thread arms the
+            # registry's flush bus for its own lifetime — the armed count
+            # is thus a live concurrency signal (a flush only waits out the
+            # batching window while another shard is actually running) —
+            # and the merge activity this batch generated is surfaced
+            # through the service stats.
+            bus = getattr(self.registry, "flush_bus", None)
+            before = bus.counters() if bus is not None else {}
+
+            def run_shard_armed(shard: List[Tuple[int, ExplainRequest]]) -> None:
+                with bus.armed() if bus is not None else nullcontext():
+                    run_shard(shard)
+
+            try:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    # list() propagates unexpected shard-level crashes.
+                    list(pool.map(run_shard_armed, shards))
+            finally:
+                if bus is not None:
+                    for name, value in bus.counters().items():
+                        delta = value - before.get(name, 0)
+                        if name == "max_fused":
+                            # A high-water mark, not a rate: track the
+                            # batch's own peak.
+                            delta = value if delta > 0 else 0
+                        if delta > 0:
+                            self.stats.bump(f"bus.{name}", delta)
         return results  # type: ignore[return-value]
 
     def _shard(

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import get_backend
 from repro.text.corpus import ExpertiseCorpus
 
 
@@ -95,18 +96,10 @@ class TfidfModel:
     def matrix(
         self, documents: Sequence[Sequence[str]], normalize: bool = True
     ) -> sp.csr_matrix:
-        """Sparse tf-idf matrix, one row per document."""
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        for i, tokens in enumerate(documents):
-            c, v = self.row(tokens, normalize=normalize)
-            rows.extend([i] * c.size)
-            cols.extend(c.tolist())
-            data.extend(v.tolist())
-        return sp.csr_matrix(
-            (data, (rows, cols)), shape=(len(documents), self.n_terms)
-        )
+        """Sparse tf-idf matrix, one row per document — :meth:`row` per
+        document, assembled by the backend's multi-row gather."""
+        rows = [self.row(tokens, normalize=normalize) for tokens in documents]
+        return get_backend().gather_rows(rows, self.n_terms)
 
 
 def extract_skills(

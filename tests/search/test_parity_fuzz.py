@@ -18,7 +18,11 @@ and including annihilating add-then-remove pairs — and asserts
   ``scores`` calls and full rebuilds to 1e-9 for **every ranker** (the
   PR-4 batched delta forwards), and random multi-*query* sweeps through
   ``SharedProbeContext.scores_multi`` equal per-query scoring and full
-  rebuilds the same way.
+  rebuilds the same way,
+* mixed service workloads answer identically across per-call facade
+  invocation, deterministic single-thread ``explain_many``, sharded
+  execution, and sharded execution with a wide flush-bus window (probe
+  flushes from concurrent requests merged into fused kernel calls).
 
 Every case is pinned to a deterministic seed, so green stays green.  The
 default run executes a quick subset; the full sweep (500+ chains across
@@ -47,6 +51,7 @@ from repro.service import (
     FACADE_METHODS,
     EngineRegistry,
     ExplanationService,
+    FlushBus,
     explanation_signature,
     make_requests,
 )
@@ -531,19 +536,34 @@ class TestServiceFuzz:
             for request in requests
         ]
 
-        for max_workers in (1, 4):
+        # Three service axes against the per-call reference: deterministic
+        # single-thread, sharded, and sharded with a wide flush-bus window
+        # (probe flushes from concurrent shards merge into fused kernel
+        # calls — composition-insensitive backends keep them bit-exact).
+        fused_bus = FlushBus(window=0.02)
+        for max_workers, bus in ((1, None), (4, None), (4, fused_bus)):
+            registry = EngineRegistry()
+            if bus is not None:
+                registry.flush_bus = bus
             service = ExplanationService(
                 network=net, ranker=ranker, embedding=embedding,
                 link_predictor=predictor, former=former, k=k,
                 factual_config=_SERVICE_FACTUAL, beam_config=_SERVICE_BEAM,
-                registry=EngineRegistry(),
+                registry=registry,
             )
             responses = service.explain_many(requests, max_workers=max_workers)
             assert all(r.ok for r in responses), [r.error for r in responses]
             got = [
                 explanation_signature(r.request, r.explanation) for r in responses
             ]
-            assert got == reference, f"max_workers={max_workers} diverged"
+            label = f"max_workers={max_workers}, fused={bus is not None}"
+            assert got == reference, f"{label} diverged"
+            counters = registry.flush_counters()
+            if max_workers == 1:
+                # Deterministic mode keeps the bus disarmed: pure
+                # pass-through, nothing may merge.
+                assert counters["bus_flushes"] == 0
+                assert counters["bus_merged_flushes"] == 0
 
     @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
     @pytest.mark.parametrize("seed", QUICK_SEEDS)

@@ -41,6 +41,7 @@ from repro.service import (
     ExplanationService,
     FaultInjector,
     FaultPlan,
+    FlushBus,
     ResilienceConfig,
     explanation_signature,
     fault_injection,
@@ -213,6 +214,36 @@ class TestChaosInvariants:
         assert all(r.outcome == "ok" for r in responses)
         if service.stats.get("delta_failure"):
             assert service.stats.get("fallback.full_rebuild") > 0
+
+
+class TestFusedFlushChaos:
+    """Faults around fused probe flushes must stay scoped to their own
+    request.  Budget charges and fault points fire on each participant's
+    thread *before* it joins a bus group, so a faulted participant never
+    contaminates the merged kernel call it would have ridden — its
+    group-mates complete parity-exact, and the faulted request degrades
+    (and is rescued) exactly as it would have flushing alone."""
+
+    @pytest.mark.parametrize("seed", (21, 22))
+    def test_fault_mid_fused_flush_degrades_only_faulted(
+        self, net, embedding, predictor, seed
+    ):
+        service = _service(net, embedding, predictor)
+        # A wide batching window so concurrent shards' flushes actually
+        # merge while the injector is firing.
+        service.registry.flush_bus = FlushBus(window=0.02)
+        requests = _workload(service, net)
+        reference = _reference_signatures(service, requests)
+        injector = FaultInjector(MIXED_PLAN, seed=seed)
+        with fault_injection(injector):
+            responses = service.explain_many(requests, max_workers=4)
+        _assert_chaos_invariants(responses, reference, injector)
+        # Retryable faults are rescued per-request: a fault landing on
+        # one fused-flush participant leaves the whole batch completing.
+        assert all(r.outcome == "ok" for r in responses)
+        # The bus was live during the chaos run (probe flushes routed
+        # through it), not silently bypassed.
+        assert service.stats.get("bus.flushes") > 0
 
 
 class TestTimeoutBound:

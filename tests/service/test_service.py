@@ -521,3 +521,9 @@ class TestWorkloads:
         assert report.requests_per_second > 0
         assert {row.kind for row in report.rows} == {"query", "cf_query"}
         assert all(row.latency_mean is not None for row in report.rows)
+        # Probe flushes happened and were surfaced; single-thread mode
+        # keeps the flush bus disarmed, so nothing may be bus-merged.
+        flushes = report.fusion["multi_flushes"] + report.fusion["batch_flushes"]
+        assert flushes > 0
+        assert report.fusion["flushed_probes"] >= flushes
+        assert report.fusion["bus_merged_flushes"] == 0
