@@ -78,6 +78,7 @@ from repro import ExES
 from repro.datasets import dblp_like
 from repro.embeddings import train_ppmi_embedding
 from repro.eval import (
+    latency_percentiles,
     outcome_counts,
     random_queries,
     sample_search_subjects,
@@ -707,11 +708,11 @@ def run_service_row(
         elapsed = time.perf_counter() - start
         assert all(r.ok for r in responses), [r.error for r in responses if not r.ok]
         sigs = [explanation_signature(r.request, r.explanation) for r in responses]
-        return sigs, elapsed, service
+        return sigs, elapsed, service, responses
 
     try:
-        single_sigs, single_s, single_service = service_pass(1)
-        sharded_sigs, sharded_s, _ = service_pass(workers)
+        single_sigs, single_s, single_service, _ = service_pass(1)
+        sharded_sigs, sharded_s, _, sharded_responses = service_pass(workers)
     finally:
         # The passes above re-pointed the ranker/former session hook at
         # throwaway registries; hand ownership back to the facade's own
@@ -732,6 +733,11 @@ def run_service_row(
             f"{min_speedup}x acceptance floor"
         )
     engine = single_service.engine()
+    # The interactive-service latency tail, measured on the sharded pass
+    # (the deployed mode): per-request wall clock over computed responses
+    # — coalesced re-serves excluded, so the repeat session's ~0s answers
+    # don't flatter the percentiles.
+    tail = latency_percentiles(sharded_responses)
     row = {
         "n_requests": len(requests),
         "n_unique_requests": len(session_requests),
@@ -748,11 +754,15 @@ def run_service_row(
         "speedup_sharded_vs_per_call": speedup_sharded,
         "bit_identical": True,
         "relevance_engine_hit_rate": engine.hit_rate,
+        "latency_p50_seconds": tail["p50"],
+        "latency_p95_seconds": tail["p95"],
+        "latency_p99_seconds": tail["p99"],
     }
     print(
         f"  {'service':>13}: {per_call_s:.2f}s per-call -> {single_s:.2f}s "
         f"single ({speedup_single:.1f}x) -> {sharded_s:.2f}s sharded x"
         f"{workers} ({speedup_sharded:.1f}x), {len(requests)} requests, "
+        f"p50/p95/p99 {tail['p50']:.3f}/{tail['p95']:.3f}/{tail['p99']:.3f}s, "
         f"bit-identical explanations",
         flush=True,
     )

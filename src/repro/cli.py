@@ -11,7 +11,11 @@ Commands:
 * ``team``      — form a team for a query
 * ``explain``   — factual + counterfactual explanations for one person
 * ``workload``  — a paper-style random-query workload through the
-  explanation service (``explain_many``), single-threaded or sharded
+  explanation service (``explain_many``), single-threaded or sharded;
+  ``--remote HOST:PORT`` drives the same requests over a socket against
+  a running ``serve`` instance instead
+* ``serve``     — boot the asyncio serving front end (newline-delimited
+  JSON frames over TCP; see :mod:`repro.serve`)
 
 Example::
 
@@ -20,6 +24,9 @@ Example::
         --query graph mining --person "Ada Lovelace" --json out.json
     python -m repro workload --dataset dblp --scale 0.01 \
         --queries 10 --workers 4 --kinds skills cf_skills
+    python -m repro serve --dataset dblp --scale 0.01 --port 7821 &
+    python -m repro workload --dataset dblp --scale 0.01 \
+        --queries 10 --remote 127.0.0.1:7821
 """
 
 from __future__ import annotations
@@ -134,8 +141,51 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the asyncio serving front end over one built dataset."""
+    import asyncio
+
+    from repro.serve import ExplanationServer, ServeConfig
+
+    dataset = _load_dataset(args)
+    exes = ExES.build(dataset, k=args.k, seed=args.seed)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        default_batch_workers=args.workers,
+        max_batch_workers=max(args.workers, 4),
+    )
+
+    async def run() -> None:
+        server = await ExplanationServer(exes.service, config).start()
+        # The readiness line CI (and shell scripts) wait for.
+        print(
+            f"serving {args.dataset} (scale={args.scale}, k={args.k}) "
+            f"on {args.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; drained and shut down", flush=True)
+    return 0
+
+
+def _parse_remote(spec: str):
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--remote must be HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
-    """Run a random-query explanation workload through the service."""
+    """Run a random-query explanation workload through the service —
+    in-process by default, over a socket with ``--remote``."""
     from repro.eval import (
         random_queries,
         run_workload_experiment,
@@ -144,6 +194,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         search_requests,
         team_requests,
     )
+    from repro.eval.harness import run_remote_workload_experiment
 
     dataset = _load_dataset(args)
     exes = ExES.build(dataset, k=args.k, seed=args.seed)
@@ -160,12 +211,21 @@ def cmd_workload(args: argparse.Namespace) -> int:
             ),
             kinds=args.kinds,
         )
+    where = f"remote {args.remote}" if args.remote else "in-process"
     print(
         f"{len(requests)} requests over {args.queries} queries "
         f"({', '.join(args.kinds)}; team={'on' if args.team else 'off'}), "
-        f"max_workers={args.workers}"
+        f"max_workers={args.workers}, {where}"
     )
-    report = run_workload_experiment(exes.service, requests, max_workers=args.workers)
+    if args.remote:
+        host, port = _parse_remote(args.remote)
+        report = run_remote_workload_experiment(
+            host, port, requests, max_workers=args.workers, session=args.session
+        )
+    else:
+        report = run_workload_experiment(
+            exes.service, requests, max_workers=args.workers
+        )
     for row in report.rows:
         latency = f"{row.latency_mean:.3f}s" if row.latency_mean is not None else "-"
         size = f"{row.size_mean:.1f}" if row.size_mean is not None else "-"
@@ -178,6 +238,16 @@ def cmd_workload(args: argparse.Namespace) -> int:
         f"({report.requests_per_second:.2f} req/s, {report.n_coalesced} "
         f"coalesced, {report.n_errors} errors)"
     )
+    print(
+        "outcomes: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(report.outcomes.items()))
+    )
+    tail = report.latency_percentiles
+    if tail and tail.get("p50") is not None:
+        print(
+            "latency p50/p95/p99: "
+            + "/".join(f"{tail[p]:.3f}s" for p in ("p50", "p95", "p99"))
+        )
     if report.fusion:
         flushes = report.fusion.get("multi_flushes", 0) + report.fusion.get(
             "batch_flushes", 0
@@ -198,6 +268,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
             "requests_per_second": report.requests_per_second,
             "rows": [vars(row) for row in report.rows],
             "fusion": report.fusion,
+            "outcomes": report.outcomes,
+            "latency_percentiles": report.latency_percentiles,
         }
         with open(args.json, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=1)
@@ -261,7 +333,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for explain_many (1 = deterministic)",
     )
     p_workload.add_argument("--json", default=None, help="write the report to JSON")
+    p_workload.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="drive the workload over a socket against a running serve instance",
+    )
+    p_workload.add_argument(
+        "--session", default="",
+        help="session name for the remote connection (admission-control tenant)",
+    )
     p_workload.set_defaults(fn=cmd_workload)
+
+    p_serve = sub.add_parser(
+        "serve", help="boot the asyncio serving front end (NDJSON over TCP)"
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument("--k", type=int, default=10)
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="default explain_many worker count per batch (1 = deterministic)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -18,6 +18,7 @@ from repro.eval.metrics import (
 from repro.eval.workload import (
     ExplanationSubjects,
     TeamSubjects,
+    latency_percentiles,
     outcome_counts,
     random_queries,
     sample_search_subjects,
@@ -31,8 +32,10 @@ from repro.eval.harness import (
     FactualRow,
     WorkloadKindRow,
     WorkloadReport,
+    aggregate_workload,
     run_counterfactual_experiment,
     run_factual_experiment,
+    run_remote_workload_experiment,
     run_workload_experiment,
 )
 from repro.eval.robustness import (
@@ -71,10 +74,13 @@ __all__ = [
     "format_sweep",
     "WorkloadKindRow",
     "WorkloadReport",
+    "aggregate_workload",
+    "latency_percentiles",
     "outcome_counts",
     "random_queries",
     "run_counterfactual_experiment",
     "run_factual_experiment",
+    "run_remote_workload_experiment",
     "run_workload_experiment",
     "sample_search_subjects",
     "sample_team_subjects",

@@ -332,39 +332,28 @@ class WorkloadReport:
     # counters plus ``bus_*`` merge counters from the registry's flush
     # bus (empty for services without a registry flush bus).
     fusion: Dict[str, int] = field(default_factory=dict)
+    # Per-request latency tail over computed responses
+    # ({"p50": ..., "p95": ..., "p99": ...}) — the interactive-service
+    # quality signal mean latency hides.
+    latency_percentiles: Dict[str, Optional[float]] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
         return self.n_requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
 
-def run_workload_experiment(
-    service,
-    requests: Sequence,
-    max_workers: int = 1,
+def aggregate_workload(
+    responses: Sequence,
+    elapsed: float,
+    max_workers: int,
+    fusion: Optional[Dict[str, int]] = None,
 ) -> WorkloadReport:
-    """Run a typed request workload through the explanation service.
-
-    ``max_workers=1`` is the deterministic single-thread mode; larger
-    values shard independent decision targets across a thread pool.
-    Per-request failures are counted, never raised — matching the
-    service's degrade-per-request contract.
-    """
-    registry = getattr(service, "registry", None)
-    flush_before: Dict[str, int] = {}
-    if registry is not None and hasattr(registry, "flush_counters"):
-        flush_before = registry.flush_counters()
-    start = time.perf_counter()
-    responses = service.explain_many(requests, max_workers=max_workers)
-    elapsed = time.perf_counter() - start
-    fusion: Dict[str, int] = {}
-    if registry is not None and hasattr(registry, "flush_counters"):
-        for name, value in registry.flush_counters().items():
-            if name == "bus_max_fused":
-                # A high-water mark, not a rate — report it as-is.
-                fusion[name] = value
-            else:
-                fusion[name] = value - flush_before.get(name, 0)
+    """Aggregate one batch of typed responses into a
+    :class:`WorkloadReport` — the shared tail of the local
+    (:func:`run_workload_experiment`) and remote
+    (:func:`run_remote_workload_experiment`) loops, so both report
+    identical shapes from identical responses."""
+    from repro.eval.workload import latency_percentiles, outcome_counts
 
     per_kind: Dict[str, Dict[str, list]] = {}
     for response in responses:
@@ -401,10 +390,6 @@ def run_workload_experiment(
         )
         for kind, bucket in sorted(per_kind.items())
     ]
-    outcomes: Dict[str, int] = {}
-    for response in responses:
-        outcome = getattr(response, "outcome", "ok")
-        outcomes[outcome] = outcomes.get(outcome, 0) + 1
     return WorkloadReport(
         n_requests=len(responses),
         n_errors=sum(row.n_errors for row in rows),
@@ -412,6 +397,62 @@ def run_workload_experiment(
         elapsed_seconds=elapsed,
         max_workers=max_workers,
         rows=rows,
-        outcomes=outcomes,
-        fusion=fusion,
+        outcomes=outcome_counts(responses),
+        fusion=fusion or {},
+        latency_percentiles=latency_percentiles(responses),
+    )
+
+
+def run_workload_experiment(
+    service,
+    requests: Sequence,
+    max_workers: int = 1,
+) -> WorkloadReport:
+    """Run a typed request workload through the explanation service.
+
+    ``max_workers=1`` is the deterministic single-thread mode; larger
+    values shard independent decision targets across a thread pool.
+    Per-request failures are counted, never raised — matching the
+    service's degrade-per-request contract.
+    """
+    registry = getattr(service, "registry", None)
+    flush_before: Dict[str, int] = {}
+    if registry is not None and hasattr(registry, "flush_counters"):
+        flush_before = registry.flush_counters()
+    start = time.perf_counter()
+    responses = service.explain_many(requests, max_workers=max_workers)
+    elapsed = time.perf_counter() - start
+    fusion: Dict[str, int] = {}
+    if registry is not None and hasattr(registry, "flush_counters"):
+        for name, value in registry.flush_counters().items():
+            if name == "bus_max_fused":
+                # A high-water mark, not a rate — report it as-is.
+                fusion[name] = value
+            else:
+                fusion[name] = value - flush_before.get(name, 0)
+    return aggregate_workload(responses, elapsed, max_workers, fusion)
+
+
+def run_remote_workload_experiment(
+    host: str,
+    port: int,
+    requests: Sequence,
+    max_workers: int = 1,
+    session: str = "",
+) -> WorkloadReport:
+    """The remote mirror of :func:`run_workload_experiment`: the same
+    typed requests driven over a socket through
+    :class:`~repro.serve.server.ExplanationServer`, aggregated into the
+    same report shape.  ``fusion`` comes from the server's ``batch_end``
+    summary (the counters live in the server process, not here);
+    ``elapsed_seconds`` is client wall clock, so it includes the wire."""
+    from repro.serve.client import run_remote_workload
+
+    start = time.perf_counter()
+    responses, summary = run_remote_workload(
+        host, port, requests, max_workers=max_workers, session=session or None
+    )
+    elapsed = time.perf_counter() - start
+    return aggregate_workload(
+        responses, elapsed, max_workers, summary.get("fusion", {})
     )

@@ -203,3 +203,23 @@ def outcome_counts(responses: Iterable) -> dict:
         outcome = getattr(response, "outcome", "ok")
         counts[outcome] = counts.get(outcome, 0) + 1
     return counts
+
+
+def latency_percentiles(
+    responses: Iterable, percentiles: Sequence[int] = (50, 95, 99)
+) -> dict:
+    """Per-request latency tail (``{"p50": ..., "p95": ..., "p99": ...}``)
+    over *computed* responses.  Coalesced re-serves (~0s, answered from a
+    duplicate) and admission sheds (rejected before any work) would
+    flatter the tail, so both are excluded; timed-out and failed requests
+    spent real wall clock and stay in.  All-None when nothing computed."""
+    latencies = [
+        float(r.elapsed_seconds)
+        for r in responses
+        if not getattr(r, "coalesced", False)
+        and getattr(r, "outcome", "ok") != "rejected"
+    ]
+    if not latencies:
+        return {f"p{int(p)}": None for p in percentiles}
+    values = np.percentile(np.asarray(latencies, dtype=float), list(percentiles))
+    return {f"p{int(p)}": float(v) for p, v in zip(percentiles, values)}

@@ -241,10 +241,20 @@ def request_to_dict(request) -> Dict[str, Any]:
 def request_from_dict(payload: Dict[str, Any]):
     from repro.service.requests import ExplainRequest
 
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"request payload must be an object, got {type(payload).__name__}"
+        )
+    missing = [field for field in ("kind", "person", "query") if field not in payload]
+    if missing:
+        raise ValueError(f"request payload missing fields: {', '.join(missing)}")
+    query = payload["query"]
+    if isinstance(query, str) or not isinstance(query, (list, tuple)):
+        raise ValueError("request 'query' must be a list of terms")
     return ExplainRequest(
         kind=payload["kind"],
         person=int(payload["person"]),
-        query=tuple(payload["query"]),
+        query=tuple(query),
         team=bool(payload.get("team", False)),
         seed_member=payload.get("seed_member"),
         tag=payload.get("tag", ""),

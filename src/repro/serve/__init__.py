@@ -1,0 +1,34 @@
+"""The process-level serving front end: an asyncio NDJSON server and
+client over :meth:`~repro.service.service.ExplanationService
+.explain_many` — frames in :mod:`repro.serve.protocol`, server in
+:mod:`repro.serve.server`, client in :mod:`repro.serve.client`."""
+
+from repro.serve.client import RemoteProtocolError, ServeClient, run_remote_workload
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    InvalidRequest,
+    MalformedFrame,
+    OversizedFrame,
+    ProtocolError,
+    ServerClosing,
+    UnknownFrameType,
+)
+from repro.serve.server import ExplanationServer, ServeConfig, serve
+
+__all__ = [
+    "ExplanationServer",
+    "InvalidRequest",
+    "MalformedFrame",
+    "MAX_FRAME_BYTES",
+    "OversizedFrame",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "RemoteProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServerClosing",
+    "serve",
+    "run_remote_workload",
+    "UnknownFrameType",
+]

@@ -64,7 +64,7 @@ import time
 import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.embeddings.similarity import SkillEmbedding
 from repro.explain.candidates import LinkPredictor
@@ -414,6 +414,7 @@ class ExplanationService:
         requests: Sequence[ExplainRequest],
         max_workers: Optional[int] = None,
         coalesce: bool = True,
+        on_response: Optional[Callable[[int, ExplainResponse], None]] = None,
     ) -> List[ExplainResponse]:
         """Answer a batch of requests, sharded by decision target.
 
@@ -435,6 +436,14 @@ class ExplanationService:
         ``response.outcome``/``response.error`` — one bad request never
         takes down the batch, and no shard can wedge it (every dispatch
         is bounded by its request budget).
+
+        ``on_response`` — when given — is invoked exactly once per
+        request, with ``(index, response)``, the moment that request's
+        response is final, *from the shard's worker thread*.  This is
+        the streaming hook the serving front end rides: partial results
+        leave the process while other shards are still running.
+        Callbacks must be cheap and thread-safe; a callback that raises
+        is counted (``on_response_error``) and never fails the shard.
         """
         requests = list(requests)
         if not requests:
@@ -443,6 +452,15 @@ class ExplanationService:
         if max_workers is None:
             max_workers = min(len(shards), max(1, (os.cpu_count() or 2) - 1), 8)
         results: List[Optional[ExplainResponse]] = [None] * len(requests)
+
+        def emit(index: int) -> None:
+            if on_response is None:
+                return
+            try:
+                on_response(index, results[index])
+            except Exception:
+                self.stats.bump("on_response_error")
+                logger.warning("on_response callback failed", exc_info=True)
 
         def run_shard(shard: List[Tuple[int, ExplainRequest]]) -> None:
             try:
@@ -474,6 +492,7 @@ class ExplanationService:
                             degraded_reason=prior.degraded_reason,
                             fallback=prior.fallback,
                         )
+                        emit(i)
                         continue
                 if self.admission is not None:
                     shed = self.admission.try_acquire(request.session)
@@ -486,6 +505,7 @@ class ExplanationService:
                             ),
                             outcome="rejected",
                         )
+                        emit(i)
                         continue
                 try:
                     results[i] = self._answer_one(request)
@@ -503,6 +523,7 @@ class ExplanationService:
                 # the batch deserves its own admission attempt.
                 if coalesce and results[i].outcome != "rejected":
                     answered[request] = results[i]
+                emit(i)
 
         if max_workers <= 1 or len(shards) == 1:
             # Deterministic sequential mode: the flush bus stays disarmed,

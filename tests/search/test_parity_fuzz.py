@@ -588,3 +588,78 @@ class TestServiceFuzz:
     @pytest.mark.parametrize("seed", QUICK_SEEDS[1:])
     def test_gcn_full(self, small_gcn_ranker, small_dataset, seed):
         self._run_workload(small_gcn_ranker, small_dataset.network, seed, k=10)
+
+
+# ----------------------------------------------------------------------
+# serving axis: wire responses == direct explain_many, bit-identical
+# ----------------------------------------------------------------------
+class TestServeParityFuzz:
+    """The socket front end adds zero answer drift: deterministic
+    single-worker batches served over a live connection must be
+    bit-identical (by ``explanation_signature``) to direct
+    ``explain_many`` on the same service — for every ranker.  The
+    session is stamped client-side so the request objects on both axes
+    are *equal*, making the signatures directly comparable."""
+
+    @classmethod
+    def _run_wire_parity(cls, ranker, net, seed, k=3):
+        import asyncio
+        import dataclasses
+
+        from repro.serve import ExplanationServer, ServeClient, ServeConfig
+
+        rng = np.random.default_rng(93_000 + seed)
+        former = CoverTeamFormer(ranker)
+        embedding = train_ppmi_embedding(
+            [sorted(net.skills(p)) for p in net.people()] * 2, dim=8, min_count=1
+        )
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        requests = [
+            dataclasses.replace(r, session="parity")
+            for r in TestServiceFuzz._random_requests(ranker, former, net, rng, k)
+        ]
+        service = ExplanationService(
+            network=net, ranker=ranker, embedding=embedding,
+            link_predictor=predictor, former=former, k=k,
+            factual_config=_SERVICE_FACTUAL, beam_config=_SERVICE_BEAM,
+            registry=EngineRegistry(),
+        )
+        direct = service.explain_many(requests, max_workers=1)
+        assert all(r.ok for r in direct), [r.error for r in direct]
+        reference = [
+            explanation_signature(r.request, r.explanation) for r in direct
+        ]
+
+        async def scenario():
+            server = await ExplanationServer(service, ServeConfig(port=0)).start()
+            client = await ServeClient.connect(
+                "127.0.0.1", server.port, session="parity"
+            )
+            responses, summary = await client.explain_many(requests, max_workers=1)
+            await client.close()
+            await server.shutdown()
+            return responses, summary
+
+        responses, summary = asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+        got = [explanation_signature(r.request, r.explanation) for r in responses]
+        assert got == reference, "wire responses diverged from direct explain_many"
+        assert summary["outcomes"] == {"ok": len(requests)}
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, seed):
+        rng = np.random.default_rng(777 + seed)
+        net = toy_network(n_people=int(rng.integers(12, 22)), seed=seed)
+        self._run_wire_parity(RANKERS[ranker_name](), net, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, seed):
+        rng = np.random.default_rng(777 + seed)
+        net = toy_network(n_people=int(rng.integers(12, 25)), seed=seed)
+        self._run_wire_parity(RANKERS[ranker_name](), net, seed)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS[:1])
+    def test_gcn_quick(self, small_gcn_ranker, small_dataset, seed):
+        self._run_wire_parity(small_gcn_ranker, small_dataset.network, seed, k=10)

@@ -427,3 +427,56 @@ class TestDegradationLadder:
         assert response.outcome == "ok"
         assert response.fallback is None
         assert not service.breaker.is_open(bkey)
+
+
+class TestChaosOverTheWire:
+    """The chaos grid driven through a live server connection: the same
+    seeded :class:`FaultPlan` fires inside the in-process service while
+    the requests arrive (and the responses leave) over a real socket.
+    The invariants are exactly the in-process grid's — typed outcome
+    taxonomy, parity-exact ``ok`` answers against the fault-free
+    full-rebuild reference — proving the process boundary neither
+    launders outcomes nor perturbs answers."""
+
+    @pytest.mark.parametrize("seed,workers", ((31, 1), (32, 4)))
+    def test_faulted_batch_over_live_connection(
+        self, net, embedding, predictor, seed, workers
+    ):
+        import asyncio
+
+        from repro.serve import ExplanationServer, ServeClient, ServeConfig
+
+        service = _service(net, embedding, predictor)
+        # Stamp the session client-side so the wire round-trip returns
+        # *equal* requests (the server stamps unstamped requests with
+        # the connection session, which would shift request identity).
+        requests = [
+            dataclasses.replace(r, session="chaos")
+            for r in _workload(service, net)
+        ]
+        reference = _reference_signatures(service, requests)
+        injector = FaultInjector(MIXED_PLAN, seed=seed)
+
+        async def scenario():
+            server = await ExplanationServer(service, ServeConfig(port=0)).start()
+            client = await ServeClient.connect(
+                "127.0.0.1", server.port, session="chaos"
+            )
+            responses, summary = await client.explain_many(
+                requests, max_workers=workers
+            )
+            await client.close()
+            await server.shutdown()
+            return responses, summary
+
+        with fault_injection(injector):
+            responses, summary = asyncio.run(
+                asyncio.wait_for(scenario(), timeout=120)
+            )
+        _assert_chaos_invariants(responses, reference, injector)
+        # The injected faults are retryable; the ladder rescues them all,
+        # and the wire summary agrees with the per-response taxonomy.
+        assert all(r.outcome == "ok" for r in responses)
+        assert summary["outcomes"] == {"ok": len(requests)}
+        if service.stats.get("delta_failure"):
+            assert service.stats.get("fallback.full_rebuild") > 0
