@@ -43,6 +43,13 @@ root so the perf trajectory is tracked across PRs:
   faults): throughput plus typed-outcome counts, with a parity gate
   asserting every completed explanation still matches the full-rebuild
   reference — the bench-side half of the chaos suite's invariant;
+* an **edit-storm row** — interleaved base commits
+  (``ExplanationService.commit`` → ``overlay.commit()`` →
+  ``EngineRegistry.rebase``) and explanation traffic: steady-state
+  throughput of the O(Δ)-rebased registry vs. a version-bump cold start
+  that drops everything per commit, gated on
+  ``explanation_signature``-identical answers against both the cold arm
+  and fresh-network full rebuilds at every committed state;
 * the Table 8/10-style **counterfactual suite** (three expert kinds, three
   non-expert kinds), probe engine on vs. off;
 * a **factual (SHAP) suite**, probe engine on vs. off.
@@ -1028,6 +1035,176 @@ def run_resilience_row(
     return row
 
 
+def run_edit_storm_row(
+    scale: float = 0.012,
+    n_rounds: int = 3,
+    n_queries: int = 3,
+    min_speedup: float = 0.0,
+    seed: int = 131,
+) -> dict:
+    """Interleaved base commits + explanation traffic: rebased steady
+    state vs. version-bump cold start.
+
+    The dynamic-network shape: a deployed service answers a fixed hot
+    request set while live edits land between rounds through
+    ``service.commit`` (``overlay.commit()`` → ``registry.rebase``).
+    Two arms over structurally identical networks see the *same* edit
+    sequence:
+
+    * **warm** — commits rebase the registry O(Δ): sessions, score
+      memos, decision memos, and traced team runs survive every commit
+      (the edits are skill-only and disjoint from every request query,
+      so retention is provably bit-exact for PageRank);
+    * **cold** — the same commits followed by ``registry.drop_network``:
+      the version-bump behaviour a registry without ``rebase`` would
+      exhibit, paying a full session/engine/memo rebuild per round.
+
+    Parity gates (deterministic ``max_workers=1`` mode): each round's
+    warm explanations are ``explanation_signature``-identical to the
+    cold arm *and* to a fresh service over a from-scratch network
+    rebuilt at the committed state (``network_to_dict`` round-trip) —
+    the rebase-vs-full-rebuild contract, end to end.  ``min_speedup``
+    asserts the steady-state throughput floor (rounds after the first;
+    0 disables for tiny smoke networks).
+
+    The row owns its networks: commits mutate the base in place, so it
+    never touches the stack the other rows share.
+    """
+    from repro.graph import NetworkOverlay, network_from_dict, network_to_dict
+
+    dataset = dblp_like(scale=scale, seed=13)
+    net = dataset.network
+    net_cold = dblp_like(scale=scale, seed=13).network
+    # The embedding and link predictor are part of the frozen system
+    # under explanation (candidate generators, not derived caches) —
+    # shared across every arm so parity isolates the rebase machinery.
+    embedding = train_ppmi_embedding(dataset.corpus.token_lists(), dim=16, seed=1)
+    link_predictor = HeuristicLinkPredictor().fit(net)
+
+    def build_service(network):
+        ranker = PageRankExpertRanker()
+        return ExplanationService(
+            network, ranker, embedding, link_predictor,
+            former=CoverTeamFormer(ranker), k=K,
+            factual_config=FACTUAL, beam_config=BEAM,
+            registry=EngineRegistry(),
+        )
+
+    warm = build_service(net)
+    cold = build_service(net_cold)
+
+    # Probe-heavy kinds: collaboration SHAP and counterfactual skill
+    # search spend their time in decision probes (the part the rebased
+    # memos serve), unlike skill-SHAP whose per-call sampling overhead
+    # is version-independent and would dilute the measured ratio.
+    queries = random_queries(net, n_queries, seed=seed)
+    requests = search_requests(
+        sample_search_subjects(warm.ranker, net, queries, K, seed=seed + 1),
+        kinds=("collaborations", "cf_skills"),
+    )
+    requests += team_requests(
+        sample_team_subjects(
+            warm.former, warm.ranker, net, queries[:1], K, seed=seed + 2
+        ),
+        kinds=("skills",),
+    )
+
+    def run_round(service):
+        start = time.perf_counter()
+        responses = service.explain_many(requests, max_workers=1)
+        elapsed = time.perf_counter() - start
+        assert all(r.ok for r in responses), [
+            r.error for r in responses if not r.ok
+        ]
+        version = {r.base_version for r in responses}
+        assert version == {service.network.version}, (
+            f"responses spanned base versions {version}"
+        )
+        sigs = [explanation_signature(r.request, r.explanation) for r in responses]
+        return sigs, elapsed
+
+    def round_flips(r):
+        # Skill-only, query-disjoint (synthetic skill names never appear
+        # in any sampled query): adds this round's marker, removes last
+        # round's — both flip directions exercised every round.
+        person = (seed + 7 * r) % net.n_people
+        flips = [(person, f"__storm{r}", True)]
+        if r > 1:
+            prev = (seed + 7 * (r - 1)) % net.n_people
+            flips.append((prev, f"__storm{r - 1}", False))
+        return flips
+
+    def commit_flips(service, flips):
+        overlay = NetworkOverlay(service.network)
+        for person, skill, added in flips:
+            if added:
+                overlay.add_skill(person, skill)
+            else:
+                overlay.remove_skill(person, skill)
+        return service.commit(overlay)
+
+    # Round 0: both arms start cold and must agree before any edit.
+    warm_sigs, _ = run_round(warm)
+    cold_sigs, _ = run_round(cold)
+    assert warm_sigs == cold_sigs, "arms diverged before the first commit"
+
+    warm_times, cold_times = [], []
+    retained = dropped = 0
+    for r in range(1, n_rounds + 1):
+        flips = round_flips(r)
+        result = commit_flips(warm, flips)
+        retained += result.stats.get("retained_memo_entries", 0)
+        dropped += result.stats.get("dropped_memo_entries", 0)
+        commit_flips(cold, flips)
+        cold.registry.drop_network(cold.network)  # version-bump cold start
+
+        warm_sigs, warm_s = run_round(warm)
+        cold_sigs, cold_s = run_round(cold)
+        assert warm_sigs == cold_sigs, f"round {r}: rebased != cold-start"
+        # Fresh-network full rebuild at the committed state: the
+        # strongest reference — no shared caches, version 0, rebuilt
+        # from the serialized structure alone.
+        fresh = build_service(network_from_dict(network_to_dict(net)))
+        fresh_sigs, _ = run_round(fresh)
+        assert warm_sigs == fresh_sigs, (
+            f"round {r}: rebased explanations diverged from a fresh-network "
+            f"full rebuild"
+        )
+        warm_times.append(warm_s)
+        cold_times.append(cold_s)
+
+    steady_warm = sum(warm_times) / len(warm_times)
+    steady_cold = sum(cold_times) / len(cold_times)
+    speedup = steady_cold / steady_warm
+    if min_speedup:
+        assert speedup >= min_speedup, (
+            f"edit-storm steady-state speedup {speedup:.2f}x below the "
+            f"{min_speedup}x acceptance floor"
+        )
+    row = {
+        "n_requests_per_round": len(requests),
+        "n_rounds": n_rounds,
+        "ranker": "pagerank",
+        "base_versions_committed": n_rounds,
+        "steady_state_warm_seconds": steady_warm,
+        "steady_state_cold_seconds": steady_cold,
+        "requests_per_sec_warm": len(requests) / steady_warm,
+        "requests_per_sec_cold": len(requests) / steady_cold,
+        "steady_state_speedup": speedup,
+        "memo_entries_retained": retained,
+        "memo_entries_dropped": dropped,
+        "bit_identical_vs_fresh_rebuild": True,
+    }
+    print(
+        f"  {'edit storm':>13}: {n_rounds} commits x {len(requests)} requests, "
+        f"steady state {steady_cold:.2f}s cold -> {steady_warm:.2f}s rebased "
+        f"({speedup:.1f}x), {retained} memo entries retained / {dropped} "
+        f"dropped, bit-identical vs fresh rebuilds",
+        flush=True,
+    )
+    return row
+
+
 def baseline_rankers() -> dict:
     return {
         "pagerank": PageRankExpertRanker(),
@@ -1080,6 +1257,9 @@ def run_smoke() -> dict:
     resilience_row = run_resilience_row(
         service_exes, net, n_queries=2, workers=2
     )
+    edit_storm_row = run_edit_storm_row(
+        scale=0.006, n_rounds=2, n_queries=2, min_speedup=1.0
+    )
     report = {
         "mode": "smoke",
         "network": {
@@ -1095,6 +1275,7 @@ def run_smoke() -> dict:
         "service": service_row,
         "fused": fused_row,
         "resilience": resilience_row,
+        "edit_storm": edit_storm_row,
     }
     out = REPO_ROOT / "BENCH_probe_engine.smoke.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -1146,6 +1327,11 @@ def main() -> dict:
     print("resilience row (faulted workload, typed outcomes + parity) ...", flush=True)
     resilience_row = run_resilience_row(exes, net, n_queries=3, workers=4)
 
+    print("edit storm (interleaved commits, rebased vs cold-start) ...", flush=True)
+    edit_storm_row = run_edit_storm_row(
+        scale=0.012, n_rounds=3, n_queries=3, min_speedup=2.0
+    )
+
     print("counterfactual suite, engine OFF (seed path) ...", flush=True)
     off_s, off_probes, off_results = run_counterfactual_suite(
         exes, net, experts, nonexperts, engine_on=False
@@ -1192,6 +1378,7 @@ def main() -> dict:
         "service": service_row,
         "fused": fused_row,
         "resilience": resilience_row,
+        "edit_storm": edit_storm_row,
         "counterfactual": {
             "engine_off_seconds": off_s,
             "engine_on_seconds": on_s,

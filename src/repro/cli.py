@@ -144,6 +144,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the asyncio serving front end over one built dataset."""
     import asyncio
+    import signal
 
     from repro.serve import ExplanationServer, ServeConfig
 
@@ -154,20 +155,49 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         default_batch_workers=args.workers,
         max_batch_workers=max(args.workers, 4),
+        spill_path=args.spill,
     )
 
     async def run() -> None:
         server = await ExplanationServer(exes.service, config).start()
+        if args.spill and server.restore_stats is not None:
+            restored = server.restore_stats
+            if "skipped" in restored:
+                print(f"spill restore skipped ({restored['skipped']})", flush=True)
+            else:
+                print(
+                    f"spill restored {restored['sessions']} sessions, "
+                    f"{restored['team_sessions']} team sessions, "
+                    f"{restored['memo_entries']} memo entries",
+                    flush=True,
+                )
         # The readiness line CI (and shell scripts) wait for.
         print(
             f"serving {args.dataset} (scale={args.scale}, k={args.k}) "
             f"on {args.host}:{server.port}",
             flush=True,
         )
+        # SIGTERM/SIGINT must reach shutdown() — that's what drains
+        # in-flight batches and rewrites the --spill file, so a plain
+        # `kill` leaves a warm registry behind for the next boot.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix event loop: fall back to KeyboardInterrupt
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
             await server.shutdown()
+            print("drained and shut down", flush=True)
 
     try:
         asyncio.run(run())
@@ -194,7 +224,10 @@ def cmd_workload(args: argparse.Namespace) -> int:
         search_requests,
         team_requests,
     )
-    from repro.eval.harness import run_remote_workload_experiment
+    from repro.eval.harness import (
+        run_edit_storm_experiment,
+        run_remote_workload_experiment,
+    )
 
     dataset = _load_dataset(args)
     exes = ExES.build(dataset, k=args.k, seed=args.seed)
@@ -216,11 +249,19 @@ def cmd_workload(args: argparse.Namespace) -> int:
         f"{len(requests)} requests over {args.queries} queries "
         f"({', '.join(args.kinds)}; team={'on' if args.team else 'off'}), "
         f"max_workers={args.workers}, {where}"
+        + (f", edits={args.edits}" if args.edits else "")
     )
+    commits = []
     if args.remote:
+        if args.edits:
+            raise SystemExit("--edits runs in-process only (drop --remote)")
         host, port = _parse_remote(args.remote)
         report = run_remote_workload_experiment(
             host, port, requests, max_workers=args.workers, session=args.session
+        )
+    elif args.edits:
+        report, commits = run_edit_storm_experiment(
+            exes.service, requests, args.edits, max_workers=args.workers
         )
     else:
         report = run_workload_experiment(
@@ -242,6 +283,14 @@ def cmd_workload(args: argparse.Namespace) -> int:
         "outcomes: "
         + ", ".join(f"{k}={v}" for k, v in sorted(report.outcomes.items()))
     )
+    if commits:
+        retained = sum(c.stats.get("retained_memo_entries", 0) for c in commits)
+        dropped = sum(c.stats.get("dropped_memo_entries", 0) for c in commits)
+        print(
+            f"edits: {len(commits)} commits landed mid-workload "
+            f"(base v{commits[0].old_version} -> v{commits[-1].new_version}; "
+            f"memo entries retained {retained}, dropped {dropped})"
+        )
     tail = report.latency_percentiles
     if tail and tail.get("p50") is not None:
         print(
@@ -270,6 +319,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             "fusion": report.fusion,
             "outcomes": report.outcomes,
             "latency_percentiles": report.latency_percentiles,
+            "n_commits": len(commits),
         }
         with open(args.json, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=1)
@@ -332,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="thread-pool size for explain_many (1 = deterministic)",
     )
+    p_workload.add_argument(
+        "--edits", type=int, default=0, metavar="N",
+        help="commit N live base edits racing the workload (in-process only)",
+    )
     p_workload.add_argument("--json", default=None, help="write the report to JSON")
     p_workload.add_argument(
         "--remote", default=None, metavar="HOST:PORT",
@@ -355,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=1,
         help="default explain_many worker count per batch (1 = deterministic)",
+    )
+    p_serve.add_argument(
+        "--spill", default=None, metavar="PATH",
+        help="warm-registry spill file: restore on boot, rewrite on shutdown",
     )
     p_serve.set_defaults(fn=cmd_serve)
     return parser

@@ -456,3 +456,57 @@ def run_remote_workload_experiment(
     return aggregate_workload(
         responses, elapsed, max_workers, summary.get("fusion", {})
     )
+
+
+def run_edit_storm_experiment(
+    service,
+    requests: Sequence,
+    n_edits: int,
+    max_workers: int = 1,
+    edit_interval_seconds: float = 0.02,
+    edit_skill: str = "__storm",
+):
+    """Run a workload while a background thread commits live base edits.
+
+    The ``--edits`` axis of ``python -m repro workload``: while
+    :func:`run_workload_experiment` drives the request traffic, a storm
+    thread toggles the synthetic skill ``edit_skill`` on a rotating
+    person and promotes each flip through ``service.commit`` — so
+    commits genuinely race ``explain_many`` shards through the service's
+    version gate, and every response still lands on exactly one base
+    version.  The synthetic skill never appears in any query, so the
+    rebased sessions keep their warm caches across every commit.
+
+    Returns ``(report, commits)`` — the usual :class:`WorkloadReport`
+    plus the :class:`~repro.service.service.CommitResult` list (fewer
+    than ``n_edits`` when the workload finishes first).
+    """
+    import threading
+
+    from repro.graph.overlay import NetworkOverlay
+
+    network = service.network
+    commits: List = []
+    stop = threading.Event()
+
+    def storm() -> None:
+        for i in range(n_edits):
+            if stop.is_set():
+                break
+            person = i % network.n_people
+            overlay = NetworkOverlay(network)
+            if edit_skill in network.skills(person):
+                overlay.remove_skill(person, edit_skill)
+            else:
+                overlay.add_skill(person, edit_skill)
+            commits.append(service.commit(overlay))
+            stop.wait(edit_interval_seconds)
+
+    thread = threading.Thread(target=storm, name="edit-storm", daemon=True)
+    thread.start()
+    try:
+        report = run_workload_experiment(service, requests, max_workers=max_workers)
+    finally:
+        stop.set()
+        thread.join()
+    return report, commits

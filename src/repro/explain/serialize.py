@@ -282,6 +282,7 @@ def response_to_dict(response) -> Dict[str, Any]:
         "outcome": response.outcome,
         "degraded_reason": response.degraded_reason,
         "fallback": response.fallback,
+        "base_version": response.base_version,
     }
 
 
@@ -305,4 +306,5 @@ def response_from_dict(payload: Dict[str, Any]):
         outcome=payload.get("outcome", "ok"),
         degraded_reason=payload.get("degraded_reason"),
         fallback=payload.get("fallback"),
+        base_version=payload.get("base_version"),
     )

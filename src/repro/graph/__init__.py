@@ -6,7 +6,7 @@ ExES explainers) operates on, plus synthetic generators that reproduce the
 shape of the DBLP and GitHub datasets used in the paper.
 """
 
-from repro.graph.network import CollaborationNetwork
+from repro.graph.network import BaseDelta, CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import (
     AddEdge,
@@ -31,6 +31,7 @@ __all__ = [
     "AddEdge",
     "AddQueryTerm",
     "AddSkill",
+    "BaseDelta",
     "CollaborationNetwork",
     "NetworkOverlay",
     "NetworkRecipe",

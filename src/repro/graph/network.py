@@ -17,10 +17,57 @@ name is kept alongside for rendering and case studies.
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class BaseDelta:
+    """The structured record of one committed base-network edit batch.
+
+    Emitted by :meth:`~repro.graph.overlay.NetworkOverlay.commit` when an
+    overlay's flips are promoted into the base network in place.  Delta
+    sessions and registries consume it to *rebase* cached operators,
+    features, and memos O(Δ) instead of cold-starting on the version bump:
+    every field is in the canonical flip shape the overlay already exposes,
+    sorted for deterministic iteration.
+
+    ``skill_flips`` holds ``(person, skill, added)`` triples and
+    ``edge_flips`` holds ``(u, v, added)`` with ``u < v`` — exactly the
+    edits that turned base version ``old_version`` into ``new_version``.
+    """
+
+    old_version: int
+    new_version: int
+    skill_flips: Tuple[Tuple[int, str, bool], ...]
+    edge_flips: Tuple[Tuple[int, int, bool], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.skill_flips and not self.edge_flips
+
+    @property
+    def touched_people(self) -> FrozenSet[int]:
+        """Every person a flip touches directly (skill holder or edge
+        endpoint) — the 0-hop dependency cone."""
+        out: Set[int] = {p for p, _, _ in self.skill_flips}
+        for u, v, _ in self.edge_flips:
+            out.add(u)
+            out.add(v)
+        return frozenset(out)
+
+    @property
+    def skills_changed(self) -> FrozenSet[str]:
+        """Skill names whose holder sets changed."""
+        return frozenset(s for _, s, _ in self.skill_flips)
+
+    def edge_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The flipped edges, endpoints only."""
+        return tuple((u, v) for u, v, _ in self.edge_flips)
 
 
 class CollaborationNetwork:
@@ -367,6 +414,84 @@ class CollaborationNetwork:
         return sp.csr_matrix(
             (data, (rows, cols)), shape=(self.n_people, len(vocab_index))
         )
+
+    # ------------------------------------------------------------------
+    # base-delta commits (dynamic networks)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        skill_flips: Iterable[Tuple[int, str, bool]],
+        edge_flips: Iterable[Tuple[int, int, bool]],
+    ) -> "BaseDelta":
+        """Apply a batch of canonical flips in place as ONE version bump.
+
+        This is the commit primitive behind
+        :meth:`~repro.graph.overlay.NetworkOverlay.commit`: each flip must
+        be applicable against the current state (add only what is absent,
+        remove only what is present — an overlay's recorded flips satisfy
+        this by construction), all flips land atomically, and ``_version``
+        advances exactly once so consumers see a single old→new delta
+        rather than one bump per flip.  An empty batch is a no-op that
+        does not bump the version.  Returns the :class:`BaseDelta`.
+        """
+        skill_flips = tuple(sorted(skill_flips))
+        edge_flips = tuple(sorted(edge_flips))
+        old_version = self._version
+        if not skill_flips and not edge_flips:
+            return BaseDelta(old_version, old_version, (), ())
+        for person, skill, added in skill_flips:
+            self._check_person(person)
+            if (skill in self._skills[person]) == added:
+                verb = "add" if added else "remove"
+                raise ValueError(
+                    f"inapplicable skill flip: cannot {verb} {skill!r} "
+                    f"{'to' if added else 'from'} person {person}"
+                )
+        for u, v, added in edge_flips:
+            self._check_pair(u, v)
+            if (v in self._adj[u]) == added:
+                verb = "add" if added else "remove"
+                raise ValueError(
+                    f"inapplicable edge flip: cannot {verb} edge ({u}, {v})"
+                )
+        for person, skill, added in skill_flips:
+            if added:
+                self._skills[person].add(skill)
+            else:
+                self._skills[person].discard(skill)
+        for u, v, added in edge_flips:
+            if added:
+                self._adj[u].add(v)
+                self._adj[v].add(u)
+                self._n_edges += 1
+            else:
+                self._adj[u].discard(v)
+                self._adj[v].discard(u)
+                self._n_edges -= 1
+        self._touch()
+        return BaseDelta(old_version, self._version, skill_flips, edge_flips)
+
+    def state_digest(self) -> str:
+        """Content hash of names, skills, and edges (version-independent).
+
+        Two networks with identical structure digest identically even if
+        their mutation histories (and so ``version`` counters) differ —
+        the binding key the registry spill/restore path uses to decide a
+        serialized warm state still matches the live network.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for name, skills in zip(self._names, self._skills):
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            for s in sorted(skills):
+                h.update(s.encode("utf-8"))
+                h.update(b"\x01")
+            h.update(b"\x02")
+        for u, nbrs in enumerate(self._adj):
+            for v in sorted(nbrs):
+                if u < v:
+                    h.update(f"{u},{v};".encode("ascii"))
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # copies & export

@@ -124,6 +124,28 @@ class NetworkOverlay:
         """An independent deep copy (a real network, matching the base API)."""
         return self.materialize().copy()
 
+    def commit(self):
+        """Promote this overlay's flips into the base network in place.
+
+        The base applies every recorded flip atomically and bumps its
+        version exactly once; the returned
+        :class:`~repro.graph.network.BaseDelta` describes the old→new
+        transition in canonical flip form, ready for delta sessions and
+        registries to rebase O(Δ).  A flip-free overlay commits as a
+        no-op (no version bump, empty delta).
+
+        A non-empty commit *consumes* the overlay: its recorded base
+        version is now stale, so any further read or mutation through it
+        raises the standard frozen-base :class:`RuntimeError`.  Other
+        overlays over the same base are invalidated the same way — the
+        commit is a deliberate epoch boundary, not a concurrent edit.
+        """
+        self._check_base()
+        return self._base.apply_delta(
+            ((p, s, added) for (p, s), added in self._skill_flips.items()),
+            ((u, v, added) for (u, v), added in self._edge_flips.items()),
+        )
+
     def _check_base(self) -> None:
         if self._base.version != self._base_version:
             raise RuntimeError(

@@ -168,6 +168,10 @@ class _LruCache:
         with self._lock:
             return list(self._data.values())
 
+    def items(self) -> List:
+        with self._lock:
+            return list(self._data.items())
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -217,6 +221,28 @@ def _edge_key(edge_flips: Dict[Tuple[int, int], bool]) -> FrozenSet:
     return frozenset(edge_flips.items())
 
 
+def _committed_csr(
+    adj: sp.csr_matrix,
+    edge_flips: Sequence[Tuple[int, int, bool]],
+    n: int,
+) -> sp.csr_matrix:
+    """``adj`` with a committed delta's edge flips applied, canonicalized
+    to the exact CSR a fresh from-scratch build would produce.
+
+    A removal leaves an explicit stored ``0.0`` (the ``1.0 - 1.0`` is
+    exact); ``eliminate_zeros`` drops it and ``sort_indices`` restores the
+    canonical layout, so code that walks ``indptr``/``indices`` directly
+    (the HITS support patch) and every spmv/spmm accumulate over the same
+    structure — and thus bit-identically — as a rebuilt adjacency."""
+    delta = _edge_flip_delta(
+        {(u, v): added for u, v, added in edge_flips}, n
+    )
+    patched = (adj + delta).tocsr()
+    patched.eliminate_zeros()
+    patched.sort_indices()
+    return patched
+
+
 class DeltaSession(abc.ABC):
     """Per-(ranker, frozen base network) delta-scoring cache.
 
@@ -227,6 +253,10 @@ class DeltaSession(abc.ABC):
     same overlay to 1e-9 — the parity contract every implementation is
     tested against.
     """
+
+    #: Cache attributes :meth:`warm_state` snapshots — the per-class
+    #: inventory of what makes a session "warm" for spill/restore.
+    _SPILL_CACHES: Tuple[str, ...] = ()
 
     def __init__(self, ranker, base: CollaborationNetwork) -> None:
         self.ranker = ranker
@@ -241,6 +271,59 @@ class DeltaSession(abc.ABC):
         """Is this session still usable for ``base``?  False once the base
         mutates (version drift)."""
         return base is self.base and base.version == self.base_version
+
+    # ------------------------------------------------------------------
+    # base-commit rebasing
+    # ------------------------------------------------------------------
+    def memo_survives(self, delta, query: Query) -> bool:
+        """Does a score-memo entry for ``query`` provably survive the
+        committed ``delta``?
+
+        True only when the delta cannot change this ranker's scores for
+        ``query`` under *any* probe flip set over the new base — memo keys
+        carry arbitrary flips, so per-entry reasoning must hold for all of
+        them.  The conservative default retains nothing."""
+        return False
+
+    def rebase(self, delta) -> bool:
+        """Patch this session's caches O(Δ) onto the committed base.
+
+        ``delta`` is the :class:`~repro.graph.network.BaseDelta` the
+        commit emitted; the shared base network object already carries the
+        new state.  Returns True when the session now serves the new
+        version (caches retained wherever provably still valid), False
+        when it declines — the caller drops it and a fresh session is
+        built on demand.  The default declines."""
+        return False
+
+    def _rebase_applies(self, delta) -> bool:
+        """The delta spans exactly this session's (old → current base)
+        versions — the precondition every ``rebase`` checks first."""
+        return (
+            self.base.version == delta.new_version
+            and self.base_version == delta.old_version
+        )
+
+    def _accept_rebase(self, delta) -> None:
+        self.base_version = delta.new_version
+
+    # ------------------------------------------------------------------
+    # warm-state spill/restore
+    # ------------------------------------------------------------------
+    def warm_state(self) -> Dict[str, List]:
+        """Snapshot of the LRU caches named in ``_SPILL_CACHES`` as
+        ``{attr: [(key, value), ...]}`` — the registry spill payload."""
+        return {
+            name: getattr(self, name).items() for name in self._SPILL_CACHES
+        }
+
+    def load_warm_state(self, state: Dict[str, List]) -> None:
+        """Refill the ``_SPILL_CACHES`` from a :meth:`warm_state`
+        snapshot (insertion order preserves the spilled LRU order)."""
+        for name in self._SPILL_CACHES:
+            cache = getattr(self, name)
+            for key, value in state.get(name, []):
+                cache.put(key, value)
 
     @abc.abstractmethod
     def scores(self, query: Query, overlay: NetworkOverlay) -> np.ndarray:
@@ -346,9 +429,127 @@ class GcnDeltaSession(DeltaSession):
         self.restricted_probes = 0  # observability: neighborhood-restricted
         self.full_forwards = 0  # ... vs full patched forwards served
 
+    _SPILL_CACHES = ("_feat_cache", "_fwd_cache", "_adj_cache")
+
     def valid_for(self, base: CollaborationNetwork) -> bool:
         """Also invalid once the ranker was refit (new vocabulary)."""
         return super().valid_for(base) and self.ranker._feature_vocab is self._vocab
+
+    # ------------------------------------------------------------------
+    # base-commit rebasing
+    # ------------------------------------------------------------------
+    def memo_survives(self, delta, query: Query) -> bool:
+        """GCN scores read the graph (any edge flip propagates) and, per
+        person, only ``skills ∩ vocab`` (centroid columns) and ``skills ∩
+        query`` (the match feature) — so a commit whose skill flips all
+        miss both the training vocabulary and the query leaves every
+        feature row, and therefore every score, bit-identical."""
+        if delta.edge_flips:
+            return False
+        changed = delta.skills_changed
+        if changed & query:
+            return False
+        return all(s not in self._vocab for s in changed)
+
+    def rebase(self, delta) -> bool:
+        """Splice the committed edit's 2-hop receptive field through the
+        cached forwards instead of cold-starting them.
+
+        The feature space (``_vocab``/``_fm``) is training-frozen and
+        network-independent, so it never needs patching; edge flips
+        re-derive the propagation operator through the same ``_normalize``
+        the constructor used (identical inputs, identical output), and
+        every cached per-query forward is refreshed only inside the
+        delta's 2-hop ball — the same cone argument as
+        :meth:`_restricted_scores`, anchored on the post-commit adjacency
+        (flipped-edge endpoints are in the seed set, so the new-adjacency
+        ball covers every row an old-adjacency coupling could reach)."""
+        if not self._rebase_applies(delta):
+            return False
+        if delta.is_empty:
+            self._accept_rebase(delta)
+            return True
+        n = self.base.n_people
+        if delta.edge_flips:
+            self._a_hat = _committed_csr(self._a_hat, delta.edge_flips, n)
+            for u, v, added in delta.edge_flips:
+                w = 1.0 if added else -1.0
+                self._deg[u] += w
+                self._deg[v] += w
+            self._adj_norm = _normalize(self._a_hat, self._deg)
+            # Probe-side patched operators were deltas on the old base.
+            self._adj_cache.clear()
+        self._refresh_queries(delta)
+        self._accept_rebase(delta)
+        return True
+
+    def _refresh_queries(self, delta) -> None:
+        """Refresh the cached per-query feature rows of skill-flipped
+        people and splice the cached forwards inside the edit's cone."""
+        base = self.base
+        n = base.n_people
+        skill_touched = sorted({p for p, _, _ in delta.skill_flips})
+        dim = self._fm.shape[1]
+        if skill_touched:
+            for query in self._feat_cache.keys():
+                hit = self._feat_cache.get(query)
+                if hit is None:
+                    continue
+                feats, q_vec = hit
+                # Copy before patching: cached arrays may still be
+                # referenced by callers of ``probe_inputs``.
+                feats = feats.copy()
+                for p in skill_touched:
+                    centroid, match, sim = self._feature_row_values(
+                        base.skills(p), query, q_vec
+                    )
+                    feats[p, :dim] = centroid
+                    feats[p, dim] = match
+                    feats[p, dim + 1] = sim
+                self._feat_cache.put(query, (feats, q_vec))
+        touched = delta.touched_people
+        ball1 = set(touched)
+        for p in touched:
+            ball1 |= base.neighbors(p)
+        ball2 = set(ball1)
+        for p in ball1:
+            ball2 |= base.neighbors(p)
+        rows1 = np.asarray(sorted(ball1), dtype=np.int64)
+        rows2 = np.asarray(sorted(ball2), dtype=np.int64)
+        drop_all = len(ball2) > max(_BATCH_GROUP, int(n * _RESTRICT_MAX_FRACTION))
+        scorer = self.ranker._scorer
+        be = self.backend
+        adj = self._adj_norm
+        srows = np.asarray(skill_touched, dtype=np.int64)
+        for query in self._fwd_cache.keys():
+            entry = self._fwd_cache.get(query)
+            if entry is None:
+                continue
+            feat = self._feat_cache.get(query) if skill_touched else True
+            if drop_all or feat is None:
+                self._fwd_cache.pop(query)
+                continue
+            base_xw1, base_h1w2, base_scores = entry
+            xw1 = base_xw1.copy()
+            if skill_touched:
+                feats, _ = feat
+                xw1[srows] = be.matmul(feats[srows], scorer.conv1.weight.data)
+            z1 = be.spmm(adj[rows1], xw1)
+            if scorer.conv1.bias is not None:
+                z1 = z1 + scorer.conv1.bias.data
+            h1_rows = z1 * (z1 > 0)
+            h1w2 = base_h1w2.copy()
+            h1w2[rows1] = be.matmul(h1_rows, scorer.conv2.weight.data)
+            z2 = be.spmm(adj[rows2], h1w2)
+            if scorer.conv2.bias is not None:
+                z2 = z2 + scorer.conv2.bias.data
+            h2_rows = z2 * (z2 > 0)
+            out_rows = be.matmul(h2_rows, scorer.head.weight.data)
+            if scorer.head.bias is not None:
+                out_rows = out_rows + scorer.head.bias.data
+            out = base_scores.copy()
+            out[rows2] = out_rows.reshape(-1)
+            self._fwd_cache.put(query, (xw1, h1w2, out))
 
     # ------------------------------------------------------------------
     # probing
@@ -607,6 +808,41 @@ class GcnDeltaSession(DeltaSession):
             self._feat_cache.put(query, hit)
         return hit
 
+    def _feature_row_values(
+        self, skills: FrozenSet[str], query: Query, q_vec: np.ndarray
+    ) -> Tuple[np.ndarray, float, float]:
+        """(centroid, match fraction, query similarity) of one person's
+        feature row, derived from their full skill set.
+
+        The one kernel both probe patches and base-commit refreshes go
+        through: the row is recomputed via the same sparse product (sorted
+        indices, identical accumulation order) that built the base sums,
+        instead of adding/subtracting embedding rows on a cached sum —
+        incremental subtraction leaves ~1e-16 residue that the
+        ``max(norm, 1e-12)`` division below can amplify past the 1e-9
+        parity contract when a person's in-vocab skills all cancel."""
+        dim = self._fm.shape[1]
+        cols = sorted(
+            col for col in (self._vocab.get(s) for s in skills) if col is not None
+        )
+        if cols:
+            row = sp.csr_matrix(
+                (np.ones(len(cols)), ([0] * len(cols), cols)),
+                shape=(1, self._fm.shape[0]),
+            )
+            centroid = self.backend.spmm(row, self._fm).ravel() / max(
+                float(len(cols)), 1.0
+            )
+        else:
+            centroid = np.zeros(dim)
+        n_terms = len(query)
+        # Empty queries keep a zero match fraction, matching the plain
+        # path's ``if query:`` guard in ``_node_features``.
+        match = len(skills & query) / n_terms if n_terms else 0.0
+        norm = float(np.linalg.norm(centroid))
+        sim = float(centroid @ q_vec) / max(norm, 1e-12)
+        return centroid, match, sim
+
     def _patched_features(
         self,
         base_feats: np.ndarray,
@@ -618,39 +854,13 @@ class GcnDeltaSession(DeltaSession):
         feats = base_feats.copy()
         dim = self._fm.shape[1]
         touched = sorted({p for (p, _) in skill_flips})
-        n_terms = len(query)
         for p in touched:
-            # Recompute the row through the same sparse kernel (sorted
-            # indices, identical accumulation order) that built the base
-            # sums, instead of adding/subtracting embedding rows on the
-            # cached sum: incremental subtraction leaves ~1e-16 residue
-            # that the max(norm, 1e-12) division below can amplify past
-            # the 1e-9 parity contract when a person's in-vocab skills
-            # all cancel.
-            cols = sorted(
-                col
-                for col in (self._vocab.get(s) for s in overlay.skills(p))
-                if col is not None
+            centroid, match, sim = self._feature_row_values(
+                overlay.skills(p), query, q_vec
             )
-            count = float(len(cols))
-            if cols:
-                row = sp.csr_matrix(
-                    (np.ones(len(cols)), ([0] * len(cols), cols)),
-                    shape=(1, self._fm.shape[0]),
-                )
-                centroid = self.backend.spmm(row, self._fm).ravel() / max(
-                    count, 1.0
-                )
-            else:
-                centroid = np.zeros(dim)
             feats[p, :dim] = centroid
-            # Empty queries keep a zero match fraction, matching the plain
-            # path's ``if query:`` guard in ``_node_features``.
-            feats[p, dim] = (
-                len(overlay.skills(p) & query) / n_terms if n_terms else 0.0
-            )
-            norm = float(np.linalg.norm(centroid))
-            feats[p, dim + 1] = float(centroid @ q_vec) / max(norm, 1e-12)
+            feats[p, dim] = match
+            feats[p, dim + 1] = sim
         return feats
 
     def _patched_adjacency(
@@ -705,6 +915,56 @@ class PageRankDeltaSession(DeltaSession):
         # flip skills *outside* the query — or re-probe the same state for
         # another person — resolve without a single power iteration.
         self._solution_cache = _LruCache(_MAX_SEMANTIC_CACHE)
+
+    _SPILL_CACHES = ("_query_cache", "_op_cache", "_solution_cache")
+
+    def memo_survives(self, delta, query: Query) -> bool:
+        """A committed skill flip outside the query's terms leaves every
+        restart vector — and so every walk over the unchanged operator —
+        untouched, for *any* probe flip set over the new base."""
+        return not delta.edge_flips and not (delta.skills_changed & query)
+
+    def rebase(self, delta) -> bool:
+        """Skill-only commits just evict the queries whose restart counts
+        read a changed skill (everything retained stays bit-exact); edge
+        commits patch the transition operator ±1 and eagerly warm-restart
+        the retained queries' base solutions from their old converged
+        iterates, keeping parity inside the tolerance band."""
+        if not self._rebase_applies(delta):
+            return False
+        changed = delta.skills_changed
+        for query in self._query_cache.keys():
+            if changed & query:
+                self._query_cache.pop(query)
+        if delta.edge_flips:
+            adj = _committed_csr(self._adj, delta.edge_flips, self.base.n_people)
+            out_degree = self._out_degree.copy()
+            for u, v, added in delta.edge_flips:
+                w = 1.0 if added else -1.0
+                out_degree[u] += w
+                out_degree[v] += w
+            self._adj = adj
+            self._out_degree = out_degree
+            # Patched operators and solved walks were keyed against the
+            # *old* operator (``ekey = frozenset()`` meant the old base) —
+            # all stale once the base adjacency itself moves.
+            self._op_cache.clear()
+            self._solution_cache.clear()
+            for query in self._query_cache.keys():
+                hit = self._query_cache.get(query)
+                if hit is None:
+                    continue
+                counts, solution, converged = hit
+                restart = self._restart_from_counts(counts, len(query))
+                if restart is None:
+                    continue  # (counts, None, True) stays correct
+                warm = solution if converged else None
+                solution, converged = self.ranker._power_iteration(
+                    restart, adj, out_degree, warm_start=warm
+                )
+                self._query_cache.put(query, (counts, solution, converged))
+        self._accept_rebase(delta)
+        return True
 
     def _patched_operator(
         self, edge_flips: Dict[Tuple[int, int], bool]
@@ -946,6 +1206,48 @@ class HitsDeltaSession(DeltaSession):
         # whose flips leave the base set unchanged replay it for free.
         self._auth_cache = _LruCache(_MAX_SEMANTIC_CACHE)
 
+    _SPILL_CACHES = ("_query_cache", "_adj_cache", "_auth_cache")
+
+    def memo_survives(self, delta, query: Query) -> bool:
+        """Root sets, support counts, and the sliced authority runs all
+        derive from query-term holdings and the adjacency; a commit that
+        touches neither leaves every probe over the query unchanged."""
+        return not delta.edge_flips and not (delta.skills_changed & query)
+
+    def rebase(self, delta) -> bool:
+        """Queries whose terms a skill flip touched go cold; every other
+        retained support vector absorbs the committed edge flips as
+        ``support' = support + ΔA·ind`` — all small exact integers in
+        float, so the patched counts match a fresh
+        ``ind + spmv(adj', ind)`` build bit-for-bit."""
+        if not self._rebase_applies(delta):
+            return False
+        changed = delta.skills_changed
+        for query in self._query_cache.keys():
+            if changed & query:
+                self._query_cache.pop(query)
+        if delta.edge_flips:
+            for query in self._query_cache.keys():
+                hit = self._query_cache.get(query)
+                if hit is None:
+                    continue
+                ind, support, match_counts = hit
+                support = support.copy()
+                for u, v, added in delta.edge_flips:
+                    w = 1.0 if added else -1.0
+                    support[u] += w * ind[v]
+                    support[v] += w * ind[u]
+                self._query_cache.put(query, (ind, support, match_counts))
+            self._adj = _committed_csr(
+                self._adj, delta.edge_flips, self.base.n_people
+            )
+            # Probe-side adjacency patches and authority runs were keyed
+            # by flip sets over the old adjacency — stale.
+            self._adj_cache.clear()
+            self._auth_cache.clear()
+        self._accept_rebase(delta)
+        return True
+
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
         if hit is None:
@@ -1125,6 +1427,107 @@ class TfidfDeltaSession(DeltaSession):
         # through the same handful of per-person skill subsets.
         self._row_cache = _LruCache(_MAX_SEMANTIC_CACHE)
 
+    _SPILL_CACHES = ("_query_cache", "_row_cache")
+
+    def memo_survives(self, delta, query: Query) -> bool:
+        """The document ranker carries no graph signal at all, so a pure
+        edge commit cannot move any score, for any probe flip set."""
+        return not delta.skill_flips
+
+    def rebase(self, delta) -> bool:
+        """Patch the idf statistics and the touched profile rows in place.
+
+        A committed skill flip moves (a) the flipped people's rows and,
+        in the profile-model case, (b) the idf of the flipped skills —
+        which reaches every remaining holder's row.  Both are rebuilt
+        through :meth:`TfidfModel.row`, the same kernel a refit would go
+        through, so the patched model/matrix match a from-scratch build
+        bit-for-bit.  Declines (→ fresh session) when a commit changes
+        the vocabulary itself: a brand-new skill enters, or a removed
+        skill's last holder leaves, re-indexing every term."""
+        if not self._rebase_applies(delta):
+            return False
+        if not delta.skill_flips:
+            # Edge-only commit: nothing in this session reads the graph.
+            self._accept_rebase(delta)
+            return True
+        import math
+
+        from repro.text.tfidf import TfidfModel
+
+        base = self.base
+        flipped = {p for p, _, _ in delta.skill_flips}
+        if self.ranker._corpus_model is not None:
+            # Corpus idf statistics are commit-independent: only the
+            # flipped people's rows move.
+            model = self._model
+            touched = flipped
+            stale_terms: FrozenSet[str] = frozenset()
+        else:
+            old = self._model
+            vocab = old.vocabulary
+            stale_terms = delta.skills_changed
+            idf = old.idf.copy()
+            for s in stale_terms:
+                if s not in vocab:
+                    return False  # vocabulary grows: a refit re-indexes
+                df = len(base.people_with_skill(s))
+                if df == 0:
+                    return False  # last holder left: vocabulary shrinks
+                # The exact smoothed formula ``TfidfModel.fit`` applies.
+                idf[vocab[s]] = (
+                    math.log((1.0 + old.n_documents) / (1.0 + df)) + 1.0
+                )
+            model = TfidfModel(
+                vocabulary=vocab, idf=idf, n_documents=old.n_documents
+            )
+            touched = set(flipped)
+            for s in stale_terms:
+                touched |= base.people_with_skill(s)
+        new_rows = {p: model.row(sorted(base.skills(p))) for p in touched}
+        indptr = self._matrix.indptr
+        indices = self._matrix.indices
+        data = self._matrix.data
+        rows = [
+            new_rows[p]
+            if p in new_rows
+            else (
+                indices[indptr[p] : indptr[p + 1]].astype(np.int64),
+                data[indptr[p] : indptr[p + 1]],
+            )
+            for p in base.people()
+        ]
+        self._model = model
+        self._matrix = self.backend.gather_rows(rows, model.n_terms)
+        if self.ranker._corpus_model is None:
+            # Install the (bit-identical) patched model into the ranker's
+            # per-version slot so the plain reference path reuses it
+            # instead of refitting from scratch on the next call.
+            self.ranker._profile_model = model
+            self.ranker._profile_net = base
+            self.ranker._profile_version = delta.new_version
+        if stale_terms:
+            for key in self._row_cache.keys():
+                if key & stale_terms:
+                    self._row_cache.pop(key)
+        for query in self._query_cache.keys():
+            if stale_terms and (query & stale_terms):
+                self._query_cache.pop(query)
+                continue
+            hit = self._query_cache.get(query)
+            if hit is None:
+                continue
+            q_vec, base_scores = hit
+            base_scores = base_scores.copy()
+            for p in sorted(touched):
+                cols, vals = new_rows[p]
+                base_scores[p] = (
+                    self.backend.row_dot(vals, q_vec[cols]) if cols.size else 0.0
+                )
+            self._query_cache.put(query, (q_vec, base_scores))
+        self._accept_rebase(delta)
+        return True
+
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
         if hit is None:
@@ -1247,6 +1650,32 @@ def _fault_key(query, flips) -> Tuple:
     else:
         qpart = tuple(sorted(query))
     return (qpart, tuple(sorted(repr(f) for f in flips)))
+
+
+def _rekey_memo_entries(memo: _LruCache, delta, survives) -> Tuple[int, int]:
+    """Carry a score memo's ``(query, flips, version)`` entries across a
+    committed delta: entries whose query ``survives(delta, query)`` move
+    to the new version, everything else is dropped.  Returns
+    ``(retained, dropped)``.
+
+    Idempotent by construction — entries already stamped with the new
+    version are left untouched — so a registry-shared memo reached
+    through several engines' rebases is effectively processed once."""
+    retained = dropped = 0
+    for key in memo.keys():
+        query, flips, version = key
+        if version == delta.new_version:
+            continue
+        value = memo.get(key)
+        memo.pop(key)
+        if value is None:
+            continue  # evicted concurrently
+        if version == delta.old_version and survives(delta, query):
+            memo.put((query, flips, delta.new_version), value)
+            retained += 1
+        else:
+            dropped += 1
+    return retained, dropped
 
 
 class ProbeEngine:
@@ -1607,6 +2036,51 @@ class ProbeEngine:
         if overlay is None:
             return None
         return session.shared_context(overlay)
+
+    # ------------------------------------------------------------------
+    # base-commit rebasing
+    # ------------------------------------------------------------------
+    def rebase(self, delta) -> Tuple[int, int]:
+        """Carry this engine's memo levels across a committed base edit,
+        retaining every entry whose query's dependency cone provably
+        misses the delta.  Returns ``(retained, dropped)`` score-memo
+        entry counts.
+
+        Must run before the next probe's :meth:`_sync_base` notices the
+        version drift and clears wholesale; raises ``ValueError`` when
+        the delta does not span this engine's (old → current) versions —
+        the registry drops such engines instead."""
+        if self.base.version != delta.new_version or (
+            self.base_version not in (delta.old_version, delta.new_version)
+        ):
+            raise ValueError(
+                f"delta {delta.old_version}->{delta.new_version} does not "
+                f"apply to engine at {self.base_version} "
+                f"(base {self.base.version})"
+            )
+        if delta.is_empty:
+            self.base_version = delta.new_version
+            return (0, 0)
+        session = self._batch_session()
+        if session is not None and session.base_version == delta.new_version:
+            survives = session.memo_survives
+        else:
+            # No delta session (full_rebuild targets, sessionless rankers)
+            # or one that could not be rebased: retain nothing.
+            def survives(_delta, _query):
+                return False
+
+        # Decision-memo keys carry no version, so survivors must be
+        # provably decision-identical over the new base — the same
+        # score-vector survival predicate covers that (identical scores
+        # imply identical decisions and ordering keys).
+        for key in self._memo.keys():
+            if not survives(delta, key[1]):
+                self._memo.pop(key)
+        retained, dropped = _rekey_memo_entries(self._score_memo, delta, survives)
+        self._empty_overlay = None
+        self.base_version = delta.new_version
+        return (retained, dropped)
 
     # ------------------------------------------------------------------
     # bookkeeping

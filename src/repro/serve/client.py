@@ -92,6 +92,38 @@ class ServeClient:
             if frame.get("type") == "pong":
                 return frame
 
+    async def commit(
+        self,
+        skill_flips: Sequence = (),
+        edge_flips: Sequence = (),
+        commit_id: Any = None,
+    ) -> Dict[str, Any]:
+        """Promote a live base edit on the server: send a ``commit``
+        frame (``skill_flips`` as ``(person, skill, added)`` triples,
+        ``edge_flips`` as ``(u, v, added)``) and return the
+        ``commit_end`` summary — old/new versions plus the registry's
+        rebase accounting.  Raises :class:`RemoteProtocolError` when the
+        server refuses the commit."""
+        await self.send(
+            {
+                "type": "commit",
+                "id": commit_id,
+                "skill_flips": [list(flip) for flip in skill_flips],
+                "edge_flips": [list(flip) for flip in edge_flips],
+            }
+        )
+        while True:
+            frame = await self.recv()
+            if frame is None:
+                raise ConnectionError("server closed before commit_end")
+            kind = frame.get("type")
+            if kind == "commit_end" and frame.get("id") == commit_id:
+                return frame
+            if kind == "error":
+                raise RemoteProtocolError(explain_error_from_dict(frame["error"]))
+            if kind == "shutdown":
+                raise ConnectionError("server shut down mid-commit")
+
     async def explain_stream(
         self,
         requests: Sequence[ExplainRequest],

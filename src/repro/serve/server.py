@@ -61,6 +61,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.eval.workload import outcome_counts
+from repro.graph.overlay import NetworkOverlay
 from repro.explain.serialize import request_from_dict, response_to_dict
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -110,6 +111,11 @@ class ServeConfig:
     thrash_threshold: Optional[int] = 64
     #: How long shutdown waits for in-flight batches to finish streaming.
     drain_timeout_seconds: float = 60.0
+    #: Warm-registry spill file (:mod:`repro.service.persistence`): when
+    #: set, :meth:`ExplanationServer.start` restores warm sessions/memos
+    #: from it (skipped safely on any mismatch) and :meth:`shutdown`
+    #: rewrites it — so a restarted worker answers its first request hot.
+    spill_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight_batches < 1:
@@ -164,7 +170,9 @@ class ExplanationServer:
             "read_pauses": 0,
             "drain_pauses": 0,
             "disconnects_mid_batch": 0,
+            "commits": 0,
         }
+        self.restore_stats: Optional[Dict[str, Any]] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -174,7 +182,24 @@ class ExplanationServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def _spill_systems(self) -> List[Any]:
+        return [self.service.ranker, self.service.former]
+
     async def start(self) -> "ExplanationServer":
+        if self.config.spill_path is not None:
+            # Restore before the socket opens: the first request finds
+            # warm sessions/memos instead of paying the cold-start
+            # rebuild.  Any mismatch (dataset, backend, missing file)
+            # skips restore — never hot-with-wrong-answers.
+            try:
+                self.restore_stats = self.service.registry.restore(
+                    self.config.spill_path,
+                    self.service.network,
+                    self._spill_systems(),
+                )
+            except Exception:
+                logger.warning("spill restore failed; starting cold", exc_info=True)
+                self.restore_stats = {"skipped": "error"}
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.dispatch_threads,
             thread_name_prefix="repro-serve",
@@ -222,6 +247,15 @@ class ExplanationServer:
             conn.writer.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self.config.spill_path is not None:
+            try:
+                self.service.registry.spill(
+                    self.config.spill_path,
+                    self.service.network,
+                    self._spill_systems(),
+                )
+            except Exception:
+                logger.warning("spill write failed", exc_info=True)
 
     # ------------------------------------------------------------------
     # per-connection loops
@@ -325,6 +359,8 @@ class ExplanationServer:
             conn.enqueue({"type": "pong", "id": frame.get("id")})
         elif kind == "batch":
             await self._handle_batch(conn, frame)
+        elif kind == "commit":
+            await self._handle_commit(conn, frame)
         else:
             self._protocol_error(
                 conn,
@@ -381,6 +417,73 @@ class ExplanationServer:
         )
         conn.inflight.add(task)
         task.add_done_callback(conn.inflight.discard)
+
+    async def _handle_commit(self, conn: _Connection, frame: Dict[str, Any]) -> None:
+        """A live base edit over the wire: ``{"type": "commit",
+        "skill_flips": [[person, skill, added], ...], "edge_flips":
+        [[u, v, added], ...], "id": ...}``.
+
+        The flips are staged on a fresh overlay and promoted through
+        :meth:`~repro.service.service.ExplanationService.commit` on a
+        worker thread — the service's version gate drains in-flight
+        requests on the old version first, and every later response is
+        stamped with the new ``base_version``.  The reply is a
+        ``commit_end`` frame carrying both versions and the registry's
+        rebase accounting."""
+        commit_id = frame.get("id")
+        if self._closing:
+            self._protocol_error(
+                conn, ServerClosing("server is draining for shutdown"), commit_id
+            )
+            return
+        skill_flips = frame.get("skill_flips") or []
+        edge_flips = frame.get("edge_flips") or []
+        if not isinstance(skill_flips, list) or not isinstance(edge_flips, list):
+            self._protocol_error(
+                conn,
+                InvalidRequest("commit flips must be lists of triples"),
+                commit_id,
+            )
+            return
+        try:
+            overlay = NetworkOverlay(self.service.network)
+            for person, skill, added in skill_flips:
+                if added:
+                    overlay.add_skill(int(person), str(skill))
+                else:
+                    overlay.remove_skill(int(person), str(skill))
+            for u, v, added in edge_flips:
+                if added:
+                    overlay.add_edge(int(u), int(v))
+                else:
+                    overlay.remove_edge(int(u), int(v))
+        except (TypeError, ValueError, KeyError, IndexError) as exc:
+            self._protocol_error(
+                conn, InvalidRequest(f"bad commit payload: {exc}"), commit_id
+            )
+            return
+        loop = asyncio.get_event_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._pool, lambda: self.service.commit(overlay)
+            )
+        except Exception as exc:
+            self._protocol_error(
+                conn, InvalidRequest(f"commit failed: {exc}"), commit_id
+            )
+            return
+        self.stats["commits"] += 1
+        conn.enqueue(
+            {
+                "type": "commit_end",
+                "id": commit_id,
+                "old_version": result.old_version,
+                "new_version": result.new_version,
+                "n_skill_flips": len(result.delta.skill_flips),
+                "n_edge_flips": len(result.delta.edge_flips),
+                "stats": dict(result.stats),
+            }
+        )
 
     async def _admit(self, conn: _Connection) -> None:
         """The backpressure gate: block the read loop (and therefore the

@@ -59,6 +59,7 @@ from repro.search.engine import (
     DeltaSession,
     ProbeEngine,
     _LruCache,
+    _rekey_memo_entries,
 )
 
 #: Default bound on engines / sessions kept per registry.  Engines hold
@@ -414,6 +415,8 @@ class EngineRegistry:
         self._lock = threading.RLock()
         self.engine_builds = 0  # observability: cache-miss constructions
         self.session_builds = 0
+        self.restored_sessions = 0  # warm states loaded from a spill file
+        self.restored_memo_entries = 0
 
     # ------------------------------------------------------------------
     # engines
@@ -464,6 +467,18 @@ class EngineRegistry:
         self._score_memos.put(key, (ranker, network, memo))
         return memo
 
+    def _restored_score_memo(self, ranker, network: CollaborationNetwork) -> _LruCache:
+        """The shared (ranker, base, version) score memo, for the restore
+        path — the same store :meth:`_score_memo_for` fills, addressed by
+        ranker instead of target."""
+        key = (id(ranker), id(network), network.version)
+        hit = self._score_memos.get(key)
+        if hit is not None and hit[0] is ranker and hit[1] is network:
+            return hit[2]
+        memo = _LruCache(_MAX_SCORE_MEMO)
+        self._score_memos.put(key, (ranker, network, memo))
+        return memo
+
     def drop_network(self, network: CollaborationNetwork) -> int:
         """Evict every engine and session bound to ``network`` (any
         version).  ``ExES.set_full_rebuild`` routes through here: an
@@ -483,6 +498,110 @@ class EngineRegistry:
                         store.pop(key)
                         dropped += 1
         return dropped
+
+    # ------------------------------------------------------------------
+    # base-commit rebasing
+    # ------------------------------------------------------------------
+    def rebase(self, network: CollaborationNetwork, delta) -> Dict[str, int]:
+        """Carry every engine, session, and shared score memo bound to
+        ``network`` across a committed :class:`BaseDelta` instead of
+        cold-starting them on the version bump.
+
+        Order matters: sessions rebase first (each patches its operators
+        O(Δ) or declines and is dropped), then the shared score memos
+        re-key their surviving entries through the rebased sessions'
+        :meth:`~repro.search.engine.DeltaSession.memo_survives`
+        predicates, then engines re-key — their own memo passes are
+        idempotent over the already-processed shared memos.  Returns the
+        retention statistics."""
+        stats = {
+            "rebased_sessions": 0,
+            "dropped_sessions": 0,
+            "rebased_engines": 0,
+            "dropped_engines": 0,
+            "retained_memo_entries": 0,
+            "dropped_memo_entries": 0,
+        }
+        if delta.is_empty:
+            return stats
+        nid = id(network)
+        with self._lock:
+            for store in (self._search_sessions, self._team_sessions):
+                for key in store.keys():
+                    sid, bid, version = key
+                    if bid != nid or version != delta.old_version:
+                        continue
+                    session = store.get(key)
+                    store.pop(key)
+                    if session is None or session.base is not network:
+                        continue
+                    if session.rebase(delta):
+                        store.put((sid, bid, delta.new_version), session)
+                        stats["rebased_sessions"] += 1
+                    else:
+                        stats["dropped_sessions"] += 1
+            for key in self._score_memos.keys():
+                rid, bid, version = key
+                if bid != nid or version != delta.old_version:
+                    continue
+                hit = self._score_memos.get(key)
+                self._score_memos.pop(key)
+                if hit is None:
+                    continue
+                ranker, net, memo = hit
+                if net is not network:
+                    continue
+                session = self.search_session(ranker, network)
+                if session is not None and session.base_version == delta.new_version:
+                    survives = session.memo_survives
+                else:
+                    def survives(_delta, _query):
+                        return False
+
+                retained, dropped = _rekey_memo_entries(memo, delta, survives)
+                stats["retained_memo_entries"] += retained
+                stats["dropped_memo_entries"] += dropped
+                self._score_memos.put(
+                    (rid, bid, delta.new_version), (ranker, network, memo)
+                )
+            for key in self._engines.keys():
+                enet, version, tkey = key
+                if enet != nid or version != delta.old_version:
+                    continue
+                engine = self._engines.get(key)
+                self._engines.pop(key)
+                if engine is None or engine.base is not network:
+                    continue
+                try:
+                    retained, dropped = engine.rebase(delta)
+                except ValueError:
+                    stats["dropped_engines"] += 1
+                    continue
+                stats["retained_memo_entries"] += retained
+                stats["dropped_memo_entries"] += dropped
+                self._engines.put((nid, delta.new_version, tkey), engine)
+                stats["rebased_engines"] += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # warm-state spill/restore
+    # ------------------------------------------------------------------
+    def spill(self, path, network: CollaborationNetwork, systems) -> Dict[str, int]:
+        """Serialize the warm sessions and shared score memos bound to
+        ``(network, systems)`` to ``path`` — see
+        :mod:`repro.service.persistence` for the file format."""
+        from repro.service.persistence import spill_registry
+
+        return spill_registry(path, self, network, systems)
+
+    def restore(self, path, network: CollaborationNetwork, systems) -> Dict[str, int]:
+        """Reload a spill file into this registry so the first request
+        after a restart probes against warm caches instead of
+        cold-starting; silently restores nothing when the file does not
+        bind to this exact network structure or numeric backend."""
+        from repro.service.persistence import restore_registry
+
+        return restore_registry(path, self, network, systems)
 
     # ------------------------------------------------------------------
     # sessions (the ranker/former ``_session_store`` hook)

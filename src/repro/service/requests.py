@@ -155,6 +155,11 @@ class ExplainResponse:
     the budget trip for partial results; ``fallback`` names the ladder
     tier that rescued the request (``"full_rebuild"``) when the delta
     path failed or its circuit was open.
+
+    ``base_version`` stamps which network base version answered the
+    request (None when the service predates live commits or the response
+    was built outside a service).  The service's commit gate guarantees a
+    response is computed against exactly one version — never a mix.
     """
 
     request: ExplainRequest
@@ -165,6 +170,7 @@ class ExplainResponse:
     outcome: str = "ok"
     degraded_reason: Optional[str] = None
     fallback: Optional[str] = None
+    base_version: Optional[int] = None
 
     @property
     def ok(self) -> bool:

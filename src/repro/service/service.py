@@ -60,10 +60,12 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 import time
 import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.embeddings.similarity import SkillEmbedding
@@ -71,7 +73,8 @@ from repro.explain.candidates import LinkPredictor
 from repro.explain.counterfactual import BeamConfig, CounterfactualExplainer
 from repro.explain.factual import FactualConfig, FactualExplainer
 from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
-from repro.graph.network import CollaborationNetwork
+from repro.graph.network import BaseDelta, CollaborationNetwork
+from repro.graph.overlay import NetworkOverlay
 from repro.runtime import Budget, BudgetExceeded, budget_scope, delta_bypass
 from repro.search.base import ExpertSearchSystem
 from repro.search.engine import ProbeEngine
@@ -99,6 +102,25 @@ _KIND_ORDER = {kind: i for i, kind in enumerate(EXPLANATION_KINDS)}
 #: state the per-request dispatch will, so a bad seed member or foreign
 #: state fails here first and again — typed — per request below.
 _EXPECTED_WARM_FAILURES = (ValueError, KeyError, IndexError)
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What one :meth:`ExplanationService.commit` did: the structural
+    :class:`~repro.graph.network.BaseDelta` the overlay promoted, plus the
+    registry's rebase accounting (sessions/engines/memo entries retained
+    vs. dropped)."""
+
+    delta: BaseDelta
+    stats: Dict[str, int]
+
+    @property
+    def old_version(self) -> int:
+        return self.delta.old_version
+
+    @property
+    def new_version(self) -> int:
+        return self.delta.new_version
 
 
 def _explain_error(exc: BaseException, retryable: bool) -> ExplainError:
@@ -148,6 +170,13 @@ class ExplanationService:
             failure_threshold=self.resilience.breaker_failure_threshold,
             cooldown_seconds=self.resilience.breaker_cooldown_seconds,
         )
+        # The commit gate: one condition guards (inflight request count,
+        # pending-commit count).  Requests drain out before a commit
+        # rebases the base in place, so no response is ever computed
+        # against a mix of two base versions.
+        self._version_gate = threading.Condition()
+        self._inflight_requests = 0
+        self._commit_waiting = 0
         # No explicit registry -> the process-wide default, so services and
         # facades wrapping the same system share engines out of the box.
         self.registry = registry if registry is not None else default_registry()
@@ -222,6 +251,39 @@ class ExplanationService:
         return self._answer_one(request, raise_on_failure=True)
 
     # ------------------------------------------------------------------
+    # live base edits
+    # ------------------------------------------------------------------
+    def commit(self, overlay: NetworkOverlay) -> CommitResult:
+        """Promote ``overlay``'s flips to a new base version *in place*
+        and rebase the registry's warm state O(Δ).
+
+        The gate semantics: announcing the commit blocks *new* requests
+        at the :meth:`_answer_one` door, then the commit waits until
+        every in-flight request has drained — so every response is
+        computed against exactly one base version, and the flush bus can
+        never fuse probes across the boundary (its keys carry the
+        sessions' ``base_version``, which only moves here, with zero
+        requests in flight).  Concurrent commits serialize on the same
+        gate."""
+        if overlay.base is not self.network:
+            raise ValueError("overlay does not extend this service's network")
+        with self._version_gate:
+            self._commit_waiting += 1
+            self._version_gate.notify_all()
+            try:
+                while self._inflight_requests:
+                    self._version_gate.wait()
+                delta = overlay.commit()
+                stats = self.registry.rebase(self.network, delta)
+            finally:
+                self._commit_waiting -= 1
+                self._version_gate.notify_all()
+        self.stats.bump("commits")
+        if not delta.is_empty:
+            self.stats.bump("commit_flips", len(delta.skill_flips) + len(delta.edge_flips))
+        return CommitResult(delta=delta, stats=stats)
+
+    # ------------------------------------------------------------------
     # the degradation ladder
     # ------------------------------------------------------------------
     def _budget_for(self, request: ExplainRequest) -> Optional[Budget]:
@@ -236,6 +298,28 @@ class ExplanationService:
         return (request.target_key, id(self.network), self.network.version)
 
     def _answer_one(
+        self, request: ExplainRequest, raise_on_failure: bool = False
+    ) -> ExplainResponse:
+        """The commit-gated wrapper around :meth:`_answer_one_impl`: wait
+        out any pending commit (commits have priority, so a steady request
+        stream cannot starve an edit), pin the base version for the whole
+        dispatch, and stamp it on the response.  The matching drain wait
+        in :meth:`commit` makes the pinned version an invariant — the base
+        cannot move while this request is in flight."""
+        with self._version_gate:
+            while self._commit_waiting:
+                self._version_gate.wait()
+            self._inflight_requests += 1
+            base_version = self.network.version
+        try:
+            response = self._answer_one_impl(request, raise_on_failure)
+        finally:
+            with self._version_gate:
+                self._inflight_requests -= 1
+                self._version_gate.notify_all()
+        return replace(response, base_version=base_version)
+
+    def _answer_one_impl(
         self, request: ExplainRequest, raise_on_failure: bool = False
     ) -> ExplainResponse:
         """One request through the full degradation ladder:
@@ -491,6 +575,7 @@ class ExplanationService:
                             outcome=prior.outcome,
                             degraded_reason=prior.degraded_reason,
                             fallback=prior.fallback,
+                            base_version=prior.base_version,
                         )
                         emit(i)
                         continue
@@ -504,6 +589,7 @@ class ExplanationService:
                                 kind="Rejected", message=shed, retryable=True
                             ),
                             outcome="rejected",
+                            base_version=self.network.version,
                         )
                         emit(i)
                         continue

@@ -22,7 +22,12 @@ and including annihilating add-then-remove pairs — and asserts
 * mixed service workloads answer identically across per-call facade
   invocation, deterministic single-thread ``explain_many``, sharded
   execution, and sharded execution with a wide flush-bus window (probe
-  flushes from concurrent requests merged into fused kernel calls).
+  flushes from concurrent requests merged into fused kernel calls),
+* randomized *committed* edit chains — ``overlay.commit()`` promoting
+  flips into the base, live sessions rebased O(Δ) — score and form
+  exactly as a fresh stack built from scratch on the committed network,
+  several epoch boundaries deep, for all four rankers, team formation,
+  and registry-owned engines with memo retention.
 
 Every case is pinned to a deterministic seed, so green stays green.  The
 default run executes a quick subset; the full sweep (500+ chains across
@@ -39,10 +44,12 @@ from repro import ExES
 from repro.datasets import toy_network
 from repro.embeddings import train_ppmi_embedding
 from repro.explain import BeamConfig, FactualConfig, MembershipTarget, RelevanceTarget
-from repro.graph import NetworkOverlay
+from repro.graph import NetworkOverlay, network_from_dict, network_to_dict
 from repro.linkpred import HeuristicLinkPredictor
 from repro.search import (
     DocumentExpertRanker,
+    GcnExpertRanker,
+    GcnRankerConfig,
     HitsExpertRanker,
     PageRankExpertRanker,
     ProbeEngine,
@@ -663,3 +670,262 @@ class TestServeParityFuzz:
     @pytest.mark.parametrize("seed", QUICK_SEEDS[:1])
     def test_gcn_quick(self, small_gcn_ranker, small_dataset, seed):
         self._run_wire_parity(small_gcn_ranker, small_dataset.network, seed, k=10)
+
+
+# ----------------------------------------------------------------------
+# committed edit chains: O(Δ) rebase vs. from-scratch rebuilds
+# ----------------------------------------------------------------------
+def _commit_overlay(net, rng, length):
+    """A random applicable flip set on a *direct* overlay over ``net`` —
+    only a first-level overlay can be promoted into its base, so no
+    ``branch()`` stages.  Mixes skill and edge flips and sometimes
+    annihilating add-then-remove pairs (which must commit as nothing)."""
+    skills = sorted(net.skill_universe())
+    overlay = NetworkOverlay(net)
+    applied = 0
+    stages = 0
+    while applied < length and stages < 6 * length:
+        stages += 1
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            p = int(rng.integers(0, net.n_people))
+            s = skills[int(rng.integers(0, len(skills)))]
+            done = (
+                overlay.add_skill(p, s)
+                if not overlay.has_skill(p, s)
+                else overlay.remove_skill(p, s)
+            )
+        elif kind == 1:
+            p = int(rng.integers(0, net.n_people))
+            own = sorted(overlay.skills(p))
+            if not own:
+                continue
+            done = overlay.remove_skill(p, own[int(rng.integers(0, len(own)))])
+        elif kind == 2:
+            u = int(rng.integers(0, net.n_people))
+            v = int(rng.integers(0, net.n_people))
+            if u == v:
+                continue
+            done = (
+                overlay.add_edge(u, v)
+                if not overlay.has_edge(u, v)
+                else overlay.remove_edge(u, v)
+            )
+        else:
+            p = int(rng.integers(0, net.n_people))
+            s = f"transient-{stages}"
+            overlay.add_skill(p, s)
+            overlay.remove_skill(p, s)
+            done = True
+        if done:
+            applied += 1
+    return overlay
+
+
+def _replay_overlay(overlay, onto):
+    """Re-apply a direct overlay's net flips onto a fresh overlay over
+    ``onto`` — the rebuilt reference network, structurally identical to
+    the overlay's base."""
+    out = NetworkOverlay(onto)
+    for (p, s), added in sorted(overlay.skill_flips().items()):
+        (out.add_skill if added else out.remove_skill)(p, s)
+    for (u, v), added in sorted(overlay.edge_flips().items()):
+        (out.add_edge if added else out.remove_edge)(u, v)
+    return out
+
+
+class TestCommitFuzz:
+    """Randomized *committed* edit chains.
+
+    Each round promotes a random flip set into the live base with
+    ``overlay.commit()`` and carries the open delta sessions across via
+    ``rebase`` (falling back to a fresh session when one declines — both
+    outcomes must be parity-safe).  After every commit, scores served by
+    the rebased ranker session must equal to 1e-9 both the full-rebuild
+    reference on the mutated base and a fresh session stack over a
+    network rebuilt from scratch at the committed state
+    (``network_to_dict`` → ``network_from_dict``), and the rebased team
+    session must return the *exact* reference team.  Chains run several
+    commits deep so retained caches must survive multiple epoch
+    boundaries, not just one.
+    """
+
+    N_COMMITS = 3
+
+    @classmethod
+    def _run_commit_chain(cls, ranker, net, chain_length, rng, fresh_ranker_factory):
+        former = CoverTeamFormer(ranker)
+        rsession = ranker._session_for(net)
+        tsession = former._session_for(net)
+        assert rsession is not None and tsession is not None
+        pinned_query = _random_query(net, rng)
+        # Warm the score caches and the base team trace before the first
+        # commit, so rebasing has real state to retain or invalidate.
+        ranker.scores(pinned_query, _commit_overlay(net, rng, 2))
+        former.form(pinned_query, NetworkOverlay(net))
+
+        for _ in range(cls.N_COMMITS):
+            delta = _commit_overlay(net, rng, chain_length).commit()
+            assert delta.new_version == net.version
+            # Rebase order matters: the team session's retention predicate
+            # consults the ranker session already carried to the new base.
+            if not rsession.rebase(delta):
+                rsession = ranker._session_for(net)
+            if not tsession.rebase(delta):
+                tsession = former._session_for(net)
+            assert rsession.valid_for(net) and tsession.valid_for(net)
+            # The ranker keeps serving through the rebased session — no
+            # silent cold rebuild behind the parity check.
+            assert ranker._session_for(net) is rsession
+
+            fresh_net = network_from_dict(network_to_dict(net))
+            assert fresh_net.state_digest() == net.state_digest()
+            fresh_ranker = fresh_ranker_factory()
+            fresh_session = fresh_ranker.delta_session(fresh_net)
+
+            for query in (pinned_query, _random_query(net, rng)):
+                for probe_len in (0, int(rng.integers(1, 4))):
+                    probe = (
+                        NetworkOverlay(net)
+                        if probe_len == 0
+                        else _commit_overlay(net, rng, probe_len)
+                    )
+                    fast = ranker.scores(query, probe)
+                    assert probe._mat is None, "delta path materialized the probe"
+                    slow = _reference_scores(ranker, query, probe)
+                    np.testing.assert_allclose(fast, slow, rtol=0, atol=ATOL)
+                    fresh = fresh_session.scores(
+                        query, _replay_overlay(probe, fresh_net)
+                    )
+                    np.testing.assert_allclose(fast, fresh, rtol=0, atol=ATOL)
+
+            # Exact-team parity through the rebased team session, against a
+            # from-scratch formation on the rebuilt network.
+            seed_member = (
+                None if rng.random() < 0.5 else int(rng.integers(0, net.n_people))
+            )
+            team_probe = _commit_overlay(net, rng, 2)
+            fast_team = former.form(
+                pinned_query, team_probe, seed_member=seed_member
+            )
+            fresh_former = CoverTeamFormer(fresh_ranker)
+            fresh_former.full_rebuild = True
+            fresh_ranker.full_rebuild = True
+            try:
+                ref_team = fresh_former.form(
+                    pinned_query,
+                    _replay_overlay(team_probe, fresh_net),
+                    seed_member=seed_member,
+                )
+            finally:
+                fresh_former.full_rebuild = False
+                fresh_ranker.full_rebuild = False
+            assert fast_team.members == ref_team.members
+            assert fast_team.seed == ref_team.seed
+            assert fast_team.build_order == ref_team.build_order
+            assert fast_team.covered_terms == ref_team.covered_terms
+            assert fast_team.uncovered_terms == ref_team.uncovered_terms
+
+    @staticmethod
+    def _run(ranker_name, chain_length, seed):
+        rng = np.random.default_rng(88_000 * chain_length + seed)
+        net = toy_network(n_people=int(rng.integers(12, 22)), seed=seed)
+        TestCommitFuzz._run_commit_chain(
+            RANKERS[ranker_name](), net, chain_length, rng,
+            lambda: RANKERS[ranker_name](),
+        )
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, chain_length, seed):
+        self._run(ranker_name, chain_length, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, chain_length, seed):
+        self._run(ranker_name, chain_length, seed)
+
+    @staticmethod
+    def _tiny_gcn(net, seed):
+        """A small trained GCN over a private toy network (the shared
+        session ranker cannot be used — commits mutate the base)."""
+        embedding = train_ppmi_embedding(
+            [sorted(net.skills(p)) for p in net.people()] * 2, dim=8, min_count=1
+        )
+        config = GcnRankerConfig(epochs=4, n_train_queries=6, seed=seed)
+        return GcnExpertRanker(embedding, config).fit(net)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_quick(self, seed):
+        rng = np.random.default_rng(89_000 + seed)
+        net = toy_network(n_people=14, seed=seed)
+        ranker = self._tiny_gcn(net, seed)
+        # Training is fit-time-frozen, so the trained ranker itself is the
+        # reference stack: full-rebuild scoring over the rebuilt network
+        # shares no session state with the rebased path.
+        self._run_commit_chain(ranker, net, 3, rng, lambda: ranker)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS[:8])
+    def test_gcn_full(self, chain_length, seed):
+        rng = np.random.default_rng(89_000 * chain_length + seed)
+        net = toy_network(n_people=16, seed=seed)
+        ranker = self._tiny_gcn(net, seed)
+        self._run_commit_chain(ranker, net, chain_length, rng, lambda: ranker)
+
+    @staticmethod
+    def _run_registry(ranker_name, seed):
+        """Probe decisions after ``EngineRegistry.rebase`` — rebased
+        sessions, re-keyed engines, memo entries retained through the
+        per-ranker ``memo_survives`` cones — equal a cold engine on a
+        from-scratch rebuild of the committed network."""
+        rng = np.random.default_rng(91_000 + seed)
+        net = toy_network(n_people=int(rng.integers(12, 20)), seed=seed)
+        ranker = RANKERS[ranker_name]()
+        registry = EngineRegistry()
+        registry.install(ranker)
+        target = RelevanceTarget(ranker, k=3)
+        engine = registry.engine(target, net)
+        queries = [_random_query(net, rng) for _ in range(3)]
+        for query in queries:  # warm the decision and score memos
+            for _ in range(3):
+                person = int(rng.integers(0, net.n_people))
+                engine.probe(
+                    person, query, _commit_overlay(net, rng, int(rng.integers(1, 4)))
+                )
+        delta = _commit_overlay(net, rng, 4).commit()
+        while delta.is_empty:  # all-annihilating chains commit as no-ops
+            delta = _commit_overlay(net, rng, 4).commit()
+        stats = registry.rebase(net, delta)
+        assert stats["rebased_sessions"] + stats["dropped_sessions"] >= 1
+        assert stats["rebased_engines"] + stats["dropped_engines"] >= 1
+        rebased = registry.engine(target, net)
+
+        fresh_net = network_from_dict(network_to_dict(net))
+        fresh_engine = ProbeEngine(
+            RelevanceTarget(RANKERS[ranker_name](), k=3), fresh_net
+        )
+        for query in queries + [_random_query(net, rng)]:
+            for _ in range(3):
+                person = int(rng.integers(0, net.n_people))
+                probe = _commit_overlay(net, rng, int(rng.integers(1, 4)))
+                got = rebased.probe(person, query, probe)
+                want = fresh_engine.probe(
+                    person, query, _replay_overlay(probe, fresh_net)
+                )
+                assert got == want
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_registry_rebase_quick(self, ranker_name, seed):
+        self._run_registry(ranker_name, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_registry_rebase_full(self, ranker_name, seed):
+        self._run_registry(ranker_name, seed)

@@ -11,11 +11,26 @@ in-flight batches.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import os
+import pickle
 
 import pytest
 
+from repro.datasets import toy_network
+from repro.embeddings import train_ppmi_embedding
+from repro.explain import BeamConfig, FactualConfig
+from repro.linkpred import HeuristicLinkPredictor
+from repro.search import PageRankExpertRanker
 from repro.serve import ServeClient
-from repro.service import ResilienceConfig, explanation_signature
+from repro.service import (
+    EngineRegistry,
+    ExplanationService,
+    ResilienceConfig,
+    explanation_signature,
+    make_requests,
+)
+from repro.team import CoverTeamFormer
 
 
 def _signatures(responses):
@@ -347,6 +362,251 @@ class TestShutdown:
         assert frame["error"]["kind"] == "ServerClosing"
         assert frame["error"]["retryable"] is True
         assert frame["id"] == 1
+
+
+def _private_stack():
+    """A private network plus trained components — commit tests mutate
+    the base in place, so the package-scoped fixtures cannot be used."""
+    net = toy_network(n_people=16, seed=3)
+    profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+    embedding = train_ppmi_embedding(profiles, dim=8, min_count=1)
+    predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+    return net, embedding, predictor
+
+
+def _private_service(net, embedding, predictor):
+    ranker = PageRankExpertRanker()
+    return ExplanationService(
+        network=net,
+        ranker=ranker,
+        embedding=embedding,
+        link_predictor=predictor,
+        former=CoverTeamFormer(ranker),
+        k=3,
+        factual_config=FactualConfig(
+            n_samples=16, max_samples=32, selection_samples=8, exact_limit=5
+        ),
+        beam_config=BeamConfig(
+            beam_size=3, n_candidates=4, max_size=2, n_explanations=1
+        ),
+        registry=EngineRegistry(),
+    )
+
+
+def _private_workload(service, net, n_queries=2, kinds=("skills", "cf_skills")):
+    skills = sorted(net.skill_universe())
+    queries = [tuple(skills[i : i + 3]) for i in range(0, 3 * n_queries, 3)]
+    requests = []
+    for query in queries:
+        order = service.ranker.evaluate(query, net).order
+        requests += make_requests(kinds, int(order[0]), query, tag="expert")
+        requests += make_requests(kinds, int(order[3]), query, tag="non_expert")
+    return requests
+
+
+class TestLiveCommits:
+    """The ``commit`` wire frame: live base edits against a serving
+    process, with single-version response stamping across the epoch
+    boundary."""
+
+    def test_commit_mid_batch_stamps_versions(self, serve_harness):
+        """A commit landing mid-batch drains the in-flight requests on
+        the old version and stamps everything dispatched after it with
+        the new ``base_version``; a follow-up batch is entirely on the
+        new version."""
+        start_server, run = serve_harness
+        net, embedding, predictor = _private_stack()
+        service = _private_service(net, embedding, predictor)
+        requests = _private_workload(service, net)
+        v0 = service.network.version
+
+        async def scenario():
+            from repro.explain.serialize import request_to_dict, response_from_dict
+
+            server = await start_server(service)
+            worker = await ServeClient.connect("127.0.0.1", server.port)
+            admin = await ServeClient.connect("127.0.0.1", server.port)
+            await worker.send(
+                {
+                    "type": "batch",
+                    "id": 1,
+                    "requests": [request_to_dict(r) for r in requests],
+                    "max_workers": 2,
+                }
+            )
+            # The first result lands before the commit is even sent: it
+            # must carry the old base version.
+            frame = await worker.recv()
+            while frame["type"] != "result":
+                frame = await worker.recv()
+            responses = [response_from_dict(frame["response"])]
+            # Commit on a second connection while batch 1 is in flight.
+            end = await admin.commit(
+                skill_flips=[(net.n_people - 1, "__live", True)], commit_id="c1"
+            )
+            while True:
+                frame = await worker.recv()
+                if frame["type"] == "result":
+                    responses.append(response_from_dict(frame["response"]))
+                elif frame["type"] == "batch_end":
+                    break
+            # Everything after the epoch boundary is on the new base.
+            responses2, summary2 = await worker.explain_many(
+                requests[:4], max_workers=2
+            )
+            stats = dict(server.stats)
+            await worker.close()
+            await admin.close()
+            await server.shutdown()
+            return responses, end, responses2, summary2, stats
+
+        responses, end, responses2, summary2, stats = run(scenario())
+        assert end["type"] == "commit_end" and end["id"] == "c1"
+        assert end["old_version"] == v0
+        assert end["new_version"] == service.network.version > v0
+        assert end["n_skill_flips"] == 1 and end["n_edge_flips"] == 0
+        assert set(end["stats"]) >= {"rebased_sessions", "retained_memo_entries"}
+
+        assert len(responses) == len(requests)
+        assert all(r.outcome == "ok" for r in responses)
+        assert responses[0].base_version == v0  # pre-commit, old base
+        # Every response is stamped with exactly one of the two versions
+        # that existed during the batch — never unstamped, never a third.
+        assert {r.base_version for r in responses} <= {v0, end["new_version"]}
+
+        assert summary2["outcomes"] == {"ok": 4}
+        assert all(r.base_version == end["new_version"] for r in responses2)
+        assert stats["commits"] == 1
+
+    def test_commit_refused_while_draining(self, serve_harness):
+        start_server, run = serve_harness
+        net, embedding, predictor = _private_stack()
+        service = _private_service(net, embedding, predictor)
+        v0 = service.network.version
+
+        async def scenario():
+            server = await start_server(service)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            server._closing = True
+            try:
+                await client.commit(
+                    skill_flips=[(0, "__refused", True)], commit_id="c2"
+                )
+                raised = None
+            except Exception as exc:  # noqa: BLE001 - asserting on type below
+                raised = exc
+            await client.close()
+            server._closing = False
+            await server.shutdown()
+            return raised
+
+        raised = run(scenario())
+        from repro.serve import RemoteProtocolError
+
+        assert isinstance(raised, RemoteProtocolError)
+        assert raised.error.kind == "ServerClosing"
+        assert service.network.version == v0  # the edit never landed
+
+
+class TestSpillRestore:
+    """Registry spill on shutdown, restore on boot: a restarted server
+    answers its first batch from the reloaded warm state instead of a
+    cold-start rebuild — bit-identically."""
+
+    def test_round_trip_warm_boot(self, serve_harness, tmp_path):
+        start_server, run = serve_harness
+        spill = str(tmp_path / "registry.spill")
+        net1, embedding, predictor = _private_stack()
+        service1 = _private_service(net1, embedding, predictor)
+        requests = [
+            dataclasses.replace(r, session="spill")
+            for r in _private_workload(service1, net1)
+        ]
+
+        async def warm_and_spill():
+            server = await start_server(service1, spill_path=spill)
+            restore_stats = dict(server.restore_stats)
+            client = await ServeClient.connect(
+                "127.0.0.1", server.port, session="spill"
+            )
+            responses, _ = await client.explain_many(requests, max_workers=2)
+            await client.close()
+            await server.shutdown()  # writes the spill file
+            return restore_stats, responses
+
+        first_restore, warm_responses = run(warm_and_spill())
+        assert first_restore.get("skipped") == "missing"  # nothing to load yet
+        assert all(r.outcome == "ok" for r in warm_responses)
+        reference = _signatures(warm_responses)
+
+        assert os.path.exists(spill)
+        with open(spill, "rb") as f:
+            payload = pickle.load(f)
+        assert payload["format"] == "repro-registry-spill/1"
+        assert payload["digest"] == net1.state_digest()
+
+        # "Restart": a fresh network instance with identical structure,
+        # fresh ranker/former/registry — only the spill file carries over.
+        net2, embedding2, predictor2 = _private_stack()
+        service2 = _private_service(net2, embedding2, predictor2)
+
+        async def restore_and_answer():
+            server = await start_server(service2, spill_path=spill)
+            restore_stats = dict(server.restore_stats)
+            builds_after_restore = service2.registry.session_builds
+            client = await ServeClient.connect(
+                "127.0.0.1", server.port, session="spill"
+            )
+            responses, _ = await client.explain_many(requests, max_workers=1)
+            await client.close()
+            await server.shutdown()
+            return restore_stats, builds_after_restore, responses
+
+        restore_stats, builds_after_restore, responses = run(restore_and_answer())
+        assert "skipped" not in restore_stats
+        assert restore_stats["sessions"] >= 1
+        assert restore_stats["memo_entries"] >= 1
+        assert service2.registry.restored_sessions >= 1
+        # Warm boot: the batch was served by the restored sessions — no
+        # session was built after the restore pass.
+        assert service2.registry.session_builds == builds_after_restore
+        assert all(r.outcome == "ok" for r in responses)
+        assert _signatures(responses) == reference
+
+    def test_restore_refuses_structural_mismatch(self, serve_harness, tmp_path):
+        """A spill bound to a different network structure is skipped
+        whole — a digest mismatch must never half-restore."""
+        start_server, run = serve_harness
+        spill = str(tmp_path / "registry.spill")
+        net1, embedding, predictor = _private_stack()
+        service1 = _private_service(net1, embedding, predictor)
+        requests = _private_workload(service1, net1)[:4]
+
+        async def warm_and_spill():
+            server = await start_server(service1, spill_path=spill)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            await client.explain_many(requests, max_workers=1)
+            await client.close()
+            await server.shutdown()
+
+        run(warm_and_spill())
+
+        other = toy_network(n_people=14, seed=9)  # different structure
+        profiles = [sorted(other.skills(p)) for p in other.people()] * 2
+        embedding2 = train_ppmi_embedding(profiles, dim=8, min_count=1)
+        predictor2 = HeuristicLinkPredictor("common_neighbors").fit(other)
+        service2 = _private_service(other, embedding2, predictor2)
+
+        async def boot():
+            server = await start_server(service2, spill_path=spill)
+            restore_stats = dict(server.restore_stats)
+            await server.shutdown()
+            return restore_stats
+
+        restore_stats = run(boot())
+        assert restore_stats["skipped"] == "digest"
+        assert restore_stats["sessions"] == 0
+        assert service2.registry.restored_sessions == 0
 
 
 class TestHousekeeping:

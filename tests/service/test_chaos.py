@@ -22,10 +22,13 @@ the full sweep rides the ``slow`` marker.
 from __future__ import annotations
 
 import dataclasses
+import threading
+import time
 
 import pytest
 
 from repro.datasets import toy_network
+from repro.graph import NetworkOverlay, network_from_dict, network_to_dict
 from repro.embeddings import train_ppmi_embedding
 from repro.explain import BeamConfig, FactualConfig
 from repro.linkpred import HeuristicLinkPredictor
@@ -427,6 +430,152 @@ class TestDegradationLadder:
         assert response.outcome == "ok"
         assert response.fallback is None
         assert not service.breaker.is_open(bkey)
+
+
+class TestCommitChaos:
+    """Base commits racing live ``explain_many`` shards.
+
+    The version gate's contract: a commit waits out the in-flight
+    requests, lands atomically, and every response is computed — and
+    stamped — against exactly one base version, never a mix.  The check
+    is post-hoc and exact: the commit chain is replayed onto a pre-storm
+    snapshot to rebuild the network at every stamped version, and each
+    response must be bit-identical to the full-rebuild reference computed
+    at *its own* version — an answer straddling two bases matches
+    neither."""
+
+    @staticmethod
+    def _private_stack():
+        """A private network (module fixtures are shared read-only —
+        commits mutate the base in place) plus its trained components."""
+        net = toy_network(n_people=16, seed=3)
+        profiles = [sorted(net.skills(p)) for p in net.people()] * 2
+        embedding = train_ppmi_embedding(profiles, dim=8, min_count=1)
+        predictor = HeuristicLinkPredictor("common_neighbors").fit(net)
+        return net, embedding, predictor
+
+    @pytest.mark.parametrize("workers,fused", ((4, False), (4, True)))
+    def test_commits_racing_shards(self, workers, fused):
+        net, embedding, predictor = self._private_stack()
+        service = _service(net, embedding, predictor, "pagerank")
+        if fused:
+            service.registry.flush_bus = FlushBus(window=0.02)
+        requests = _workload(service, net)
+        v0 = service.network.version
+        snap0 = network_to_dict(net)
+        target = net.n_people - 1
+
+        commits = []
+        stop = threading.Event()
+
+        def storm():
+            i = 0
+            while not stop.is_set():
+                overlay = NetworkOverlay(service.network)
+                skill = f"__chaos{i}"
+                done = (
+                    overlay.remove_skill(target, skill)
+                    if skill in service.network.skills(target)
+                    else overlay.add_skill(target, skill)
+                )
+                if done:
+                    commits.append(service.commit(overlay))
+                i += 1
+                stop.wait(0.005)
+
+        thread = threading.Thread(target=storm, daemon=True)
+        thread.start()
+        try:
+            responses = service.explain_many(requests, max_workers=workers)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert commits, "no commit landed while the batch ran"
+        assert service.stats.get("commits") == len(commits)
+
+        valid_versions = {v0} | {c.new_version for c in commits}
+        for response in responses:
+            assert response.outcome in OUTCOMES
+            assert response.ok == (response.error is None)
+            # One base version per response — stamped from the gate, a
+            # member of the actually-committed version chain.
+            assert response.base_version in valid_versions
+        assert all(r.outcome == "ok" for r in responses)
+
+        # Replay the commit chain onto the pre-storm snapshot to rebuild
+        # the network at every stamped version, then hold each response to
+        # the full-rebuild reference *at its own version*.
+        states = {v0: snap0}
+        replay = network_from_dict(snap0)
+        for commit in commits:
+            replay.apply_delta(commit.delta.skill_flips, commit.delta.edge_flips)
+            states[commit.new_version] = network_to_dict(replay)
+        by_version = {}
+        for response in responses:
+            by_version.setdefault(response.base_version, []).append(response)
+        for version, members in sorted(by_version.items()):
+            ref_net = network_from_dict(states[version])
+            ref_service = _service(ref_net, embedding, predictor, "pagerank")
+            reference = _reference_signatures(
+                ref_service, [r.request for r in members]
+            )
+            for response in members:
+                assert (
+                    explanation_signature(response.request, response.explanation)
+                    == reference[response.request]
+                ), f"answer does not match its stamped base v{version}"
+
+    def test_flush_bus_refuses_cross_version_fusion(self):
+        """Two concurrent flushes on the same session and query fuse into
+        one merged kernel call — unless a commit boundary moved the
+        session's base version between them, in which case the bus keys
+        them apart and both flush unfused.  (In the live service the gate
+        makes this window unreachable; the bus still refuses structurally.)"""
+        net = toy_network(n_people=12, seed=5)
+        ranker = PageRankExpertRanker()
+        query = frozenset(sorted(net.skill_universe())[:2])
+
+        def probe():
+            overlay = NetworkOverlay(net)
+            overlay.add_skill(1, "__fuse")
+            return overlay
+
+        def race(bump_version):
+            session = ranker.delta_session(net)
+            bus = FlushBus(window=0.3)
+            barrier = threading.Barrier(2)
+            results = {}
+
+            def runner(tag, leader):
+                with bus.armed():
+                    barrier.wait(timeout=5)
+                    if not leader:
+                        # Let the leader open its group and start waiting
+                        # out the window, then land the "commit".
+                        time.sleep(0.1)
+                        if bump_version:
+                            session.base_version += 1
+                    results[tag] = bus.submit_batch(session, query, [probe()])
+
+            threads = [
+                threading.Thread(target=runner, args=("a", True)),
+                threading.Thread(target=runner, args=("b", False)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert all(not t.is_alive() for t in threads)
+            assert results["a"] is not None and results["b"] is not None
+            return bus
+
+        fused = race(bump_version=False)
+        assert fused.merged_flushes == 1, "control run did not fuse"
+        assert fused.fused_participants == 2
+        split = race(bump_version=True)
+        assert split.flushes == 2
+        assert split.merged_flushes == 0, "fused across a version boundary"
 
 
 class TestChaosOverTheWire:
