@@ -120,6 +120,57 @@ class NumericBackend(abc.ABC):
         per-iteration arithmetic of :meth:`power_iteration` and freeze at
         the iterate where its sequential loop would break."""
 
+    @abc.abstractmethod
+    def ppr_delta_push(
+        self,
+        seed_indices: np.ndarray,
+        seed_values: np.ndarray,
+        adj: sp.csr_matrix,
+        out_degree: np.ndarray,
+        restart_indices: np.ndarray,
+        restart_values: np.ndarray,
+        *,
+        damping: float,
+        epsilon: float,
+        max_sweeps: int,
+        max_nodes: int,
+        row_overrides: Optional[dict] = None,
+    ) -> Optional[Tuple[np.ndarray, float, int]]:
+        """Localized forward-push solve of the PageRank *correction* system
+        ``delta = seed + damping * M' @ delta`` where ``M' x = adj.T @
+        (x / out_degree) + (dangling mass of x) * restart`` — the patched
+        walk's propagation, matching :meth:`power_iteration` arithmetic.
+
+        ``seed_indices``/``seed_values`` is the sparse seed (signed);
+        ``restart_indices``/``restart_values`` is the sparse restart used
+        only to redistribute dangling mass.  ``adj`` rows are a node's
+        outgoing edges and may carry explicit zeros (patched operators do
+        not eliminate them), so entries must be weighted by ``adj.data``.
+        ``row_overrides`` (``{node: (cols, vals)}``) substitutes a
+        handful of patched rows over the otherwise-shared base ``adj`` —
+        the caller never materializes a full patched CSR for an O(Δ)
+        edge-flip probe; ``out_degree`` is always the *patched* degree
+        vector.
+
+        The solve maintains an adaptive *solve set*: sweeps push only
+        admitted members' residual mass one hop (``delta += res_S; res +=
+        damping * M' @ res_S``), while boundary residual accumulates in
+        place and never propagates — a hub inside the cone spreads its
+        mass thin across its neighbors without recruiting them.  When the
+        members' residual converges below half the target but the total
+        still exceeds it, the heaviest boundary residuals are admitted
+        (the widest tail that fits in the other half of the budget stays
+        out).  Total work is O(solve-set edges x sweeps), never O(n)
+        beyond the dense output buffers.  Iteration stops once the total
+        residual l1 norm drops to ``epsilon * (1 - damping)``, certifying
+        ``||delta_exact - delta||_1 <= res_l1 / (1 - damping) <=
+        epsilon``.
+
+        Returns ``(delta, residual_l1, cone_nodes)`` — the dense
+        correction, the final residual l1 norm, and the solve-set size —
+        or None when the solve set exceeded ``max_nodes`` or the sweep
+        cap ran out (callers fall back to the exact global kernel)."""
+
     # ------------------------------------------------------------------
     # authority iteration (HITS)
     # ------------------------------------------------------------------

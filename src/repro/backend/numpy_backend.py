@@ -129,6 +129,149 @@ class NumpyBackend(NumericBackend):
         solutions[:, active] = scores
         return solutions, converged
 
+    def ppr_delta_push(
+        self,
+        seed_indices: np.ndarray,
+        seed_values: np.ndarray,
+        adj: sp.csr_matrix,
+        out_degree: np.ndarray,
+        restart_indices: np.ndarray,
+        restart_values: np.ndarray,
+        *,
+        damping: float,
+        epsilon: float,
+        max_sweeps: int,
+        max_nodes: int,
+        row_overrides=None,
+    ) -> Optional[Tuple[np.ndarray, float, int]]:
+        n = adj.shape[0]
+        indptr, indices, data = adj.indptr, adj.indices, adj.data
+        override_ids = (
+            np.asarray(sorted(row_overrides), dtype=np.int64)
+            if row_overrides
+            else np.empty(0, dtype=np.int64)
+        )
+        inv_deg = np.divide(
+            1.0, out_degree, out=np.zeros_like(out_degree), where=out_degree > 0
+        )
+        dangling = out_degree == 0
+        delta = np.zeros(n)
+        res = np.zeros(n)
+        member = np.zeros(n, dtype=bool)
+        support = np.asarray(seed_indices, dtype=np.int64)
+        if support.size == 0:
+            return delta, 0.0, 0
+        # Members start empty: the admission rule below picks the heavy
+        # seed nodes too, so a flipped hub's row — thousands of entries
+        # holding negligible rescale mass — stays on the boundary instead
+        # of recruiting the whole neighborhood into the solve.
+        res[support] = seed_values
+        solve_set = 0
+        target = epsilon * (1.0 - damping)
+        half = 0.5 * target
+        in_support = np.zeros(n, dtype=bool)
+        in_support[support] = True
+        l1 = 0.0
+        sweeps = 0
+
+        def absorb(cand: np.ndarray) -> np.ndarray:
+            """Append the (deduplicated) fresh nodes of ``cand`` to the
+            support — O(new) per sweep instead of re-uniquing the whole
+            support every hop."""
+            fresh = cand[~in_support[cand]]
+            if fresh.size:
+                fresh = np.unique(fresh)
+                in_support[fresh] = True
+                return np.concatenate([support, fresh])
+            return support
+
+        while True:
+            l1 = float(np.abs(res[support]).sum())
+            if l1 <= target:
+                break
+            internal = support[member[support]]
+            internal = internal[res[internal] != 0.0]
+            internal_l1 = float(np.abs(res[internal]).sum())
+            if internal_l1 > half:
+                # One hop of damping * M' over the *solve set* only:
+                # scatter each member's mass along its out-row (CSR
+                # data-weighted — patched operators carry explicit
+                # zeros), then teleport member dangling mass onto the
+                # restart.  Boundary residual accumulates in place and
+                # never propagates, so a hub inside the cone spreads
+                # mass onto its neighbors without recruiting them.
+                if sweeps >= max_sweeps:
+                    return None
+                sweeps += 1
+                vals = res[internal].copy()
+                delta[internal] += vals
+                res[internal] = 0.0
+                if override_ids.size:
+                    # Patched rows (a handful of flipped-edge endpoints)
+                    # scatter through their override rows; every other
+                    # member reads the shared base CSR unmodified.
+                    is_ov = np.isin(internal, override_ids)
+                    plain = internal[~is_ov]
+                    plain_vals = vals[~is_ov]
+                    for u, mass in zip(
+                        internal[is_ov].tolist(), vals[is_ov].tolist()
+                    ):
+                        if out_degree[u] <= 0:
+                            continue  # dangling mass teleports below
+                        cols_u, vals_u = row_overrides[u]
+                        if cols_u.size:
+                            res[cols_u] += (
+                                damping * mass * inv_deg[u]
+                            ) * vals_u
+                            support = absorb(cols_u.astype(np.int64))
+                else:
+                    plain = internal
+                    plain_vals = vals
+                starts = indptr[plain]
+                lens = (indptr[plain + 1] - starts).astype(np.int64)
+                total = int(lens.sum())
+                if total:
+                    shifts = np.cumsum(lens)
+                    pos = np.repeat(
+                        starts.astype(np.int64)
+                        - np.concatenate(([0], shifts[:-1])),
+                        lens,
+                    ) + np.arange(total, dtype=np.int64)
+                    cols = indices[pos]
+                    contrib = data[pos] * np.repeat(
+                        plain_vals * inv_deg[plain], lens
+                    )
+                    res += np.bincount(
+                        cols, weights=damping * contrib, minlength=n
+                    )
+                    support = absorb(cols.astype(np.int64))
+                dangling_mass = float(vals[dangling[internal]].sum())
+                if dangling_mass != 0.0 and restart_indices.size:
+                    res[restart_indices] += (
+                        damping * dangling_mass
+                    ) * restart_values
+                    support = absorb(
+                        np.asarray(restart_indices, dtype=np.int64)
+                    )
+                continue
+            # Member mass is converged below half the target, so the
+            # excess lives on the boundary: admit the heaviest external
+            # residuals, leaving out the widest tail that still fits in
+            # the other half of the budget.
+            external = support[~member[support]]
+            mags = np.abs(res[external])
+            order = np.argsort(-mags, kind="stable")
+            tail = np.cumsum(mags[order][::-1])[::-1]
+            fits = tail <= half
+            cut = int(np.argmax(fits)) if fits.any() else int(external.size)
+            promote = external[order[: max(cut, 1)]]
+            member[promote] = True
+            solve_set += int(promote.size)
+            if solve_set > max_nodes:
+                return None
+        delta[support] += res[support]
+        return delta, l1, solve_set
+
     # ------------------------------------------------------------------
     # authority iteration (HITS)
     # ------------------------------------------------------------------

@@ -67,6 +67,99 @@ class ReferenceBackend(NumpyBackend):
             )
         return solutions, converged
 
+    def ppr_delta_push(
+        self,
+        seed_indices: np.ndarray,
+        seed_values: np.ndarray,
+        adj: sp.csr_matrix,
+        out_degree: np.ndarray,
+        restart_indices: np.ndarray,
+        restart_values: np.ndarray,
+        *,
+        damping: float,
+        epsilon: float,
+        max_sweeps: int,
+        max_nodes: int,
+        row_overrides=None,
+    ) -> Optional[Tuple[np.ndarray, float, int]]:
+        # Node-at-a-time adaptive solve set in ascending-id order — the
+        # same member/boundary semantics as the fused kernel: only
+        # admitted nodes propagate, boundary residual accumulates in
+        # place, and the set grows by the heaviest external residuals
+        # (ties broken ascending-id, matching the stable argsort over
+        # the fused kernel's id-ordered support).
+        n = adj.shape[0]
+        indptr, indices, data = adj.indptr, adj.indices, adj.data
+        delta = np.zeros(n)
+        res = np.zeros(n)
+        for i, v in zip(seed_indices, seed_values):
+            res[int(i)] = v
+        # Members start empty — the admission rule picks the heavy seed
+        # nodes, leaving a flipped hub's diffuse row on the boundary.
+        member: set = set()
+        support = {int(i) for i in seed_indices}
+        if not support:
+            return delta, 0.0, 0
+        target = epsilon * (1.0 - damping)
+        half = 0.5 * target
+        l1 = 0.0
+        sweeps = 0
+        while True:
+            support = {u for u in support if res[u] != 0.0}
+            l1 = float(sum(abs(res[u]) for u in support))
+            if l1 <= target:
+                break
+            internal = sorted(u for u in support if u in member)
+            internal_l1 = float(sum(abs(res[u]) for u in internal))
+            if internal_l1 > half:
+                if sweeps >= max_sweeps:
+                    return None
+                sweeps += 1
+                vals = {u: float(res[u]) for u in internal}
+                for u in internal:
+                    delta[u] += res[u]
+                    res[u] = 0.0
+                dangling_mass = 0.0
+                for u in internal:
+                    mass = vals[u]
+                    deg = out_degree[u]
+                    if deg > 0:
+                        scale = damping * mass / deg
+                        row = (
+                            row_overrides.get(u) if row_overrides else None
+                        )
+                        if row is not None:
+                            for v, w in zip(row[0].tolist(), row[1].tolist()):
+                                res[int(v)] += w * scale
+                                support.add(int(v))
+                        else:
+                            for pos in range(indptr[u], indptr[u + 1]):
+                                v = int(indices[pos])
+                                res[v] += data[pos] * scale
+                                support.add(v)
+                    else:
+                        dangling_mass += mass
+                if dangling_mass != 0.0:
+                    for i, w in zip(restart_indices, restart_values):
+                        res[int(i)] += damping * dangling_mass * w
+                        support.add(int(i))
+                continue
+            external = sorted(
+                (u for u in support if u not in member),
+                key=lambda u: (-abs(res[u]), u),
+            )
+            tail = float(sum(abs(res[u]) for u in external))
+            cut = 0
+            while cut < len(external) and tail > half:
+                tail -= abs(res[external[cut]])
+                cut += 1
+            member.update(external[: max(cut, 1)])
+            if len(member) > max_nodes:
+                return None
+        for u in sorted(support):
+            delta[u] += res[u]
+        return delta, l1, len(member)
+
     def gcn_forward_blocks(
         self,
         scorer,

@@ -235,6 +235,8 @@ def request_to_dict(request) -> Dict[str, Any]:
         "timeout_seconds": request.timeout_seconds,
         "probe_limit": request.probe_limit,
         "session": request.session,
+        "localized": request.localized,
+        "epsilon": request.epsilon,
     }
 
 
@@ -261,6 +263,8 @@ def request_from_dict(payload: Dict[str, Any]):
         timeout_seconds=payload.get("timeout_seconds"),
         probe_limit=payload.get("probe_limit"),
         session=payload.get("session", ""),
+        localized=bool(payload.get("localized", False)),
+        epsilon=payload.get("epsilon"),
     )
 
 
@@ -283,6 +287,7 @@ def response_to_dict(response) -> Dict[str, Any]:
         "degraded_reason": response.degraded_reason,
         "fallback": response.fallback,
         "base_version": response.base_version,
+        "localized": response.localized,
     }
 
 
@@ -307,4 +312,5 @@ def response_from_dict(payload: Dict[str, Any]):
         degraded_reason=payload.get("degraded_reason"),
         fallback=payload.get("fallback"),
         base_version=payload.get("base_version"),
+        localized=payload.get("localized"),
     )

@@ -406,21 +406,28 @@ def kernel_shap(
     enumerated = set()
     for s_low, s_high in paired:
         shell = math.comb(m, s_low) + (math.comb(m, s_high) if s_high != s_low else 0)
-        if shell <= remaining_budget - len(paired):  # keep room to sample the rest
-            for subset in itertools.combinations(range(m), s_low):
+        if shell > remaining_budget - len(paired):  # keep room to sample the rest
+            # Shells only grow toward the middle sizes while the budget
+            # only shrinks, so the first shell that doesn't fit ends the
+            # enumeration — without this, a large-M call (e.g. a hub's
+            # 1e4+ neighborhood skill assignments) grinds through tens
+            # of thousands of astronomically-large binomials just to
+            # reject them all.
+            break
+        for subset in itertools.combinations(range(m), s_low):
+            mask = np.zeros(m, dtype=bool)
+            mask[list(subset)] = True
+            masks.append(mask)
+            weights.append(_kernel_weight(m, s_low))
+        if s_high != s_low:
+            for subset in itertools.combinations(range(m), s_high):
                 mask = np.zeros(m, dtype=bool)
                 mask[list(subset)] = True
                 masks.append(mask)
-                weights.append(_kernel_weight(m, s_low))
-            if s_high != s_low:
-                for subset in itertools.combinations(range(m), s_high):
-                    mask = np.zeros(m, dtype=bool)
-                    mask[list(subset)] = True
-                    masks.append(mask)
-                    weights.append(_kernel_weight(m, s_high))
-            enumerated.add(s_low)
-            enumerated.add(s_high)
-            remaining_budget -= shell
+                weights.append(_kernel_weight(m, s_high))
+        enumerated.add(s_low)
+        enumerated.add(s_high)
+        remaining_budget -= shell
 
     sample_sizes = [s for s in sizes if s not in enumerated]
     if sample_sizes and remaining_budget > 0:

@@ -21,7 +21,7 @@ The generator is fully deterministic given the recipe's seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -232,12 +232,26 @@ def _zipf_weights(n: int, exponent: float) -> np.ndarray:
     return w / w.sum()
 
 
-def _sample_edges(
+#: Accepted-edge chunk size for the streaming path; RNG-neutral (the
+#: sampler's draw sequence never depends on it).
+_EDGE_CHUNK = 65536
+
+
+def _edge_key_chunks(
     recipe: NetworkRecipe,
     memberships: Sequence[Tuple[int, ...]],
     rng: np.random.Generator,
-) -> Set[Tuple[int, int]]:
-    """Degree-corrected community edges + a random inter-community remainder."""
+) -> "Iterator[np.ndarray]":
+    """Degree-corrected community edges + a random inter-community remainder,
+    yielded as chunks of packed ``u * n + v`` int64 keys (u < v).
+
+    The single edge sampler behind both the eager and the streaming build
+    paths: it draws from ``rng`` in exactly one order and dedupes through
+    an integer-key set (identical membership semantics to the tuple set it
+    replaced), so the two paths are RNG-identical by construction.  No
+    per-node Python structure is ever materialized here — a chunk is a
+    plain int64 array.
+    """
     n = recipe.n_people
     activity = rng.permutation(_zipf_weights(n, recipe.degree_exponent))
 
@@ -246,7 +260,8 @@ def _sample_edges(
         for c in comms:
             community_members[c].append(person)
 
-    edges: Set[Tuple[int, int]] = set()
+    seen: Set[int] = set()
+    buffer: List[int] = []
     target_intra = int(round(recipe.n_edges * recipe.intra_community_fraction))
 
     # Community weight = total member activity; bigger/busier communities
@@ -277,30 +292,78 @@ def _sample_edges(
                         break
                     if u == v:
                         continue
-                    e = (int(min(u, v)), int(max(u, v)))
-                    if e not in edges:
-                        edges.add(e)
+                    key = int(min(u, v)) * n + int(max(u, v))
+                    if key not in seen:
+                        seen.add(key)
+                        buffer.append(key)
                         placed += 1
                 attempts += batch
+                if len(buffer) >= _EDGE_CHUNK:
+                    yield np.array(buffer, dtype=np.int64)
+                    buffer.clear()
 
     # Random inter-community (or overflow) edges up to the global target.
     global_probs = activity / activity.sum()
     attempts = 0
     max_attempts = 40 * recipe.n_edges + 1000
-    while len(edges) < recipe.n_edges and attempts < max_attempts:
-        batch = max(recipe.n_edges - len(edges), 64)
+    while len(seen) < recipe.n_edges and attempts < max_attempts:
+        batch = max(recipe.n_edges - len(seen), 64)
         us = rng.choice(n, size=batch, p=global_probs)
         vs = rng.integers(0, n, size=batch)
         for u, v in zip(us, vs):
-            if len(edges) >= recipe.n_edges:
+            if len(seen) >= recipe.n_edges:
                 break
             if u == v:
                 continue
-            e = (int(min(u, v)), int(max(u, v)))
-            if e not in edges:
-                edges.add(e)
+            key = int(min(u, v)) * n + int(max(u, v))
+            if key not in seen:
+                seen.add(key)
+                buffer.append(key)
         attempts += batch
-    return edges
+        if len(buffer) >= _EDGE_CHUNK:
+            yield np.array(buffer, dtype=np.int64)
+            buffer.clear()
+    if buffer:
+        yield np.array(buffer, dtype=np.int64)
+
+
+def _sample_edges(
+    recipe: NetworkRecipe,
+    memberships: Sequence[Tuple[int, ...]],
+    rng: np.random.Generator,
+) -> Set[Tuple[int, int]]:
+    """Eager view of :func:`_edge_key_chunks` as the historical tuple set."""
+    n = recipe.n_people
+    return {
+        (int(k // n), int(k % n))
+        for chunk in _edge_key_chunks(recipe, memberships, rng)
+        for k in chunk.tolist()
+    }
+
+
+def _chosen_skills(
+    recipe: NetworkRecipe,
+    comms: Tuple[int, ...],
+    pools: Sequence[Tuple[str, ...]],
+    rng: np.random.Generator,
+) -> List[str]:
+    """One person's S_i draw from their communities' pools — the shared
+    per-person sampler of the eager and streaming attach paths (one RNG
+    call sequence, so the two are draw-identical)."""
+    merged: List[str] = []
+    for c in comms:
+        merged.extend(pools[c])
+    merged = sorted(set(merged))
+    if not merged:
+        return []
+    weights = _zipf_weights(len(merged), recipe.skill_zipf_exponent)
+    # Skill-count varies around the configured mean.
+    lo = max(1, recipe.skills_per_person - 5)
+    hi = recipe.skills_per_person + 6
+    count = int(rng.integers(lo, hi))
+    count = min(count, len(merged))
+    chosen = rng.choice(len(merged), size=count, replace=False, p=weights)
+    return [merged[idx] for idx in chosen]
 
 
 def _attach_skills(
@@ -312,22 +375,33 @@ def _attach_skills(
 ) -> None:
     """Directly sample each person's S_i from their communities' pools."""
     for person in network.people():
-        comms = memberships[person]
-        merged: List[str] = []
-        for c in comms:
-            merged.extend(pools[c])
-        merged = sorted(set(merged))
-        if not merged:
-            continue
-        weights = _zipf_weights(len(merged), recipe.skill_zipf_exponent)
-        # Skill-count varies around the configured mean.
-        lo = max(1, recipe.skills_per_person - 5)
-        hi = recipe.skills_per_person + 6
-        count = int(rng.integers(lo, hi))
-        count = min(count, len(merged))
-        chosen = rng.choice(len(merged), size=count, replace=False, p=weights)
-        for idx in chosen:
-            network.add_skill(person, merged[idx])
+        for skill in _chosen_skills(recipe, memberships[person], pools, rng):
+            network.add_skill(person, skill)
+
+
+def _skill_id_arrays(
+    recipe: NetworkRecipe,
+    memberships: Sequence[Tuple[int, ...]],
+    pools: Sequence[Tuple[str, ...]],
+    vocabulary: Tuple[str, ...],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Streaming attach: the same per-person draws as :func:`_attach_skills`
+    collected straight into (indptr, ids) CSR arrays over ``vocabulary``."""
+    vid = {s: i for i, s in enumerate(vocabulary)}
+    indptr = np.zeros(recipe.n_people + 1, dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    total = 0
+    for person in range(recipe.n_people):
+        skills = _chosen_skills(recipe, memberships[person], pools, rng)
+        if skills:
+            chunks.append(np.array([vid[s] for s in skills], dtype=np.int32))
+            total += len(skills)
+        indptr[person + 1] = total
+    ids = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
+    )
+    return indptr, ids
 
 
 def synthesize_network(
@@ -356,6 +430,62 @@ def synthesize_network(
     if attach_skills:
         _attach_skills(network, recipe, memberships, pools, rng)
 
+    return SynthesisResult(
+        network=network,
+        person_communities=memberships,
+        community_skill_pools=pools,
+        skill_vocabulary=vocabulary,
+        recipe=recipe,
+    )
+
+
+def synthesize_network_streaming(
+    recipe: NetworkRecipe,
+    attach_skills: bool = True,
+) -> SynthesisResult:
+    """Generate the same network as :func:`synthesize_network` (same seed ⇒
+    bit-identical :meth:`~repro.graph.network.CollaborationNetwork.state_digest`)
+    but build it directly in compact CSR form.
+
+    Edges stream out of the shared sampler as packed-key chunks and land in
+    flat arrays; skills land as (indptr, ids) arrays; no per-person Python
+    set is ever materialized, so peak memory is O(edges + skill
+    assignments) machine words instead of O(n) Python containers — the
+    build path for the 1e5/1e6-node bench tiers.
+    """
+    rng = np.random.default_rng(recipe.seed)
+    names = make_person_names(recipe.n_people, rng)
+    vocabulary = make_skill_vocabulary(recipe.n_skills, rng)
+    memberships = _assign_communities(recipe, rng)
+    pools = _build_skill_pools(recipe, vocabulary, rng)
+
+    n = recipe.n_people
+    # Consume the edge stream fully before skill draws — the eager path's
+    # RNG order (edges first, then skills) must be preserved exactly.
+    key_chunks = list(_edge_key_chunks(recipe, memberships, rng))
+    keys = (
+        np.concatenate(key_chunks) if key_chunks else np.empty(0, dtype=np.int64)
+    )
+    us = (keys // n).astype(np.int32)
+    vs = (keys % n).astype(np.int32)
+    src = np.concatenate([us, vs])
+    dst = np.concatenate([vs, us])
+    adj_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=adj_indptr[1:])
+    order = np.lexsort((dst, src))
+    adj_indices = dst[order]
+
+    if attach_skills:
+        skill_indptr, skill_ids = _skill_id_arrays(
+            recipe, memberships, pools, vocabulary, rng
+        )
+    else:
+        skill_indptr = np.zeros(n + 1, dtype=np.int64)
+        skill_ids = np.empty(0, dtype=np.int32)
+
+    network = CollaborationNetwork.from_csr(
+        names, adj_indptr, adj_indices, skill_indptr, skill_ids, vocabulary
+    )
     return SynthesisResult(
         network=network,
         person_communities=memberships,

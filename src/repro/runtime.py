@@ -25,6 +25,12 @@ injectors) cannot be imported from here without a cycle.  The contract:
   equivalent of ``full_rebuild = True`` on the systems, without mutating
   shared flags under concurrent shards.  This is the reference tier of
   the service's degradation ladder.
+* :func:`localized_scope` — installs a :class:`LocalizedSpec` for the
+  current thread: probe scoring runs the sessions' *localized plans*
+  (exact k-hop splices where the math allows, bounded-error forward-push
+  PageRank where it doesn't — see ``DeltaSession.scores_localized``) and
+  the spec accumulates the per-mode plan counts the service stamps onto
+  the response.
 * :func:`fault_point` — named no-op hooks in the probe layer.  A
   :func:`fault injector <install_fault_injector>` (see
   :mod:`repro.service.faults`) makes them raise, stall, or evict
@@ -174,6 +180,110 @@ def delta_bypass() -> Iterator[None]:
         yield
     finally:
         _state.delta_bypass = previous
+
+
+# ---------------------------------------------------------------------------
+# localized probe plans: per-thread bounded-cone scoring
+# ---------------------------------------------------------------------------
+
+
+class LocalizedSpec:
+    """One request's localized-probe policy plus its plan accounting.
+
+    Installed through :func:`localized_scope`, read by the probe engine and
+    the delta sessions' ``scores_localized`` paths: probes touch only the
+    flips' k-hop cone where the math allows an exact splice, and run the
+    bounded-error forward-push PageRank kernel where it does not.
+
+    * ``epsilon`` — the l1 error allowance for sampled (forward-push)
+      probes; every sampled plan reports a certified ``residual_bound <=
+      epsilon`` and the worst one is surfaced in :meth:`summary`.
+    * ``max_cone_fraction`` — cone-size ceiling as a fraction of the
+      network; a probe whose touched cone exceeds it falls back to the
+      exact global kernel (mode ``"global"``).
+
+    ``record`` is thread-safe: the service's shards may score probes for
+    one request on several threads.
+    """
+
+    __slots__ = (
+        "epsilon",
+        "max_cone_fraction",
+        "exact",
+        "sampled",
+        "global_fallbacks",
+        "max_residual_bound",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        epsilon: float = 1e-6,
+        max_cone_fraction: float = 1 / 3,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        if not (0 < max_cone_fraction <= 1):
+            raise ValueError(
+                f"max_cone_fraction must be in (0, 1], got {max_cone_fraction}"
+            )
+        self.epsilon = float(epsilon)
+        self.max_cone_fraction = float(max_cone_fraction)
+        self.exact = 0
+        self.sampled = 0
+        self.global_fallbacks = 0
+        self.max_residual_bound = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, plan) -> None:
+        """Account one served plan (any object with ``mode`` and
+        ``residual_bound`` attributes — see ``LocalizedPlan``)."""
+        with self._lock:
+            mode = plan.mode
+            if mode == "exact":
+                self.exact += 1
+            elif mode == "sampled":
+                self.sampled += 1
+                bound = plan.residual_bound
+                if bound is not None and bound > self.max_residual_bound:
+                    self.max_residual_bound = bound
+            else:
+                self.global_fallbacks += 1
+
+    def summary(self) -> dict:
+        """The response-facing digest of what this scope served."""
+        with self._lock:
+            return {
+                "epsilon": self.epsilon,
+                "exact": self.exact,
+                "sampled": self.sampled,
+                "global": self.global_fallbacks,
+                "max_residual_bound": self.max_residual_bound,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalizedSpec(epsilon={self.epsilon}, "
+            f"exact={self.exact}, sampled={self.sampled}, "
+            f"global={self.global_fallbacks})"
+        )
+
+
+def active_localized() -> Optional[LocalizedSpec]:
+    """The localized-probe spec installed for the current thread, if any."""
+    return getattr(_state, "localized", None)
+
+
+@contextmanager
+def localized_scope(spec: Optional[LocalizedSpec]) -> Iterator[Optional[LocalizedSpec]]:
+    """Route this thread's probes through the sessions' localized plans
+    (``None`` = global scoring).  Scopes nest; the innermost wins."""
+    previous = getattr(_state, "localized", None)
+    _state.localized = spec
+    try:
+        yield spec
+    finally:
+        _state.localized = previous
 
 
 # ---------------------------------------------------------------------------

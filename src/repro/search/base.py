@@ -193,9 +193,18 @@ def query_match_vector(
     query: Query, network: CollaborationNetwork
 ) -> np.ndarray:
     """Fraction of query terms each person holds — a shared building block
-    for the lexical rankers (and the personalization vector for PageRank)."""
+    for the lexical rankers (and the personalization vector for PageRank).
+
+    Real networks answer through the cached skill-incidence matrix
+    (``match_counts`` — O(nnz of the query's columns) instead of a Python
+    loop over every holder); overlays keep the per-term loop, which sees
+    their flips without materializing.  The ``isinstance`` check matters:
+    probing an overlay for a ``match_counts`` attribute would trigger its
+    ``__getattr__`` materialize fallback and densify the whole base."""
     if not query:
         return np.zeros(network.n_people)
+    if isinstance(network, CollaborationNetwork):
+        return network.match_counts(query) / len(query)
     out = np.zeros(network.n_people)
     for term in query:
         for p in network.people_with_skill(term):

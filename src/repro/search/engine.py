@@ -78,6 +78,7 @@ from __future__ import annotations
 import abc
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -87,7 +88,13 @@ from repro.backend import get_backend
 from repro.graph.network import CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
 from repro.graph.perturbations import Query, as_query
-from repro.runtime import check_budget, delta_bypassed, fault_point
+from repro.runtime import (
+    LocalizedSpec,
+    active_localized,
+    check_budget,
+    delta_bypassed,
+    fault_point,
+)
 
 _MAX_QUERY_CACHE = 512  # per-session distinct base-query states
 _MAX_MEMO = 200_000  # per-engine memoized probe outcomes
@@ -108,6 +115,38 @@ _RESTRICT_MAX_FRACTION = 1 / 3
 # bookkeeping on small graphs; only divert batch members to the splice
 # once the graph is big enough that a full forward clearly dominates.
 _BATCH_RESTRICT_MIN_N = 1024
+# Sweep cap for the localized forward-push PageRank kernel: residual mass
+# decays geometrically by the damping factor per sweep, so reaching
+# epsilon * (1 - damping) from an O(1) seed takes ~log_{1/d}(1/eps)
+# sweeps (~40 at d=0.5, eps=1e-9); the cap only trips degenerate cases,
+# which fall back to the exact global kernel.
+_LOCALIZED_MAX_SWEEPS = 200
+
+
+@dataclass(frozen=True)
+class LocalizedPlan:
+    """How one probe's scores were produced under a localized scope.
+
+    * ``mode`` — ``"exact"`` (certified-exact splice: the untouched rows
+      provably equal the base values), ``"sampled"`` (bounded-error
+      forward-push with a certified ``residual_bound``), or ``"global"``
+      (the cone exceeded the spec's ceiling, or the session has no
+      localized path — the exact global kernel ran).
+    * ``k_hop`` — the cone radius the plan touched (0 = flipped entries
+      only, 2 = the GCN receptive field; -1 when no fixed radius applies:
+      global fallbacks and push cones, whose reach is residual-driven).
+    * ``cone_size`` / ``n_people`` — touched-node count vs the network.
+    * ``epsilon`` / ``residual_bound`` — sampled mode only: the requested
+      l1 allowance and the certified bound actually achieved
+      (``residual_bound <= epsilon``); None for exact/global plans.
+    """
+
+    mode: str
+    k_hop: int
+    cone_size: int
+    n_people: int
+    epsilon: Optional[float] = None
+    residual_bound: Optional[float] = None
 
 
 class _LruCache:
@@ -353,6 +392,22 @@ class DeltaSession(abc.ABC):
         genuinely stacked multi-query kernel override this."""
         return [self.scores(query, overlay) for query in queries]
 
+    def scores_localized(
+        self, query: Query, overlay: NetworkOverlay, spec: LocalizedSpec
+    ) -> Tuple[np.ndarray, LocalizedPlan]:
+        """``(scores, plan)`` for one probe under a localized scope.
+
+        Implementations must keep the *scores* contract intact: an
+        ``"exact"`` plan's vector equals :meth:`scores` to the 1e-9 parity
+        band, a ``"sampled"`` plan's vector is within its certified
+        ``residual_bound`` (l1) of it.  The default has no localized path
+        and answers with the global kernel."""
+        return self.scores(query, overlay), self._global_plan()
+
+    def _global_plan(self) -> LocalizedPlan:
+        n = self.base.n_people
+        return LocalizedPlan(mode="global", k_hop=-1, cone_size=n, n_people=n)
+
     def shared_context(self, overlay: NetworkOverlay) -> "SharedProbeContext":
         """A :class:`SharedProbeContext` pinning ``overlay`` to this
         session — the handle multi-query probe consumers (SHAP value
@@ -385,9 +440,19 @@ class SharedProbeContext:
         return self.session.valid_for(self.session.base)
 
     def scores(self, query: Query) -> np.ndarray:
+        spec = active_localized()
+        if spec is not None:
+            scores, plan = self.session.scores_localized(query, self.overlay, spec)
+            spec.record(plan)
+            return scores
         return self.session.scores(query, self.overlay)
 
     def scores_multi(self, queries: Sequence[Query]) -> List[np.ndarray]:
+        spec = active_localized()
+        if spec is not None:
+            # Localized plans are per-query cones; the stacked multi-query
+            # kernels are global by construction, so serve sequentially.
+            return [self.scores(q) for q in queries]
         return self.session.scores_multi(queries, self.overlay)
 
     def __repr__(self) -> str:
@@ -666,6 +731,44 @@ class GcnDeltaSession(DeltaSession):
         for q in queries:
             results.append(scored[q].copy() if q else np.zeros(n))
         return results
+
+    def scores_localized(
+        self, query: Query, overlay: NetworkOverlay, spec: LocalizedSpec
+    ) -> Tuple[np.ndarray, LocalizedPlan]:
+        """Certified-exact 2-hop splice: a GCN output row reads features
+        within 2 hops and adjacency within 1, so recomputing only the
+        flips' 2-hop receptive field (``_restricted_scores``) is exact —
+        the spec's cone ceiling replaces the engine-side
+        ``_RESTRICT_MAX_FRACTION`` heuristic, and oversize cones fall back
+        to the exact global forward."""
+        n = self.base.n_people
+        if not query:
+            return np.zeros(n), LocalizedPlan(
+                mode="exact", k_hop=0, cone_size=0, n_people=n
+            )
+        if not overlay.skill_flips() and not overlay.edge_flips():
+            return self._base_forward(query)[2].copy(), LocalizedPlan(
+                mode="exact", k_hop=0, cone_size=0, n_people=n
+            )
+        seeds = {p for (p, _) in overlay.skill_flips()}
+        for u, v in overlay.edge_flips():
+            seeds.add(u)
+            seeds.add(v)
+        ball1, ball2 = self._receptive_field(overlay, seeds)
+        if len(ball2) <= max(_BATCH_GROUP, int(n * spec.max_cone_fraction)):
+            self.restricted_probes += 1
+            return (
+                self._restricted_scores(query, overlay, ball1, ball2),
+                LocalizedPlan(
+                    mode="exact", k_hop=2, cone_size=len(ball2), n_people=n
+                ),
+            )
+        self.full_forwards += 1
+        feats, adj_norm = self.probe_inputs(query, overlay)
+        scores = self.backend.gcn_forward(
+            self.ranker._scorer, feats, adj_norm
+        ).copy()
+        return scores, self._global_plan()
 
     def _try_restricted(
         self, query: Query, overlay: NetworkOverlay
@@ -985,6 +1088,53 @@ class PageRankDeltaSession(DeltaSession):
             self._op_cache.put(key, hit)
         return hit
 
+    def _patched_row(
+        self, u: int, flips: Dict[Tuple[int, int], bool]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cols, vals)`` of ``u``'s adjacency row with its edge flips
+        applied — the O(row) substitute for a full patched CSR (flips
+        touch a handful of rows; every other row reads the shared base).
+        A removed edge stays as an explicit zero, matching the merged
+        operator the global kernels build."""
+        s, e = self._adj.indptr[u], self._adj.indptr[u + 1]
+        cols = self._adj.indices[s:e]
+        vals = self._adj.data[s:e].copy()
+        add_cols: List[int] = []
+        add_vals: List[float] = []
+        for (a, b), added in flips.items():
+            if u == a:
+                other = b
+            elif u == b:
+                other = a
+            else:
+                continue
+            w = 1.0 if added else -1.0
+            j = int(np.searchsorted(cols, other))
+            if j < cols.size and int(cols[j]) == other:
+                vals[j] += w
+            else:
+                add_cols.append(other)
+                add_vals.append(w)
+        if add_cols:
+            cols = np.concatenate(
+                [cols, np.asarray(add_cols, dtype=cols.dtype)]
+            )
+            vals = np.concatenate([vals, np.asarray(add_vals)])
+            order = np.argsort(cols, kind="stable")
+            cols, vals = cols[order], vals[order]
+        return cols, vals
+
+    def _base_dangling(self) -> np.ndarray:
+        """Indices of base dangling nodes, cached per operator identity
+        (a rebase swaps ``_out_degree`` wholesale, invalidating by
+        object)."""
+        cached = getattr(self, "_dangling_cache", None)
+        if cached is None or cached[0] is not self._out_degree:
+            idx = np.flatnonzero(self._out_degree == 0)
+            self._dangling_cache = (self._out_degree, idx)
+            return idx
+        return cached[1]
+
     @staticmethod
     def _restart_from_counts(
         counts: np.ndarray, n_terms: int
@@ -1002,10 +1152,9 @@ class PageRankDeltaSession(DeltaSession):
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
         if hit is None:
-            counts = np.zeros(self.base.n_people)
-            for term in query:
-                for p in self.base.people_with_skill(term):
-                    counts[p] += 1.0
+            # Through the cached skill-incidence CSC: O(nnz of the query's
+            # columns), bit-identical to the per-holder loop (+1.0 adds).
+            counts = self.base.match_counts(query)
             restart = self._restart_from_counts(counts, len(query))
             if restart is None:
                 hit = (counts, None, True)
@@ -1115,6 +1264,126 @@ class PageRankDeltaSession(DeltaSession):
         if result is not None:
             return result
         return self._solve_pending([(0, pending)], ekey)[0][1]
+
+    def scores_localized(
+        self, query: Query, overlay: NetworkOverlay, spec: LocalizedSpec
+    ) -> Tuple[np.ndarray, LocalizedPlan]:
+        """Bounded-error forward push instead of a full power iteration.
+
+        The probe solution decomposes as ``p' = p0 + delta`` where the
+        correction solves ``delta = s + damping * M' @ delta`` with the
+        O(Δ)-sparse seed ``s = (1-d)(r' - r0) + d[(A'ᵀD'⁻¹ - A0ᵀD0⁻¹)p0
+        + dang'(p0)·r' - dang0(p0)·r0]`` — the derivation uses only
+        ``p0 = (1-d)r0 + d·M0·p0``, i.e. that the cached base solution is
+        a fixed point, so a capped (non-converged) base solve falls back
+        to the global kernel.  The backend's ``ppr_delta_push`` runs
+        residual sweeps over the seed's cone and certifies
+        ``||delta_exact - delta||_1 <= residual_l1 / (1-d) <= epsilon``;
+        the reported ``residual_bound`` adds 1e-9 slack for the base
+        iterate's own convergence-tolerance defect."""
+        n = self.base.n_people
+        exact0 = LocalizedPlan(mode="exact", k_hop=0, cone_size=0, n_people=n)
+        if n == 0:
+            return np.zeros(0), exact0
+        ekey = _edge_key(overlay.edge_flips())
+        base_counts, base_solution, base_converged = self._base_state(query)
+        counts, relevant = self._probe_counts(query, overlay, base_counts)
+        restart = self._restart_from_counts(counts, len(query))
+        if restart is None:
+            return np.zeros(n), exact0
+        if not ekey and not relevant and base_solution is not None:
+            return base_solution.copy(), exact0
+        if base_solution is not None and not base_converged:
+            return self.scores(query, overlay), self._global_plan()
+        d = self.ranker.damping
+        r0 = self._restart_from_counts(base_counts, len(query))
+        p0 = base_solution if base_solution is not None else np.zeros(n)
+        if ekey:
+            # O(Δ) operator view: patched degrees plus per-row overrides
+            # for the flipped endpoints — never the full patched CSR the
+            # global kernels build (its csr+csr merge is O(nnz), dwarfing
+            # a small-cone push).
+            flips = dict(ekey)
+            deg_p = self._out_degree.copy()
+            for (u, v), added in flips.items():
+                w = 1.0 if added else -1.0
+                deg_p[u] += w
+                deg_p[v] += w
+            touched = sorted({u for edge in flips for u in edge})
+            overrides = {u: self._patched_row(u, flips) for u in touched}
+        else:
+            deg_p = self._out_degree
+            touched = []
+            overrides = None
+        if relevant or r0 is None:
+            seed = (1.0 - d) * (restart if r0 is None else restart - r0)
+        else:
+            # Edge-only probes leave the restart counts untouched, so the
+            # (1-d)(r' - r0) term is exactly zero.
+            seed = np.zeros(n)
+        # Only flipped-edge endpoints' rows (and degrees) differ, so
+        # (M' - M0) @ p0 is supported on their neighborhoods alone.
+        for u in touched:
+            pu = float(p0[u])
+            if pu == 0.0:
+                continue
+            cols_u, vals_u = overrides[u]
+            if deg_p[u] > 0 and cols_u.size:
+                seed[cols_u] += (d * pu / deg_p[u]) * vals_u
+            s1, e1 = self._adj.indptr[u], self._adj.indptr[u + 1]
+            if self._out_degree[u] > 0:
+                seed[self._adj.indices[s1:e1]] -= (
+                    d * pu / self._out_degree[u]
+                ) * self._adj.data[s1:e1]
+        dang_idx = self._base_dangling()
+        dang0 = float(p0[dang_idx].sum()) if dang_idx.size else 0.0
+        dang_p = dang0
+        for u in touched:
+            was = self._out_degree[u] == 0
+            now = deg_p[u] == 0
+            if was and not now:
+                dang_p -= float(p0[u])
+            elif now and not was:
+                dang_p += float(p0[u])
+        if dang_p != 0.0:
+            seed += (d * dang_p) * restart
+        if dang0 != 0.0 and r0 is not None:
+            seed -= (d * dang0) * r0
+        support = np.flatnonzero(seed)
+        if support.size == 0:
+            # The probe provably equals the base fixed point (e.g. a
+            # relevant add and remove that cancel in the restart).
+            return p0.copy(), exact0
+        # No precheck on support size: the seed may be wide but thin (a
+        # flipped hub's whole row at ~p0[u]/deg per entry) and the kernel
+        # caps the *solve set* — the nodes it actually admits — not the
+        # boundary residual it leaves in place.
+        max_nodes = max(_BATCH_GROUP, int(n * spec.max_cone_fraction))
+        r_idx = np.flatnonzero(restart)
+        pushed = self.backend.ppr_delta_push(
+            support,
+            seed[support],
+            self._adj,
+            deg_p,
+            r_idx,
+            restart[r_idx],
+            damping=d,
+            epsilon=spec.epsilon,
+            max_sweeps=_LOCALIZED_MAX_SWEEPS,
+            max_nodes=max_nodes,
+            row_overrides=overrides,
+        )
+        if pushed is None:
+            return self.scores(query, overlay), self._global_plan()
+        delta, res_l1, cone = pushed
+        return p0 + delta, LocalizedPlan(
+            mode="sampled",
+            k_hop=-1,
+            cone_size=cone,
+            n_people=n,
+            epsilon=spec.epsilon,
+            residual_bound=res_l1 / (1.0 - d) + 1e-9,
+        )
 
     def scores_batch(
         self, query: Query, overlays: Iterable[NetworkOverlay]
@@ -1251,10 +1520,8 @@ class HitsDeltaSession(DeltaSession):
     def _base_state(self, query: Query):
         hit = self._query_cache.get(query)
         if hit is None:
-            match_counts = np.zeros(self.base.n_people)
-            for term in query:
-                for p in self.base.people_with_skill(term):
-                    match_counts[p] += 1.0
+            # Cached skill-incidence CSC — see PageRankDeltaSession.
+            match_counts = self.base.match_counts(query)
             ind = (match_counts > 0).astype(np.float64)
             support = ind + self.backend.spmv(self._adj, ind)
             hit = (ind, support, match_counts)
@@ -1354,6 +1621,33 @@ class HitsDeltaSession(DeltaSession):
         match = match_counts[members] / float(len(query))
         out[members] = authority + self.ranker.match_bonus * match
         return out
+
+    def scores_localized(
+        self, query: Query, overlay: NetworkOverlay, spec: LocalizedSpec
+    ) -> Tuple[np.ndarray, LocalizedPlan]:
+        """HITS is localized *by construction*: root/support updates are
+        O(Δ·deg) patches on cached per-query state, and the authority
+        iteration only ever touches the base set (root ∪ its 1-hop
+        neighborhood) — so the plan is the exact :meth:`scores` path with
+        the base-set size surfaced as the cone."""
+        n = self.base.n_people
+        out = np.zeros(n)
+        if n == 0 or not query:
+            return out, LocalizedPlan(
+                mode="exact", k_hop=0, cone_size=0, n_people=n
+            )
+        _, support, _ = self._base_state(query)
+        ind, match_counts, delta_ind = self._probe_state(query, overlay)
+        edge_flips = overlay.edge_flips()
+        support = self._patched_support(support, ind, delta_ind, edge_flips)
+        members = np.flatnonzero(support > 0.5)
+        if members.size:
+            authority = self._authority_for(edge_flips, members)
+            match = match_counts[members] / float(len(query))
+            out[members] = authority + self.ranker.match_bonus * match
+        return out, LocalizedPlan(
+            mode="exact", k_hop=1, cone_size=int(members.size), n_people=n
+        )
 
     def scores_batch(
         self, query: Query, overlays: Iterable[NetworkOverlay]
@@ -1559,6 +1853,18 @@ class TfidfDeltaSession(DeltaSession):
             out[p] = self.backend.row_dot(vals, q_vec[cols]) if cols.size else 0.0
         return out
 
+    def scores_localized(
+        self, query: Query, overlay: NetworkOverlay, spec: LocalizedSpec
+    ) -> Tuple[np.ndarray, LocalizedPlan]:
+        """TF-IDF rows are per-person, so :meth:`scores` is already the
+        certified-exact localized plan — the cone is exactly the flipped
+        people (edge flips carry no document signal at all)."""
+        n = self.base.n_people
+        touched = {p for (p, _) in overlay.skill_flips()}
+        return self.scores(query, overlay), LocalizedPlan(
+            mode="exact", k_hop=0, cone_size=len(touched), n_people=n
+        )
+
     def _gather_rows(
         self, entries: List[Tuple[int, int, FrozenSet[str]]]
     ) -> Optional[sp.csr_matrix]:
@@ -1663,7 +1969,9 @@ def _rekey_memo_entries(memo: _LruCache, delta, survives) -> Tuple[int, int]:
     through several engines' rebases is effectively processed once."""
     retained = dropped = 0
     for key in memo.keys():
-        query, flips, version = key
+        # Keys are (query, flips, version) — localized entries append a
+        # ("localized", epsilon) suffix that survives re-keying verbatim.
+        query, flips, version = key[0], key[1], key[2]
         if version == delta.new_version:
             continue
         value = memo.get(key)
@@ -1671,7 +1979,7 @@ def _rekey_memo_entries(memo: _LruCache, delta, survives) -> Tuple[int, int]:
         if value is None:
             continue  # evicted concurrently
         if version == delta.old_version and survives(delta, query):
-            memo.put((query, flips, delta.new_version), value)
+            memo.put((query, flips, delta.new_version) + tuple(key[3:]), value)
             retained += 1
         else:
             dropped += 1
@@ -1813,6 +2121,38 @@ class ProbeEngine:
         overlay = self._overlay_for(network)
         if overlay is None:
             return None
+        spec = active_localized()
+        if spec is not None:
+            # Localized vectors live under their own memo keys (suffixed
+            # with the scope's epsilon): a sampled vector is only valid
+            # within its certified bound, so it must never serve an
+            # exact-mode probe — and vice versa, exact vectors computed
+            # outside the scope are not re-stamped with plan accounting.
+            skey = (
+                query,
+                overlay.flips(),
+                self.base_version,
+                "localized",
+                spec.epsilon,
+            )
+            cached = self._score_memo.get(skey)
+            if cached is not None:
+                scores, plan = cached
+                spec.record(plan)
+                return scores, True
+            session = self._batch_session()
+            if session is None:
+                return None
+            check_budget(1)
+            fault_point(
+                "session.scores",
+                key=_fault_key(query, overlay.flips()),
+                engine=self,
+            )
+            scores, plan = session.scores_localized(query, overlay, spec)
+            spec.record(plan)
+            self._score_memo.put(skey, (scores, plan))
+            return scores, False
         skey = (query, overlay.flips(), self.base_version)
         cached = self._score_memo.get(skey)
         if cached is not None:
@@ -1854,6 +2194,15 @@ class ProbeEngine:
             resolved.append(
                 (person, query, self.base if network is None else network)
             )
+        if active_localized() is not None:
+            # Localized plans are per-(query, overlay) cones; the stacked
+            # flush kernels (and the cross-request flush bus) are global
+            # by construction, so the scope serves states sequentially —
+            # each through the localized memo keys and plan accounting.
+            return [
+                self.probe(person, query, network)
+                for person, query, network in resolved
+            ]
         results: List[Optional[Tuple[bool, float]]] = [None] * len(resolved)
         session = None if self.full_rebuild else self._batch_session()
         # flips -> [(index, person, query, overlay, memo key)]
@@ -2119,6 +2468,12 @@ class ProbeEngine:
             flips = network.flips()
         else:
             return None  # foreign network: probe uncached
+        spec = active_localized()
+        if spec is not None:
+            # Sampled decisions may differ from exact ones near ranking
+            # ties; a localized scope's decisions never share memo slots
+            # with exact-mode probes (see the score-memo key suffix too).
+            return (person, query, flips, "localized", spec.epsilon)
         return (person, query, flips)
 
     def _sync_base(self) -> None:

@@ -78,6 +78,14 @@ class ExplainRequest:
     probe_limit: Optional[int] = None
     # Caller identity for admission control's per-session fair share.
     session: str = ""
+    # Localized probe plans: probes touch only the flips' k-hop cone —
+    # certified-exact splices where the ranker's math allows, the
+    # bounded-error forward-push PageRank kernel (l1 error <= epsilon)
+    # where it doesn't, exact global fallback when the cone exceeds the
+    # size ceiling.  ``epsilon`` tunes the sampled mode (None = the
+    # runtime default); it requires ``localized=True``.
+    localized: bool = False
+    epsilon: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in EXPLANATION_KINDS:
@@ -101,6 +109,11 @@ class ExplainRequest:
             )
         if self.probe_limit is not None and self.probe_limit < 1:
             raise ValueError(f"probe_limit must be >= 1, got {self.probe_limit}")
+        if self.epsilon is not None:
+            if not self.localized:
+                raise ValueError("epsilon only applies to localized requests")
+            if self.epsilon <= 0:
+                raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
 
     @property
     def is_factual(self) -> bool:
@@ -160,6 +173,12 @@ class ExplainResponse:
     request (None when the service predates live commits or the response
     was built outside a service).  The service's commit gate guarantees a
     response is computed against exactly one version — never a mix.
+
+    ``localized`` carries the localized-scope summary for requests that
+    asked for it: ``{"epsilon", "exact", "sampled", "global",
+    "max_residual_bound"}`` — per-mode plan counts plus the worst
+    certified l1 bound any sampled probe reported (0.0 when every probe
+    ran exact).  None for global-mode requests.
     """
 
     request: ExplainRequest
@@ -171,6 +190,7 @@ class ExplainResponse:
     degraded_reason: Optional[str] = None
     fallback: Optional[str] = None
     base_version: Optional[int] = None
+    localized: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -223,6 +243,8 @@ def make_requests(
     timeout_seconds: Optional[float] = None,
     probe_limit: Optional[int] = None,
     session: str = "",
+    localized: bool = False,
+    epsilon: Optional[float] = None,
 ) -> Tuple[ExplainRequest, ...]:
     """One request per kind for a single subject — the common workload
     building block."""
@@ -232,7 +254,7 @@ def make_requests(
             kind=kind, person=person, query=query,
             team=team, seed_member=seed_member, tag=tag,
             timeout_seconds=timeout_seconds, probe_limit=probe_limit,
-            session=session,
+            session=session, localized=localized, epsilon=epsilon,
         )
         for kind in kinds
     )

@@ -75,7 +75,14 @@ from repro.explain.factual import FactualConfig, FactualExplainer
 from repro.explain.targets import DecisionTarget, MembershipTarget, RelevanceTarget
 from repro.graph.network import BaseDelta, CollaborationNetwork
 from repro.graph.overlay import NetworkOverlay
-from repro.runtime import Budget, BudgetExceeded, budget_scope, delta_bypass
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    LocalizedSpec,
+    budget_scope,
+    delta_bypass,
+    localized_scope,
+)
 from repro.search.base import ExpertSearchSystem
 from repro.search.engine import ProbeEngine
 from repro.service.registry import EngineRegistry, default_registry
@@ -335,13 +342,16 @@ class ExplanationService:
         """
         start = time.perf_counter()
         budget = self._budget_for(request)
+        spec = self._localized_spec(request)
         bkey = self._breaker_key(request)
 
         if not self.breaker.allows_delta(bkey):
             self.stats.bump("breaker_reroute")
-            return self._run_reference(request, start, budget, raise_on_failure)
+            return self._run_reference(
+                request, start, budget, raise_on_failure, spec
+            )
         try:
-            with budget_scope(budget):
+            with budget_scope(budget), localized_scope(spec):
                 explanation = self._dispatch(request)
         except BudgetExceeded as exc:
             self.breaker.trial_inconclusive(bkey)
@@ -376,9 +386,23 @@ class ExplanationService:
                     outcome="failed",
                 )
             self.stats.bump("full_rebuild_retry")
-            return self._run_reference(request, start, budget, raise_on_failure)
+            return self._run_reference(
+                request, start, budget, raise_on_failure, spec
+            )
         self.breaker.record_success(bkey)
-        return self._completed_response(request, start, budget, explanation, None)
+        return self._completed_response(
+            request, start, budget, explanation, None, spec
+        )
+
+    def _localized_spec(self, request: ExplainRequest) -> Optional[LocalizedSpec]:
+        """The per-request localized scope, when the request asked for
+        one.  A fresh spec per request: its plan counters are the
+        response-facing accounting."""
+        if not request.localized:
+            return None
+        if request.epsilon is not None:
+            return LocalizedSpec(epsilon=request.epsilon)
+        return LocalizedSpec()
 
     def _run_reference(
         self,
@@ -386,6 +410,7 @@ class ExplanationService:
         start: float,
         budget: Optional[Budget],
         raise_on_failure: bool,
+        spec: Optional[LocalizedSpec] = None,
     ) -> ExplainResponse:
         """The reference tier: dispatch with every probe routed through
         the plain ranker/former paths, overlays kept visible — the parity
@@ -412,7 +437,7 @@ class ExplanationService:
                 outcome="failed",
             )
         return self._completed_response(
-            request, start, budget, explanation, "full_rebuild"
+            request, start, budget, explanation, "full_rebuild", spec
         )
 
     def _completed_response(
@@ -422,6 +447,7 @@ class ExplanationService:
         budget: Optional[Budget],
         explanation: Explanation,
         fallback: Optional[str],
+        spec: Optional[LocalizedSpec] = None,
     ) -> ExplainResponse:
         """Type a dispatch that returned an explanation: ``ok``, or
         ``degraded`` when the budget tripped mid-search and the explainer
@@ -441,6 +467,10 @@ class ExplanationService:
             outcome=outcome,
             degraded_reason=reason,
             fallback=fallback,
+            # The scope's plan accounting: all-zero counts under the
+            # reference tier (no delta sessions → no localized plans),
+            # which is exactly what the fallback served.
+            localized=spec.summary() if spec is not None else None,
         )
 
     def _timed_out_response(

@@ -158,6 +158,129 @@ class TestBackendConformance:
             np.testing.assert_array_equal(lone, sol_f[:, j])
 
     @pytest.mark.parametrize("seed", range(3))
+    def test_ppr_delta_push(self, seed):
+        """Fused and reference push kernels agree on delta, residual, and
+        solve-set size — and the certified l1 bound actually holds
+        against the dense exact solve of the correction system."""
+        rng = np.random.default_rng(6000 + seed)
+        fused, naive = NumpyBackend(), ReferenceBackend()
+        n = 30
+        adj = _random_csr(rng, n, n, density=0.2)
+        out_degree = np.asarray(adj.sum(axis=1)).ravel()
+        seed_idx = np.sort(
+            rng.choice(n, size=5, replace=False).astype(np.int64)
+        )
+        seed_vals = rng.standard_normal(5) * 1e-3
+        restart = np.abs(rng.standard_normal(n)) + 1e-3
+        restart /= restart.sum()
+        r_idx = np.arange(n, dtype=np.int64)
+        damping, epsilon = 0.5, 1e-8
+        kwargs = dict(
+            damping=damping, epsilon=epsilon, max_sweeps=500, max_nodes=n
+        )
+        out_f = fused.ppr_delta_push(
+            seed_idx, seed_vals, adj, out_degree, r_idx, restart, **kwargs
+        )
+        out_n = naive.ppr_delta_push(
+            seed_idx, seed_vals, adj, out_degree, r_idx, restart, **kwargs
+        )
+        assert out_f is not None and out_n is not None
+        delta_f, l1_f, cone_f = out_f
+        delta_n, l1_n, cone_n = out_n
+        assert cone_f == cone_n
+        assert l1_f == pytest.approx(l1_n, abs=ATOL)
+        np.testing.assert_allclose(delta_f, delta_n, rtol=0, atol=ATOL)
+        # Certificate vs the dense exact solve: delta = s + d * M @ delta
+        # with M x = adj.T @ (x / deg) + dangling_mass(x) * restart.
+        inv_deg = np.divide(
+            1.0,
+            out_degree,
+            out=np.zeros_like(out_degree),
+            where=out_degree > 0,
+        )
+        m = adj.toarray().T * inv_deg[None, :]
+        m[:, out_degree == 0] += restart[:, None]
+        s = np.zeros(n)
+        s[seed_idx] = seed_vals
+        exact = np.linalg.solve(np.eye(n) - damping * m, s)
+        assert np.abs(exact - delta_f).sum() <= l1_f / (1 - damping) + ATOL
+        assert l1_f / (1 - damping) <= epsilon
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ppr_delta_push_row_overrides(self, seed):
+        """Per-row overrides answer exactly like a fully materialized
+        patched CSR, on both backends — the O(Δ) operator view the
+        localized PageRank path relies on."""
+        rng = np.random.default_rng(7000 + seed)
+        n = 30
+        base = _random_csr(rng, n, n, density=0.2)
+        patched = base.copy().tolil()
+        touched = sorted(
+            int(i) for i in rng.choice(n, size=3, replace=False)
+        )
+        for u in touched:
+            v = int(rng.integers(0, n))
+            patched[u, v] = patched[u, v] + 1.0
+        patched = patched.tocsr()
+        overrides = {
+            u: (
+                patched.indices[
+                    patched.indptr[u] : patched.indptr[u + 1]
+                ].astype(np.int64),
+                patched.data[patched.indptr[u] : patched.indptr[u + 1]],
+            )
+            for u in touched
+        }
+        out_degree = np.asarray(patched.sum(axis=1)).ravel()
+        seed_idx = np.sort(
+            rng.choice(n, size=4, replace=False).astype(np.int64)
+        )
+        seed_vals = rng.standard_normal(4) * 1e-3
+        restart = np.abs(rng.standard_normal(n)) + 1e-3
+        restart /= restart.sum()
+        r_idx = np.arange(n, dtype=np.int64)
+        kwargs = dict(
+            damping=0.5, epsilon=1e-8, max_sweeps=500, max_nodes=n
+        )
+        for backend in (NumpyBackend(), ReferenceBackend()):
+            full = backend.ppr_delta_push(
+                seed_idx, seed_vals, patched, out_degree, r_idx, restart,
+                **kwargs,
+            )
+            view = backend.ppr_delta_push(
+                seed_idx, seed_vals, base, out_degree, r_idx, restart,
+                row_overrides=overrides, **kwargs,
+            )
+            assert full is not None and view is not None
+            np.testing.assert_allclose(
+                view[0], full[0], rtol=0, atol=ATOL
+            )
+            assert view[2] == full[2]
+
+    def test_ppr_delta_push_solve_set_cap(self):
+        """A seed whose decay needs more nodes than ``max_nodes`` makes
+        both backends report None — the caller's global-fallback signal."""
+        rng = np.random.default_rng(8000)
+        n = 40
+        adj = _random_csr(rng, n, n, density=0.3)
+        out_degree = np.asarray(adj.sum(axis=1)).ravel()
+        seed_idx = np.arange(8, dtype=np.int64)
+        seed_vals = np.full(8, 0.1)
+        restart = np.full(n, 1.0 / n)
+        r_idx = np.arange(n, dtype=np.int64)
+        kwargs = dict(
+            damping=0.5, epsilon=1e-10, max_sweeps=500, max_nodes=2
+        )
+        for backend in (NumpyBackend(), ReferenceBackend()):
+            assert (
+                backend.ppr_delta_push(
+                    seed_idx, seed_vals, adj, out_degree, r_idx, restart,
+                    **kwargs,
+                )
+                is None
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
     def test_authority_iteration(self, seed):
         rng = np.random.default_rng(4000 + seed)
         fused, naive = NumpyBackend(), ReferenceBackend()

@@ -1,5 +1,7 @@
 """SHAP estimator tests: axioms, analytic recovery, sparsity, budgets."""
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -116,6 +118,30 @@ class TestKernelShap:
         )
         # +2 for the mandatory empty/full coalitions.
         assert result.n_evaluations <= 122
+
+    def test_huge_feature_count_stays_cheap(self):
+        """Shell enumeration must bail at the first oversized shell: a
+        hub's neighborhood can put 1e4+ features in front of a 32-sample
+        budget, and grinding C(m, s) for every size pair hangs for
+        minutes at that scale."""
+        m = 20_000
+        calls = {"n": 0}
+
+        def fn(mask):
+            calls["n"] += 1
+            return float(mask.sum())
+
+        start = time.perf_counter()
+        result = kernel_shap(
+            fn, m, n_samples=16, max_samples=32, l1_regularization=None
+        )
+        assert time.perf_counter() - start < 10.0
+        assert result.n_evaluations <= 34  # budget + empty/full
+        assert calls["n"] <= 34
+        # Efficiency still holds on the sampled regression.
+        assert result.values.sum() == pytest.approx(
+            result.full_value - result.base_value, abs=1e-6
+        )
 
     def test_deterministic_given_seed(self):
         rng = np.random.default_rng(5)

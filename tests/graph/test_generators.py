@@ -100,3 +100,52 @@ class TestHelpers:
         recipe = NetworkRecipe(n_people=30, n_edges=60, n_skills=20, seed=4)
         result = synthesize_network(recipe, attach_skills=False)
         assert result.network.skill_universe() == frozenset()
+
+
+class TestStreamingParity:
+    """The streaming CSR builder is a drop-in for the eager path: same
+    seed, bit-identical network, no per-person Python sets ever built."""
+
+    @pytest.mark.parametrize("seed", (0, 7))
+    def test_streaming_equals_eager(self, seed):
+        from repro.graph.generators import synthesize_network_streaming
+
+        recipe = NetworkRecipe(
+            n_people=140, n_edges=420, n_skills=60, seed=seed
+        )
+        eager = synthesize_network(recipe)
+        streamed = synthesize_network_streaming(recipe)
+        assert streamed.network.is_compact
+        assert not eager.network.is_compact
+        assert (
+            streamed.network.state_digest() == eager.network.state_digest()
+        )
+        assert streamed.skill_vocabulary == eager.skill_vocabulary
+        assert streamed.person_communities == eager.person_communities
+        assert streamed.community_skill_pools == eager.community_skill_pools
+
+    def test_streaming_without_skills(self):
+        from repro.graph.generators import synthesize_network_streaming
+
+        recipe = NetworkRecipe(n_people=60, n_edges=150, n_skills=20, seed=5)
+        eager = synthesize_network(recipe, attach_skills=False)
+        streamed = synthesize_network_streaming(recipe, attach_skills=False)
+        assert streamed.network.is_compact
+        assert streamed.network.total_skill_assignments() == 0
+        assert (
+            streamed.network.state_digest() == eager.network.state_digest()
+        )
+
+    def test_streamed_network_is_probe_ready(self):
+        """A compact streamed network answers the query-side reads the
+        rankers use without thawing back into set mode."""
+        from repro.graph.generators import synthesize_network_streaming
+
+        recipe = NetworkRecipe(n_people=80, n_edges=200, n_skills=30, seed=2)
+        net = synthesize_network_streaming(recipe).network
+        skills = sorted(net.skill_universe())[:3]
+        counts = net.match_counts(skills)
+        assert counts.shape == (80,)
+        some = next(iter(net.people()))
+        net.neighborhood(some, 2)
+        assert net.is_compact  # none of the reads above thawed it

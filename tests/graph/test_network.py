@@ -212,3 +212,74 @@ class TestCopyAndValidate:
 
     def test_repr_mentions_counts(self, simple):
         assert "n_people=4" in repr(simple)
+
+
+class TestCompactMode:
+    """CSR-compact networks answer every read identically to set mode."""
+
+    def test_compact_preserves_reads(self, simple):
+        reference = simple.copy()
+        compact = simple.compact()
+        assert compact is simple and compact.is_compact
+        assert compact.state_digest() == reference.state_digest()
+        assert compact.n_people == reference.n_people
+        assert compact.n_edges == reference.n_edges
+        for p in reference.people():
+            assert compact.skills(p) == reference.skills(p)
+            assert compact.neighbors(p) == reference.neighbors(p)
+            assert compact.degree(p) == reference.degree(p)
+            assert compact.neighborhood(p, 2) == reference.neighborhood(p, 2)
+            assert compact.neighborhood_skills(
+                p, 1
+            ) == reference.neighborhood_skills(p, 1)
+        assert sorted(compact.edges()) == sorted(reference.edges())
+        assert compact.skill_universe() == reference.skill_universe()
+        assert compact.has_edge(0, 1) and not compact.has_edge(0, 2)
+        assert compact.has_skill(0, "x") and not compact.has_skill(1, "x")
+        assert compact.people_with_skill("y") == {0, 1}
+        np.testing.assert_array_equal(
+            compact.match_counts(["x", "y"]),
+            reference.match_counts(["x", "y"]),
+        )
+
+    def test_compact_thaws_on_mutation(self, simple):
+        simple.compact()
+        version = simple.version
+        assert simple.add_edge(0, 3)
+        assert not simple.is_compact
+        assert simple.version > version
+        assert simple.has_edge(0, 3)
+        assert simple.n_edges == 3
+
+    def test_from_csr_round_trip(self, simple):
+        reference = simple.copy()
+        compact = simple.compact()
+        rebuilt = CollaborationNetwork.from_csr(
+            [compact.name(p) for p in compact.people()],
+            compact._adj_indptr,
+            compact._adj_indices,
+            compact._skill_indptr,
+            compact._skill_ids,
+            compact._skill_vocab,
+        )
+        assert rebuilt.is_compact
+        assert rebuilt.state_digest() == reference.state_digest()
+
+    def test_from_csr_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            CollaborationNetwork.from_csr(
+                ["a", "b"],
+                np.array([0, 1]),  # wrong indptr length
+                np.array([1], dtype=np.int32),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(0, dtype=np.int32),
+                (),
+            )
+
+    def test_derived_matrices_match(self, simple):
+        reference = simple.copy()
+        compact = simple.compact()
+        np.testing.assert_array_equal(
+            compact.adjacency_csr().toarray(),
+            reference.adjacency_csr().toarray(),
+        )

@@ -233,6 +233,112 @@ class TestGcnScoreFuzz:
 
 
 # ----------------------------------------------------------------------
+# localized plans: mode-aware parity against full rebuild
+# ----------------------------------------------------------------------
+class TestLocalizedScoreFuzz:
+    """``scores_localized`` against full rebuild on random chains, with
+    the mode-aware contract: exact and global plans match to 1e-9, a
+    sampled plan's l1 error stays inside its *certified* residual bound,
+    and that bound never exceeds the scope's epsilon (plus the base
+    iterate's 1e-9 tolerance slack)."""
+
+    N_PROBES = 4
+
+    @classmethod
+    def _run_chain(cls, ranker_name, chain_length, seed, epsilon):
+        from repro.runtime import LocalizedSpec
+
+        rng = np.random.default_rng(30_000 * chain_length + seed)
+        net = toy_network(n_people=int(rng.integers(10, 25)), seed=seed)
+        ranker = RANKERS[ranker_name]()
+        session = ranker.delta_session(net)
+        spec = LocalizedSpec(epsilon=epsilon)
+        for _ in range(cls.N_PROBES):
+            query = _random_query(net, rng)
+            overlay = _random_chain(net, rng, chain_length)
+            scores, plan = session.scores_localized(query, overlay, spec)
+            spec.record(plan)
+            assert overlay._mat is None, "localized path materialized"
+            slow = _reference_scores(ranker, query, overlay)
+            err = float(np.abs(scores - slow).sum())
+            if plan.mode == "sampled":
+                assert plan.residual_bound is not None
+                assert err <= plan.residual_bound, (
+                    f"sampled l1 error {err:.2e} above certified bound "
+                    f"{plan.residual_bound:.2e}"
+                )
+                assert plan.residual_bound <= epsilon + 1e-9
+                assert 0 <= plan.cone_size <= net.n_people
+            else:
+                assert err <= ATOL, (
+                    f"{plan.mode} plan drifted from full rebuild ({err:.2e})"
+                )
+        summary = spec.summary()
+        assert (
+            summary["exact"] + summary["sampled"] + summary["global"]
+            == cls.N_PROBES
+        )
+        assert summary["epsilon"] == epsilon
+
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_quick(self, ranker_name, chain_length, seed):
+        self._run_chain(ranker_name, chain_length, seed, epsilon=1e-6)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("epsilon", (1e-5, 1e-6, 1e-8))
+    @pytest.mark.parametrize("ranker_name", sorted(RANKERS))
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_full(self, ranker_name, chain_length, seed, epsilon):
+        self._run_chain(ranker_name, chain_length, seed, epsilon=epsilon)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_gcn_localized(self, small_gcn_ranker, small_dataset, seed):
+        """The GCN's 2-hop receptive-field splice reports certified-exact
+        plans and matches full rebuild."""
+        from repro.runtime import LocalizedSpec
+
+        net = small_dataset.network
+        rng = np.random.default_rng(888 + seed)
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, 3)
+        session = small_gcn_ranker.delta_session(net)
+        spec = LocalizedSpec(epsilon=1e-6)
+        scores, plan = session.scores_localized(query, overlay, spec)
+        assert plan.mode in ("exact", "global")
+        slow = _reference_scores(small_gcn_ranker, query, overlay)
+        np.testing.assert_allclose(scores, slow, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("seed", QUICK_SEEDS)
+    def test_engine_scope_memo_separation(self, seed):
+        """Probes under a ``localized_scope`` must never serve (or be
+        served by) the plain memo: a sampled vector is only valid within
+        its bound, and plain vectors carry no plan accounting."""
+        from repro.runtime import LocalizedSpec, localized_scope
+
+        rng = np.random.default_rng(4_400 + seed)
+        net = toy_network(n_people=18, seed=seed)
+        target = RelevanceTarget(PageRankExpertRanker(), k=5)
+        engine = ProbeEngine(target, net)
+        query = _random_query(net, rng)
+        overlay = _random_chain(net, rng, 2)
+        person = int(rng.integers(0, net.n_people))
+        plain_first = engine.probe(person, query, overlay)
+        spec = LocalizedSpec(epsilon=1e-6)
+        with localized_scope(spec):
+            scoped = engine.probe(person, query, overlay)
+            again = engine.probe(person, query, overlay)
+        summary = spec.summary()
+        assert (
+            summary["exact"] + summary["sampled"] + summary["global"] >= 1
+        ), "scoped probe bypassed plan accounting (memo crosstalk)"
+        assert scoped == again
+        assert scoped[0] == plain_first[0]
+
+
+# ----------------------------------------------------------------------
 # batched delta forwards: scores_batch == sequential == full rebuild
 # ----------------------------------------------------------------------
 class TestBatchedScoreFuzz:

@@ -306,6 +306,57 @@ class TestDispatch:
         assert response.ok
         assert isinstance(response.explanation, FactualExplanation)
 
+    def test_localized_request_stamps_summary(self, service, net, query):
+        """A ``localized=True`` request runs its probes under a per-request
+        scope and stamps the plan summary on the response; the answer
+        itself matches the plain request's explanation exactly."""
+        expert, _ = _subjects(service.ranker, net, query)
+        plain = service.explain(
+            ExplainRequest(kind="skills", person=expert, query=query)
+        )
+        localized = service.explain(
+            ExplainRequest(
+                kind="skills", person=expert, query=query,
+                localized=True, epsilon=1e-6,
+            )
+        )
+        assert plain.ok and localized.ok
+        assert plain.localized is None
+        summary = localized.localized
+        assert summary is not None
+        assert summary["epsilon"] == 1e-6
+        assert summary["exact"] + summary["sampled"] + summary["global"] > 0
+        assert summary["max_residual_bound"] <= 1e-6 + 1e-9
+        assert _signature(localized) == _signature(plain)
+
+    def test_localized_epsilon_validation(self):
+        with pytest.raises(ValueError, match="localized"):
+            ExplainRequest(kind="skills", person=0, query=("a",), epsilon=1e-6)
+        with pytest.raises(ValueError, match="epsilon"):
+            ExplainRequest(
+                kind="skills", person=0, query=("a",),
+                localized=True, epsilon=0.0,
+            )
+
+    def test_localized_round_trips_the_wire(self, service, net, query):
+        from repro.explain.serialize import (
+            request_from_dict,
+            request_to_dict,
+            response_from_dict,
+            response_to_dict,
+        )
+
+        expert, _ = _subjects(service.ranker, net, query)
+        request = ExplainRequest(
+            kind="skills", person=expert, query=query,
+            localized=True, epsilon=1e-5,
+        )
+        assert request_from_dict(request_to_dict(request)) == request
+        response = service.explain(request)
+        revived = response_from_dict(response_to_dict(response))
+        assert revived.request == request
+        assert revived.localized == response.localized
+
     def test_explain_raises_without_former(self, net, embedding, predictor):
         service = ExplanationService(
             network=net, ranker=PageRankExpertRanker(), embedding=embedding,
